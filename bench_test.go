@@ -1,0 +1,394 @@
+package xmjoin
+
+// Benchmarks regenerating the paper's evaluation:
+//
+//   - BenchmarkFigure1* — the Figure 1 example query, both algorithms.
+//   - BenchmarkFigure2Bound — the exact (big.Rat) LP bound derivation of
+//     Figure 2 / Example 3.3.
+//   - BenchmarkFigure3* — the Figure 3 experiment: XJoin vs the baseline
+//     (and the XJoin+ extension) on the Example 3.4 worst-case workload,
+//     swept over n. The per-op metrics include the peak intermediate size,
+//     the quantity the paper's second bar reports.
+//   - BenchmarkAblation* — design-choice ablations: attribute-order
+//     strategies, XML twig matchers, and relational WCOJ engines.
+//
+// Run: go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relational"
+	"repro/internal/twig"
+	"repro/internal/wcoj"
+	"repro/internal/xmatch"
+)
+
+func fig1Query(b *testing.B) *core.Query {
+	b.Helper()
+	inst, err := datagen.Figure1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.NewQuery(inst.Doc, inst.Pattern, inst.Tables)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+func BenchmarkFigure1XJoin(b *testing.B) {
+	q := fig1Query(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.XJoin(q, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Baseline(b *testing.B) {
+	q := fig1Query(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Baseline(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2Bound times the exact bound derivation of Example 3.3
+// (twig transformation + two rational LPs), which must yield 5 and 7/2.
+func BenchmarkFigure2Bound(b *testing.B) {
+	inst, err := datagen.Example33(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.NewQuery(inst.Doc, inst.Pattern, inst.Tables)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bounds, err := core.ComputeBounds(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bounds.Exponent.RatString() != "7/2" || bounds.TwigExponent.RatString() != "5" {
+			b.Fatalf("wrong exponents: %s, %s", bounds.Exponent.RatString(), bounds.TwigExponent.RatString())
+		}
+	}
+}
+
+var fig3Scales = []int{2, 4, 6, 8, 10}
+
+func fig3Query(b *testing.B, n int) *core.Query {
+	b.Helper()
+	inst, err := datagen.Example34(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.NewQuery(inst.Doc, inst.Pattern, inst.Tables)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+func BenchmarkFigure3XJoin(b *testing.B) {
+	for _, n := range fig3Scales {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			q := fig3Query(b, n)
+			var peak int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.XJoin(q, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = res.Stats.PeakIntermediate
+			}
+			b.ReportMetric(float64(peak), "peak-tuples")
+		})
+	}
+}
+
+func BenchmarkFigure3XJoinPlus(b *testing.B) {
+	for _, n := range fig3Scales {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			q := fig3Query(b, n)
+			var peak int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.XJoin(q, core.Options{PartialAD: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = res.Stats.PeakIntermediate
+			}
+			b.ReportMetric(float64(peak), "peak-tuples")
+		})
+	}
+}
+
+func BenchmarkFigure3Baseline(b *testing.B) {
+	for _, n := range fig3Scales {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			q := fig3Query(b, n)
+			var peak int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Baseline(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = res.Stats.PeakIntermediate
+			}
+			b.ReportMetric(float64(peak), "peak-tuples")
+		})
+	}
+}
+
+// BenchmarkAblationOrder compares attribute-order strategies at n=8 — the
+// planner design choice DESIGN.md calls out.
+func BenchmarkAblationOrder(b *testing.B) {
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"relational-first", core.Options{Strategy: core.OrderRelationalFirst}},
+		{"document-order", core.Options{Strategy: core.OrderDocument}},
+		{"greedy", core.Options{Strategy: core.OrderGreedy}},
+	}
+	q := fig3Query(b, 8)
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.XJoin(q, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTwigMatch compares the XML-only matchers on the
+// worst-case document (the baseline's Q2 substrate): holistic TwigStack vs
+// the pre-holistic binary structural-join plan.
+func BenchmarkAblationTwigMatch(b *testing.B) {
+	inst, err := datagen.Example34(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := inst.Pattern
+	b.Run("twigstack", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, _ := xmatch.TwigStackMatch(inst.Doc, p)
+			if len(ms) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+	b.Run("binary-structural", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, _ := xmatch.BinaryTwigMatch(inst.Doc, p)
+			if len(ms) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+	b.Run("tjfast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, _ := xmatch.TJFastMatch(inst.Doc, p)
+			if len(ms) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPathMatch compares the path-query matchers (PathStack,
+// TJFast, TwigStack specialization) on a linear query over the worst-case
+// document.
+func BenchmarkAblationPathMatch(b *testing.B) {
+	inst, err := datagen.Example34(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := twig.MustParse("//A//C/E")
+	b.Run("pathstack", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, _, err := xmatch.PathStackMatch(inst.Doc, p)
+			if err != nil || len(ms) == 0 {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tjfast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ms, _ := xmatch.TJFastMatch(inst.Doc, p); len(ms) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+	b.Run("twigstack", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ms, _ := xmatch.TwigStackMatch(inst.Doc, p); len(ms) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallel measures the parallel executor on the
+// twig-only worst-case workload (large stages) against the serial one.
+func BenchmarkAblationParallel(b *testing.B) {
+	inst, err := datagen.Example34(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.NewQuery(inst.Doc, inst.Pattern, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.XJoin(q, core.Options{Parallelism: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Tuples) != 8*8*8*8*8 {
+					b.Fatalf("output %d", len(res.Tuples))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMinBoundPlanning isolates the cost of the bound-driven
+// order search (O(k²) small LPs).
+func BenchmarkAblationMinBoundPlanning(b *testing.B) {
+	q := fig3Query(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinBoundOrder(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidationAdversarial stresses the final witness check: n²
+// pairwise-consistent candidates, n survivors.
+func BenchmarkValidationAdversarial(b *testing.B) {
+	inst, err := datagen.ValidationAdversarial(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.NewQuery(inst.Doc, inst.Pattern, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.XJoin(q, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tuples) != 32 {
+			b.Fatalf("output %d", len(res.Tuples))
+		}
+	}
+}
+
+// BenchmarkAblationRelationalEngines compares the relational join engines
+// on the AGM worst-case triangle (k²-size grid relations, k³ output).
+func BenchmarkAblationRelationalEngines(b *testing.B) {
+	const k = 24
+	grid := func(name, x, y string) *relational.Table {
+		t := relational.NewTable(name, relational.MustSchema(x, y))
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				t.MustAppend(relational.Value(i), relational.Value(j))
+			}
+		}
+		return t
+	}
+	tables := []*relational.Table{grid("R", "a", "b"), grid("S", "b", "c"), grid("T", "a", "c")}
+	order := []string{"a", "b", "c"}
+
+	b.Run("leapfrog-triejoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			count := 0
+			if _, err := wcoj.LeapfrogTriejoin(tables, order, func(relational.Tuple) bool {
+				count++
+				return true
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if count != k*k*k {
+				b.Fatalf("output %d want %d", count, k*k*k)
+			}
+		}
+	})
+	b.Run("generic-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			atoms := []wcoj.Atom{
+				wcoj.NewTableAtom(tables[0]), wcoj.NewTableAtom(tables[1]), wcoj.NewTableAtom(tables[2]),
+			}
+			res, err := wcoj.GenericJoin(atoms, order)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Tuples) != k*k*k {
+				b.Fatalf("output %d", len(res.Tuples))
+			}
+		}
+	})
+	b.Run("hash-join-chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, _, err := wcoj.ChainHashJoin("Q", tables)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Len() != k*k*k {
+				b.Fatalf("output %d", out.Len())
+			}
+		}
+	})
+}
+
+// BenchmarkValidation isolates the final structural-validation pass of
+// Algorithm 1 on the twig-only worst-case query, where every candidate
+// tuple needs a witness check.
+func BenchmarkValidation(b *testing.B) {
+	inst, err := datagen.Example34(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.NewQuery(inst.Doc, inst.Pattern, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.XJoin(q, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tuples) != 4*4*4*4*4 {
+			b.Fatalf("output %d", len(res.Tuples))
+		}
+	}
+}
+
+// BenchmarkTwigParse measures the twig parser on the running pattern.
+func BenchmarkTwigParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := twig.Parse(datagen.PaperTwig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command xmgen emits the synthetic multi-model workloads used by the
+// evaluation: the worst-case Example 3.3/3.4 instances and the Figure 1
+// example, as an XML file plus one CSV per relational table.
+//
+// Usage:
+//
+//	xmgen -workload example34 -n 10 -out ./data
+//
+// writes data/doc.xml, data/R1.csv, data/R2.csv and prints the twig to use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datagen"
+	"repro/internal/relational"
+	"repro/internal/xmldb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	workload := flag.String("workload", "example34", "example33, example34, or figure1")
+	n := flag.Int("n", 10, "scale (nodes per twig tag)")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	var inst *datagen.Instance
+	var err error
+	switch *workload {
+	case "example33":
+		inst, err = datagen.Example33(*n)
+	case "example34":
+		inst, err = datagen.Example34(*n)
+	case "figure1":
+		inst, err = datagen.Figure1()
+	default:
+		return fmt.Errorf("unknown -workload %q", *workload)
+	}
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	xmlPath := filepath.Join(*out, "doc.xml")
+	xf, err := os.Create(xmlPath)
+	if err != nil {
+		return err
+	}
+	if err := xmldb.Write(xf, inst.Doc); err != nil {
+		xf.Close()
+		return err
+	}
+	if err := xf.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", xmlPath)
+
+	for _, t := range inst.Tables {
+		p := filepath.Join(*out, t.Name()+".csv")
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		if err := relational.WriteCSV(f, t, inst.Dict); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", p)
+	}
+	fmt.Println("twig:", inst.Pattern)
+	return nil
+}

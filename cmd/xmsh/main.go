@@ -1,0 +1,46 @@
+// Command xmsh is the interactive multi-model shell: load an XML document
+// and CSV tables, then query them jointly with the mmql language.
+//
+//	$ xmsh
+//	xmsh> .load xml invoices.xml
+//	xmsh> .load table R orders.csv
+//	xmsh> SELECT userID, price FROM R, TWIG '//orderLine[orderID]/price'
+//	xmsh> .explain SELECT * FROM R, TWIG '//orderLine[orderID]/price'
+//	xmsh> .quit
+//
+// Use -db DIR to open a database saved with .save, and -c 'QUERY' to run a
+// single command non-interactively.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/shell"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "open a saved database directory on startup")
+	command := flag.String("c", "", "execute one command and exit")
+	flag.Parse()
+
+	sh := shell.New(os.Stdout)
+	if *dbDir != "" {
+		if err := sh.Execute(".open " + *dbDir); err != nil {
+			fmt.Fprintln(os.Stderr, "xmsh:", err)
+			os.Exit(1)
+		}
+	}
+	if *command != "" {
+		if err := sh.Execute(*command); err != nil {
+			fmt.Fprintln(os.Stderr, "xmsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := sh.Run(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "xmsh:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+package xmjoin_test
+
+import (
+	"fmt"
+	"log"
+
+	xmjoin "repro"
+)
+
+// Example reproduces the paper's Figure 1: joining an invoices document
+// with a relational orders table.
+func Example() {
+	db := xmjoin.NewDatabase()
+	err := db.LoadXMLString(`
+<invoices>
+  <orderLine><orderID>10963</orderID><ISBN>978-3-16-1</ISBN><price>30</price></orderLine>
+  <orderLine><orderID>20134</orderID><ISBN>634-3-12-2</ISBN><price>20</price></orderLine>
+</invoices>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = db.AddTableRows("R", []string{"orderID", "userID"}, [][]string{
+		{"10963", "jack"}, {"20134", "tom"}, {"35768", "bob"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := db.Query("/invoices/orderLine[orderID][ISBN]/price", "R")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.ExecXJoin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := res.Project("userID", "ISBN", "price")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out.Sort())
+	// Output:
+	// userID  ISBN        price
+	// jack    978-3-16-1  30
+	// tom     634-3-12-2  20
+	// (2 rows)
+}
+
+// ExampleQuery_Bounds derives the exact worst-case size bounds of
+// Example 3.3: the running twig with R1(B,D) and R2(F,G,H).
+func ExampleQuery_Bounds() {
+	db := xmjoin.NewDatabase()
+	// A minimal document with the running twig's shape.
+	err := db.LoadXMLString(`
+<A>a0<B>b0</B><D>d0</D>
+  <C>c0<E>e0</E><F>f0<H>h0</H><G>g0</G></F></C>
+</A>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = db.AddTableRows("R1", []string{"B", "D"}, [][]string{{"b0", "d0"}})
+	_ = db.AddTableRows("R2", []string{"F", "G", "H"}, [][]string{{"f0", "g0", "h0"}})
+
+	q, err := db.Query("//A[B][D][.//C[E][.//F[H][.//G]]]", "R1", "R2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := q.Bounds()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("twig-only exponent:", b.TwigExponent().RatString())
+	fmt.Println("full-query exponent:", b.Exponent().RatString())
+	// Output:
+	// twig-only exponent: 5
+	// full-query exponent: 7/2
+}
+
+// ExampleQuery_ExecXJoinStream consumes answers without materializing the
+// result set.
+func ExampleQuery_ExecXJoinStream() {
+	db := xmjoin.NewDatabase()
+	if err := db.LoadXMLString(`<r><x>1</x><x>2</x><x>3</x></r>`); err != nil {
+		log.Fatal(err)
+	}
+	q, err := db.Query("//x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := q.ExecXJoinStream(func(row []string) bool {
+		fmt.Println(row[0])
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("answers:", stats.Output)
+	// Output:
+	// 1
+	// 2
+	// 3
+	// answers: 3
+}

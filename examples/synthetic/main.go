@@ -1,0 +1,93 @@
+// Synthetic: the Figure 3 experiment at example scale. The Example 3.4
+// workload (R1(A,B,C,D), R2(E,F,G,H) + the running twig on its worst-case
+// document) is evaluated with XJoin and the baseline across a small sweep
+// of n, reporting the running-time and intermediate-size ratios from the
+// paper's bar chart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	xmjoin "repro"
+)
+
+const paperTwig = "//A[B][D][.//C[E][.//F[H][.//G]]]"
+
+func main() {
+	fmt.Println("n   |Q|   baseline/xjoin time   baseline/xjoin peak intermediates")
+	for _, n := range []int{2, 4, 6, 8} {
+		db := xmjoin.NewDatabase()
+		if err := db.LoadXMLString(worstCaseDoc(n)); err != nil {
+			log.Fatal(err)
+		}
+		var r1, r2 [][]string
+		for i := 0; i < n; i++ {
+			r1 = append(r1, []string{v("a", 0), v("b", i), v("c", i), v("d", i)})
+			r2 = append(r2, []string{v("e", i), v("f", i), v("g", i), v("h", i)})
+		}
+		if err := db.AddTableRows("R1", []string{"A", "B", "C", "D"}, r1); err != nil {
+			log.Fatal(err)
+		}
+		if err := db.AddTableRows("R2", []string{"E", "F", "G", "H"}, r2); err != nil {
+			log.Fatal(err)
+		}
+		q, err := db.Query(paperTwig, "R1", "R2")
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		t0 := time.Now()
+		xres, err := q.ExecXJoin()
+		if err != nil {
+			log.Fatal(err)
+		}
+		xt := time.Since(t0)
+
+		t0 = time.Now()
+		bres, err := q.ExecBaseline()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bt := time.Since(t0)
+
+		if !xres.Equal(bres) {
+			log.Fatalf("n=%d: algorithms disagree", n)
+		}
+		fmt.Printf("%-3d %-5d %-21.1f %.1f\n", n, xres.Len(),
+			float64(bt)/float64(xt),
+			float64(bres.Stats().PeakIntermediate)/float64(xres.Stats().PeakIntermediate))
+	}
+}
+
+// worstCaseDoc builds the Lemma 3.2 worst-case document at scale n (see the
+// sizebound example for the construction).
+func worstCaseDoc(n int) string {
+	var sb strings.Builder
+	sb.WriteString("<A>")
+	sb.WriteString(v("a", 0))
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<B>%s</B><D>%s</D>", v("b", i), v("d", i))
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<C>%s<E>%s</E>", v("c", i), v("e", i))
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<F>%s<H>%s</H>", v("f", i), v("h", i))
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<G>%s</G>", v("g", i))
+	}
+	for i := 0; i < n; i++ {
+		sb.WriteString("</F>")
+	}
+	for i := 0; i < n; i++ {
+		sb.WriteString("</C>")
+	}
+	sb.WriteString("</A>")
+	return sb.String()
+}
+
+func v(tag string, i int) string { return fmt.Sprintf("%s%d", tag, i) }

@@ -1,0 +1,52 @@
+// Package cli holds the small parsing helpers shared by the command-line
+// tools, kept out of the mains so they are unit-testable.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseRelSpec parses a relational atom specification "NAME(a,b,c)".
+func ParseRelSpec(spec string) (name string, attrs []string, err error) {
+	open := strings.IndexByte(spec, '(')
+	if open <= 0 || !strings.HasSuffix(spec, ")") {
+		return "", nil, fmt.Errorf("cli: bad relation %q, want NAME(a,b,...)", spec)
+	}
+	name = strings.TrimSpace(spec[:open])
+	body := spec[open+1 : len(spec)-1]
+	for _, a := range strings.Split(body, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return "", nil, fmt.Errorf("cli: bad relation %q: empty attribute", spec)
+		}
+		attrs = append(attrs, a)
+	}
+	return name, attrs, nil
+}
+
+// ParseTableSpec parses "NAME=PATH".
+func ParseTableSpec(spec string) (name, path string, err error) {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || path == "" {
+		return "", "", fmt.Errorf("cli: bad table %q, want NAME=FILE.csv", spec)
+	}
+	return name, path, nil
+}
+
+// ParseIntList parses a comma-separated list of positive integers.
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad integer list %q: %w", s, err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("cli: integer list %q must be positive", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

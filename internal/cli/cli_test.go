@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseRelSpec(t *testing.T) {
+	name, attrs, err := ParseRelSpec("R1( B , D )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "R1" || !reflect.DeepEqual(attrs, []string{"B", "D"}) {
+		t.Errorf("got %s%v", name, attrs)
+	}
+	for _, bad := range []string{"", "R", "R()", "(a)", "R(a,)", "R(a", "R a)"} {
+		if _, _, err := ParseRelSpec(bad); err == nil {
+			t.Errorf("ParseRelSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTableSpec(t *testing.T) {
+	name, path, err := ParseTableSpec("orders=data/orders.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "orders" || path != "data/orders.csv" {
+		t.Errorf("got %q %q", name, path)
+	}
+	for _, bad := range []string{"", "noequals", "=x", "x="} {
+		if _, _, err := ParseTableSpec(bad); err == nil {
+			t.Errorf("ParseTableSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("2, 4,6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{2, 4, 6}) {
+		t.Errorf("got %v", got)
+	}
+	for _, bad := range []string{"", "a", "1,,2", "0", "-3"} {
+		if _, err := ParseIntList(bad); err == nil {
+			t.Errorf("ParseIntList(%q) accepted", bad)
+		}
+	}
+}

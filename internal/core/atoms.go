@@ -1,0 +1,322 @@
+// Package core implements the paper's contribution: the worst-case optimal
+// multi-model join XJoin (Algorithm 1) over relational tables and XML twig
+// patterns, its combined AGM-style size bound (Equation 1), the baseline
+// that joins the per-model results Q1 and Q2, and the future-work extension
+// that partially validates twig structure during the join.
+//
+// The twig's parent-child edges participate in the join as *virtual*
+// relations backed by XML indexes — "we consider P-C relations of XML twig
+// as a relational table for size bound, but we do not physically transform
+// them into relational tables" — by implementing the same wcoj.Atom
+// interface as physical tables.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+	"repro/internal/twig"
+	"repro/internal/wcoj"
+	"repro/internal/xmldb"
+)
+
+// EdgeAtom is the virtual relation of one parent-child twig edge: the set
+// of (parent value, child value) pairs realized by the document, accessed
+// through the value-level edge index rather than materialized.
+type EdgeAtom struct {
+	name      string
+	parentTag string
+	childTag  string
+	edge      *xmldb.EdgeIndex
+}
+
+// NewEdgeAtom builds the virtual relation for the P-C edge (parentTag,
+// childTag) of a twig over the indexed document.
+func NewEdgeAtom(ix *xmldb.Indexes, parentTag, childTag string) *EdgeAtom {
+	return &EdgeAtom{
+		name:      "PC[" + parentTag + "/" + childTag + "]",
+		parentTag: parentTag,
+		childTag:  childTag,
+		edge:      ix.Edge(parentTag, childTag),
+	}
+}
+
+// Name implements wcoj.Atom.
+func (a *EdgeAtom) Name() string { return a.name }
+
+// Attrs implements wcoj.Atom; the edge relates the two tags' values.
+func (a *EdgeAtom) Attrs() []string { return []string{a.parentTag, a.childTag} }
+
+// Size returns the virtual relation's cardinality (node-level pair count),
+// which the transformation bounds by the child tag's node count.
+func (a *EdgeAtom) Size() int { return a.edge.PairCount }
+
+// Candidates implements wcoj.Atom.
+func (a *EdgeAtom) Candidates(attr string, b wcoj.Binding) *relational.ValueSet {
+	switch attr {
+	case a.childTag:
+		if pv, ok := b.Get(a.parentTag); ok {
+			return a.edge.ChildrenOf(pv)
+		}
+		return a.edge.ChildValues()
+	case a.parentTag:
+		if cv, ok := b.Get(a.childTag); ok {
+			return a.edge.ParentsOf(cv)
+		}
+		return a.edge.ParentValues()
+	default:
+		return nil
+	}
+}
+
+// TagAtom is the unary virtual relation of one twig query node: the
+// distinct values of document nodes with its tag. It anchors every twig
+// variable to real nodes (tags that participate in no P-C edge would
+// otherwise be unconstrained) and pins a rooted pattern's root to the
+// document element.
+type TagAtom struct {
+	name string
+	tag  string
+	vals *relational.ValueSet
+}
+
+// NewTagAtom builds the unary atom for a query node. If rootOnly is set the
+// atom holds only the document element's value (empty if the tag differs);
+// a non-empty filter restricts the atom to that single value — the pushed
+// selection of a tag="value" twig predicate.
+func NewTagAtom(ix *xmldb.Indexes, tag string, rootOnly bool, filter string) *TagAtom {
+	// The name must distinguish semantic variants of the same tag so that
+	// multi-twig atom deduplication never merges a filtered or root-pinned
+	// atom with an unconstrained one.
+	name := "Tag[" + tag
+	if rootOnly {
+		name += "@root"
+	}
+	if filter != "" {
+		name += "=" + filter
+	}
+	name += "]"
+	a := &TagAtom{name: name, tag: tag}
+	doc := ix.Doc()
+	switch {
+	case rootOnly:
+		if doc.Tag(doc.Root()) == tag {
+			a.vals = relational.NewValueSet([]relational.Value{doc.Value(doc.Root())})
+		} else {
+			a.vals = relational.SortedValueSet(nil)
+		}
+	default:
+		a.vals = ix.TagValues(tag)
+	}
+	if filter != "" {
+		want, ok := doc.Dict().Lookup(filter)
+		if ok && a.vals.Contains(want) {
+			a.vals = relational.NewValueSet([]relational.Value{want})
+		} else {
+			a.vals = relational.SortedValueSet(nil)
+		}
+	}
+	return a
+}
+
+// Name implements wcoj.Atom.
+func (a *TagAtom) Name() string { return a.name }
+
+// Attrs implements wcoj.Atom.
+func (a *TagAtom) Attrs() []string { return []string{a.tag} }
+
+// Size returns the number of distinct values.
+func (a *TagAtom) Size() int { return a.vals.Len() }
+
+// Candidates implements wcoj.Atom.
+func (a *TagAtom) Candidates(attr string, _ wcoj.Binding) *relational.ValueSet {
+	if attr != a.tag {
+		return nil
+	}
+	return a.vals
+}
+
+// ADAtom is the value-level ancestor-descendant relation of one cut twig
+// edge, materialized lazily by walking ancestor chains. The default XJoin
+// validates A-D edges only on final results (as Algorithm 1 does); enabling
+// ADAtoms implements the paper's future-work extension — "filtering
+// infeasible intermediate results and partially validating the twig
+// structure during the joining" — at the cost of building this index.
+type ADAtom struct {
+	name    string
+	ancTag  string
+	descTag string
+	ancs    *relational.ValueSet
+	descs   *relational.ValueSet
+	a2d     map[relational.Value]*relational.ValueSet
+	d2a     map[relational.Value]*relational.ValueSet
+}
+
+// NewADAtom materializes the value-level A-D relation for (ancTag, descTag).
+func NewADAtom(ix *xmldb.Indexes, ancTag, descTag string) *ADAtom {
+	a := &ADAtom{
+		name:    "AD[" + ancTag + "//" + descTag + "]",
+		ancTag:  ancTag,
+		descTag: descTag,
+		a2d:     make(map[relational.Value]*relational.ValueSet),
+		d2a:     make(map[relational.Value]*relational.ValueSet),
+	}
+	doc := ix.Doc()
+	a2d := make(map[relational.Value]map[relational.Value]struct{})
+	d2a := make(map[relational.Value]map[relational.Value]struct{})
+	for _, d := range doc.NodesByTag(descTag) {
+		dv := doc.Value(d)
+		for p := doc.Parent(d); p != xmldb.NoNode; p = doc.Parent(p) {
+			if doc.Tag(p) != ancTag {
+				continue
+			}
+			av := doc.Value(p)
+			addPair(a2d, av, dv)
+			addPair(d2a, dv, av)
+		}
+	}
+	a.ancs = keysOf(a2d)
+	a.descs = keysOf(d2a)
+	for k, set := range a2d {
+		a.a2d[k] = toValueSet(set)
+	}
+	for k, set := range d2a {
+		a.d2a[k] = toValueSet(set)
+	}
+	return a
+}
+
+// Name implements wcoj.Atom.
+func (a *ADAtom) Name() string { return a.name }
+
+// Attrs implements wcoj.Atom.
+func (a *ADAtom) Attrs() []string { return []string{a.ancTag, a.descTag} }
+
+// Candidates implements wcoj.Atom.
+func (a *ADAtom) Candidates(attr string, b wcoj.Binding) *relational.ValueSet {
+	switch attr {
+	case a.descTag:
+		if av, ok := b.Get(a.ancTag); ok {
+			return a.a2d[av]
+		}
+		return a.descs
+	case a.ancTag:
+		if dv, ok := b.Get(a.descTag); ok {
+			return a.d2a[dv]
+		}
+		return a.ancs
+	default:
+		return nil
+	}
+}
+
+func addPair(m map[relational.Value]map[relational.Value]struct{}, k, v relational.Value) {
+	s, ok := m[k]
+	if !ok {
+		s = make(map[relational.Value]struct{})
+		m[k] = s
+	}
+	s[v] = struct{}{}
+}
+
+func keysOf(m map[relational.Value]map[relational.Value]struct{}) *relational.ValueSet {
+	out := make([]relational.Value, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return relational.NewValueSet(out)
+}
+
+func toValueSet(s map[relational.Value]struct{}) *relational.ValueSet {
+	out := make([]relational.Value, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	return relational.NewValueSet(out)
+}
+
+// buildAtoms assembles the executor's atom set for a query: one TableAtom
+// per relational table and, for every twig, one TagAtom per twig node, one
+// EdgeAtom per P-C twig edge, and — when partialAD is set — one ADAtom per
+// cut A-D edge. Atoms repeated across twigs (same tag, same edge) are
+// deduplicated by name; redundant copies would not change the join.
+func buildAtoms(twigs []twigPart, tables []*relational.Table, partialAD bool) []wcoj.Atom {
+	var atoms []wcoj.Atom
+	for _, t := range tables {
+		atoms = append(atoms, wcoj.NewTableAtom(t))
+	}
+	// Atom names must stay unique: with several documents, identical tags
+	// produce distinct atoms (each constraining its own document's values),
+	// renamed with a per-document prefix.
+	prefixes := docPrefixes(twigs)
+	seen := make(map[string]bool)
+	add := func(ix *xmldb.Indexes, a wcoj.Atom) {
+		if pre := prefixes[ix]; pre != "" {
+			a = renamed{Atom: a, name: pre + a.Name()}
+		}
+		if !seen[a.Name()] {
+			seen[a.Name()] = true
+			atoms = append(atoms, a)
+		}
+	}
+	for _, tw := range twigs {
+		ix, p := tw.ix, tw.pattern
+		for _, q := range p.Nodes() {
+			rootOnly := q.Parent == nil && p.Rooted()
+			add(ix, NewTagAtom(ix, q.Tag, rootOnly, q.ValueFilter))
+			if q.Parent != nil && q.Axis == twig.Child {
+				add(ix, NewEdgeAtom(ix, q.Parent.Tag, q.Tag))
+			}
+			if partialAD && q.Parent != nil && q.Axis == twig.Descendant {
+				add(ix, NewADAtom(ix, q.Parent.Tag, q.Tag))
+			}
+		}
+	}
+	return atoms
+}
+
+// docPrefixes assigns "D<i>." name prefixes when a query spans more than
+// one document; single-document queries keep bare names.
+func docPrefixes(twigs []twigPart) map[*xmldb.Indexes]string {
+	var order []*xmldb.Indexes
+	seen := make(map[*xmldb.Indexes]bool)
+	for _, tw := range twigs {
+		if !seen[tw.ix] {
+			seen[tw.ix] = true
+			order = append(order, tw.ix)
+		}
+	}
+	out := make(map[*xmldb.Indexes]string, len(order))
+	if len(order) <= 1 {
+		for _, ix := range order {
+			out[ix] = ""
+		}
+		return out
+	}
+	for i, ix := range order {
+		out[ix] = fmt.Sprintf("D%d.", i+1)
+	}
+	return out
+}
+
+// renamed wraps an atom under a different name.
+type renamed struct {
+	wcoj.Atom
+	name string
+}
+
+func (r renamed) Name() string { return r.name }
+
+// atomSize reports an XML atom's cardinality, unwrapping renames.
+func atomSize(a wcoj.Atom) (int, bool) {
+	switch at := a.(type) {
+	case renamed:
+		return atomSize(at.Atom)
+	case *EdgeAtom:
+		return at.Size(), true
+	case *TagAtom:
+		return at.Size(), true
+	default:
+		return 0, false
+	}
+}

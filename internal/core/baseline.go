@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+	"repro/internal/wcoj"
+	"repro/internal/xmatch"
+)
+
+// Baseline evaluates the query the conventional way the paper compares
+// against (Figure 3): compute the relational-only query Q1 with a binary
+// hash-join plan, compute one XML-only twig query Q2 per twig with an
+// optimized holistic matcher, then join all the per-model results. Each
+// side is efficient for its own model, but the combination materializes up
+// to |Q1| + Σ|Q2ᵢ| intermediate tuples — and a twig result alone can
+// exceed the worst-case size of the full multi-model query by polynomial
+// factors.
+func Baseline(q *Query) (*Result, error) {
+	stats := Stats{Algorithm: "baseline"}
+	record := func(n int) {
+		stats.StageSizes = append(stats.StageSizes, n)
+		stats.TotalIntermediate += n
+		if n > stats.PeakIntermediate {
+			stats.PeakIntermediate = n
+		}
+	}
+
+	// Q1: the relational part.
+	var parts []*relational.Table
+	if len(q.Tables) > 0 {
+		q1, jstats, err := wcoj.ChainHashJoin("Q1", q.Tables)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range jstats.StepSizes {
+			record(s)
+		}
+		stats.Q1Size = q1.Len()
+		parts = append(parts, q1)
+	}
+
+	// Q2 per twig: matched at node level then projected to values.
+	for pi, tw := range q.twigs {
+		doc := tw.ix.Doc()
+		matches, mstats := xmatch.TwigStackMatch(doc, tw.pattern)
+		record(mstats.PathSolutions)
+		schema, err := relational.NewSchema(tw.pattern.Attrs()...)
+		if err != nil {
+			return nil, fmt.Errorf("core: twig attributes: %w", err)
+		}
+		q2 := relational.NewTable(fmt.Sprintf("Q2.%d", pi+1), schema)
+		row := make(relational.Tuple, schema.Len())
+		for _, m := range matches {
+			for i, id := range m {
+				row[i] = doc.Value(id)
+			}
+			if err := q2.Append(row); err != nil {
+				return nil, err
+			}
+		}
+		q2.Dedup()
+		record(q2.Len())
+		stats.Q2Size += q2.Len()
+		parts = append(parts, q2)
+	}
+
+	// Combine the per-model results.
+	combined := parts[0]
+	for _, part := range parts[1:] {
+		next, err := wcoj.HashJoin("Q", combined, part)
+		if err != nil {
+			return nil, err
+		}
+		next.Dedup()
+		combined = next
+		record(combined.Len())
+	}
+
+	res := &Result{Attrs: combined.Schema().Attrs(), Stats: stats}
+	combined.Rows(func(t relational.Tuple) bool {
+		res.Tuples = append(res.Tuples, t.Clone())
+		return true
+	})
+	res.Stats.Output = len(res.Tuples)
+	return res, nil
+}

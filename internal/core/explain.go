@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the plan XJoin would execute for q under opts: the atom
+// set (physical tables and virtual XML relations with their cardinalities),
+// the chosen attribute priority PA, the per-stage worst-case bounds of
+// Lemma 3.5, and the query's exponents. It runs the planner and the bound
+// LPs but not the join itself.
+func Explain(q *Query, opts Options) (string, error) {
+	atoms := buildAtoms(q.twigs, q.Tables, opts.PartialAD)
+	sizes := atomSizes(q, atoms)
+	order := opts.Order
+	if order == nil {
+		var err error
+		order, err = chooseOrderErr(q, opts.Strategy)
+		if err != nil {
+			return "", err
+		}
+	}
+	if err := checkOrder(q, order); err != nil {
+		return "", err
+	}
+	bounds, err := ComputeBounds(q)
+	if err != nil {
+		return "", err
+	}
+	stage, err := StageBounds(q, order)
+	if err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	algo := "xjoin"
+	if opts.PartialAD {
+		algo = "xjoin+"
+	}
+	fmt.Fprintf(&sb, "plan: %s\n", algo)
+	fmt.Fprintf(&sb, "atoms (%d):\n", len(atoms))
+	for _, a := range atoms {
+		fmt.Fprintf(&sb, "  %-24s (%s)  |%d|\n", a.Name(), strings.Join(a.Attrs(), ", "), sizes[a.Name()])
+	}
+	fmt.Fprintf(&sb, "attribute priority PA: %s\n", strings.Join(order, " -> "))
+	sb.WriteString("per-stage worst-case bounds (Lemma 3.5):\n")
+	for i, a := range order {
+		fmt.Fprintf(&sb, "  after %-12s <= %.6g\n", a, stage[i])
+	}
+	fmt.Fprintf(&sb, "exponents: full rho* = %s", bounds.Exponent.RatString())
+	if bounds.RelationalExponent != nil {
+		fmt.Fprintf(&sb, ", Q1 = %s", bounds.RelationalExponent.RatString())
+	}
+	if bounds.TwigExponent != nil {
+		fmt.Fprintf(&sb, ", Q2 = %s", bounds.TwigExponent.RatString())
+	}
+	fmt.Fprintf(&sb, "\nweighted output bound: %.6g\n", bounds.WeightedBound)
+	return sb.String(), nil
+}

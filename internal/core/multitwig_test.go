@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/relational"
+	"repro/internal/twig"
+	"repro/internal/xmldb"
+)
+
+// multiTwigDoc: orders and shipments live in separate subtrees; the twigs
+// join on orderID value.
+const multiTwigXML = `
+<db>
+  <orders>
+    <order><orderID>1</orderID><item>book</item></order>
+    <order><orderID>2</orderID><item>pen</item></order>
+    <order><orderID>3</orderID><item>ink</item></order>
+  </orders>
+  <shipments>
+    <shipment><orderID>1</orderID><carrier>dhl</carrier></shipment>
+    <shipment><orderID>3</orderID><carrier>ups</carrier></shipment>
+  </shipments>
+</db>`
+
+func multiTwigQuery(t *testing.T, tables []*relational.Table) (*Query, *relational.Dict) {
+	t.Helper()
+	dict := relational.NewDict()
+	doc, err := xmldb.ParseString(multiTwigXML, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two twigs over disjoint subtrees; "orderID" appears in both and is
+	// the cross-twig join attribute. Tags must be unique per twig, so the
+	// shipment twig names its orderID element via the shared tag.
+	p1 := twig.MustParse("//order[orderID]/item")
+	p2 := twig.MustParse("//shipment[orderID]/carrier")
+	q, err := NewQueryMulti(doc, []*twig.Pattern{p1, p2}, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, dict
+}
+
+func TestMultiTwigJoin(t *testing.T) {
+	q, dict := multiTwigQuery(t, nil)
+	res, err := XJoin(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orders 1 and 3 have shipments: two joined tuples.
+	if len(res.Tuples) != 2 {
+		t.Fatalf("multi-twig join = %d tuples want 2", len(res.Tuples))
+	}
+	proj, err := res.Project([]string{"orderID", "item", "carrier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortResultTuples(proj)
+	got := map[string]bool{}
+	for _, tu := range proj.Tuples {
+		got[dict.String(tu[0])+"|"+dict.String(tu[1])+"|"+dict.String(tu[2])] = true
+	}
+	if !got["1|book|dhl"] || !got["3|ink|ups"] {
+		t.Errorf("joined tuples = %v", got)
+	}
+
+	base, err := Baseline(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualResults(res, base) {
+		t.Fatalf("multi-twig: XJoin %d vs baseline %d", len(res.Tuples), len(base.Tuples))
+	}
+	// The baseline materialized one Q2 per twig: 3 + 2 projected rows.
+	if base.Stats.Q2Size != 5 {
+		t.Errorf("baseline Q2 total = %d want 5", base.Stats.Q2Size)
+	}
+}
+
+func TestMultiTwigWithTable(t *testing.T) {
+	dict := relational.NewDict()
+	doc, err := xmldb.ParseString(multiTwigXML, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The table restricts carriers.
+	carriers := relational.NewTable("pref", relational.MustSchema("carrier"))
+	carriers.MustAppend(dict.Intern("dhl"))
+	p1 := twig.MustParse("//order[orderID]/item")
+	p2 := twig.MustParse("//shipment[orderID]/carrier")
+	q, err := NewQueryMulti(doc, []*twig.Pattern{p1, p2}, []*relational.Table{carriers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := XJoin(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 {
+		t.Fatalf("table-restricted multi-twig = %d tuples want 1", len(res.Tuples))
+	}
+	base, err := Baseline(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualResults(res, base) {
+		t.Fatal("multi-twig with table: algorithms disagree")
+	}
+	if len(q.SharedAttrs()) != 1 || q.SharedAttrs()[0] != "carrier" {
+		t.Errorf("shared attrs = %v", q.SharedAttrs())
+	}
+}
+
+func TestMultiTwigBounds(t *testing.T) {
+	q, _ := multiTwigQuery(t, nil)
+	b, err := ComputeBounds(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TwigExponent == nil || b.Exponent == nil {
+		t.Fatal("missing exponents")
+	}
+	// Twig-only cover: X[order/orderID] + X[order/item] + X[shipment/carrier]
+	// (the shipment/orderID path is implied) = exactly 3.
+	if b.TwigExponent.Cmp(big.NewRat(3, 1)) != 0 {
+		t.Errorf("multi-twig Q2 exponent = %s want 3", b.TwigExponent.RatString())
+	}
+	if b.Exponent.Cmp(big.NewRat(3, 1)) != 0 {
+		t.Errorf("multi-twig full exponent = %s want 3", b.Exponent.RatString())
+	}
+	// Both twigs contribute path relations; the hypergraph must mention
+	// attributes from both.
+	if !b.Paper.HasAttr("item") || !b.Paper.HasAttr("carrier") {
+		t.Errorf("paper hypergraph missing twig attrs:\n%s", b.Paper)
+	}
+	res, err := XJoin(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(res.Tuples)) > b.WeightedBound+1e-9 {
+		t.Errorf("output %d exceeds bound %v", len(res.Tuples), b.WeightedBound)
+	}
+}
+
+// TestMultiTwigRandom: random pairs of twigs over random docs — XJoin and
+// baseline must agree.
+func TestMultiTwigRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	pairs := [][2]string{
+		{"//a/b", "//c/d"},
+		{"//a[b]", "//c//b"},
+		{"//a//b", "//b/c"},
+		{"//a/b", "//a[c]"},
+	}
+	for trial := 0; trial < 30; trial++ {
+		inst, err := datagen.RandomMultiModel(rng, datagen.RandomConfig{NodeBudget: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pair := pairs[rng.Intn(len(pairs))]
+		var ps []*twig.Pattern
+		for _, src := range pair {
+			ps = append(ps, twig.MustParse(src))
+		}
+		q, err := NewQueryMulti(inst.Doc, ps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := XJoin(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Baseline(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualResults(res, base) {
+			t.Fatalf("trial %d twigs %v: XJoin %d vs baseline %d",
+				trial, pair, len(res.Tuples), len(base.Tuples))
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func TestMinBoundOrderCoversAttrs(t *testing.T) {
+	inst, err := datagen.Example34(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustQuery(t, inst)
+	order, err := MinBoundOrder(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOrder(q, order); err != nil {
+		t.Fatalf("min-bound order invalid: %v", err)
+	}
+}
+
+func TestMinBoundStrategyAgreesOnAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 25; trial++ {
+		inst, err := datagen.RandomMultiModel(rng, datagen.RandomConfig{Tables: rng.Intn(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := mustQuery(t, inst)
+		ref, err := XJoin(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := XJoin(q, Options{Strategy: OrderMinBound})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualResults(ref, mb) {
+			t.Fatalf("trial %d: min-bound order changed answers (%d vs %d)",
+				trial, len(mb.Tuples), len(ref.Tuples))
+		}
+	}
+}
+
+// TestMinBoundBeatsWorstOrder: on the Figure-3 workload the min-bound
+// order's guaranteed stage bounds must never exceed those of a pessimal
+// hand-picked order, and its actual peak must stay at the optimum.
+func TestMinBoundBeatsWorstOrder(t *testing.T) {
+	inst, err := datagen.Example34(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustQuery(t, inst)
+	res, err := XJoin(q, Options{Strategy: OrderMinBound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PeakIntermediate > 5*5 {
+		t.Errorf("min-bound peak = %d exceeds n^2", res.Stats.PeakIntermediate)
+	}
+	// A pessimal order expands the twig's unconstrained tags first.
+	bad := []string{"B", "D", "G", "E", "H", "C", "F", "A"}
+	badRes, err := XJoin(q, Options{Order: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualResults(res, badRes) {
+		t.Fatal("orders disagree on answers")
+	}
+	if badRes.Stats.PeakIntermediate < res.Stats.PeakIntermediate {
+		t.Errorf("pessimal order beat min-bound: %d < %d",
+			badRes.Stats.PeakIntermediate, res.Stats.PeakIntermediate)
+	}
+}
+
+func TestParallelXJoinMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 20; trial++ {
+		inst, err := datagen.RandomMultiModel(rng, datagen.RandomConfig{
+			NodeBudget: 80,
+			Tables:     rng.Intn(2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := mustQuery(t, inst)
+		serial, err := XJoin(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, -1} {
+			p, err := XJoin(q, Options{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !EqualResults(serial, p) {
+				t.Fatalf("trial %d parallelism %d: answers differ", trial, par)
+			}
+			if p.Stats.PeakIntermediate != serial.Stats.PeakIntermediate {
+				t.Fatalf("trial %d: stats differ", trial)
+			}
+		}
+	}
+	// And on the worst-case twig-only workload with large stages.
+	inst, err := datagen.Example34(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuery(inst.Doc, inst.Pattern, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := XJoin(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := XJoin(q, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualResults(serial, par) || len(par.Tuples) != 5*5*5*5*5 {
+		t.Fatalf("parallel worst case: %d tuples want %d", len(par.Tuples), 5*5*5*5*5)
+	}
+}

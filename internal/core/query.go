@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relational"
+	"repro/internal/twig"
+	"repro/internal/xmldb"
+)
+
+// TwigInput pairs one twig pattern with the XML document it matches
+// against — the paper's multi-model setting spans multiple XML DBs, so
+// each twig of a query may target a different document. All documents of
+// one query must share one value dictionary (the Database type enforces
+// this) so values are joinable across them.
+type TwigInput struct {
+	Doc     *xmldb.Document
+	Pattern *twig.Pattern
+}
+
+// twigPart is a resolved twig input with its index set.
+type twigPart struct {
+	pattern *twig.Pattern
+	ix      *xmldb.Indexes
+}
+
+// Query is one multi-model join: any number of relational tables plus any
+// number of XML twigs, each over a document — Algorithm 1's inputs are
+// "XML twigs Sx, relational tables Sr". Attributes with equal names join,
+// within and across models; twig tags double as attribute names (values of
+// the matched elements), so a tag shared by two twigs is a join point.
+type Query struct {
+	Tables []*relational.Table
+	twigs  []twigPart
+}
+
+// NewQuery assembles a single-twig (or, with a nil pattern, pure
+// relational) query; see NewQueryInputs for the general form.
+func NewQuery(doc *xmldb.Document, pattern *twig.Pattern, tables []*relational.Table) (*Query, error) {
+	var in []TwigInput
+	if pattern != nil {
+		in = []TwigInput{{Doc: doc, Pattern: pattern}}
+	}
+	return NewQueryInputs(in, tables)
+}
+
+// NewQueryMulti assembles a query whose twigs all match one document.
+func NewQueryMulti(doc *xmldb.Document, patterns []*twig.Pattern, tables []*relational.Table) (*Query, error) {
+	in := make([]TwigInput, len(patterns))
+	for i, p := range patterns {
+		in[i] = TwigInput{Doc: doc, Pattern: p}
+	}
+	return NewQueryInputs(in, tables)
+}
+
+// NewQueryInputs validates and assembles a query over any number of
+// (document, twig) pairs and tables. Every twig needs its document; a pure
+// relational query may pass no twigs. Every table must have a unique name.
+// Tags are unique within one twig but may repeat across twigs (they then
+// join by value).
+func NewQueryInputs(twigs []TwigInput, tables []*relational.Table) (*Query, error) {
+	if len(twigs) == 0 && len(tables) == 0 {
+		return nil, fmt.Errorf("core: query with no tables and no twig")
+	}
+	names := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		if names[t.Name()] {
+			return nil, fmt.Errorf("core: duplicate table name %q", t.Name())
+		}
+		names[t.Name()] = true
+	}
+	q := &Query{Tables: tables}
+	ixCache := make(map[*xmldb.Document]*xmldb.Indexes)
+	for i, in := range twigs {
+		if in.Pattern == nil {
+			return nil, fmt.Errorf("core: twig input %d has no pattern", i)
+		}
+		if in.Doc == nil {
+			return nil, fmt.Errorf("core: twig %s given without an XML document", in.Pattern)
+		}
+		ix, ok := ixCache[in.Doc]
+		if !ok {
+			ix = xmldb.NewIndexes(in.Doc)
+			ixCache[in.Doc] = ix
+		}
+		q.twigs = append(q.twigs, twigPart{pattern: in.Pattern, ix: ix})
+	}
+	return q, nil
+}
+
+// Patterns returns the query's twig patterns in input order.
+func (q *Query) Patterns() []*twig.Pattern {
+	out := make([]*twig.Pattern, len(q.twigs))
+	for i, tw := range q.twigs {
+		out[i] = tw.pattern
+	}
+	return out
+}
+
+// Pattern returns the query's single twig, or nil. It is a convenience for
+// the common single-twig case; multi-twig queries use Patterns.
+func (q *Query) Pattern() *twig.Pattern {
+	if len(q.twigs) == 1 {
+		return q.twigs[0].pattern
+	}
+	return nil
+}
+
+// Attrs returns the query's output attributes: table attributes in schema
+// order, then twig tags in preorder, each listed once.
+func (q *Query) Attrs() []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(a string) {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, t := range q.Tables {
+		for _, a := range t.Schema().Attrs() {
+			add(a)
+		}
+	}
+	for _, tw := range q.twigs {
+		for _, a := range tw.pattern.Attrs() {
+			add(a)
+		}
+	}
+	return out
+}
+
+// SharedAttrs returns the attributes appearing in both a table and the
+// twig — the cross-model join points — sorted.
+func (q *Query) SharedAttrs() []string {
+	if len(q.twigs) == 0 {
+		return nil
+	}
+	inTwig := make(map[string]bool)
+	for _, tw := range q.twigs {
+		for _, a := range tw.pattern.Attrs() {
+			inTwig[a] = true
+		}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, t := range q.Tables {
+		for _, a := range t.Schema().Attrs() {
+			if inTwig[a] && !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is a materialized multi-model join answer.
+type Result struct {
+	// Attrs names the tuple positions.
+	Attrs []string
+	// Tuples holds the answers with set semantics.
+	Tuples []relational.Tuple
+	// Stats describes the run that produced the result.
+	Stats Stats
+}
+
+// Stats quantifies a join run; the Figure 3 experiment compares these
+// between XJoin and the baseline.
+type Stats struct {
+	// Algorithm is "xjoin", "xjoin+" or "baseline".
+	Algorithm string
+	// Order is the attribute expansion priority PA used (XJoin only).
+	Order []string
+	// StageSizes are the materialized sizes after each expansion stage
+	// (XJoin) or each plan step (baseline).
+	StageSizes []int
+	// PeakIntermediate is the largest materialized collection at any point.
+	PeakIntermediate int
+	// TotalIntermediate sums all materialized stage sizes.
+	TotalIntermediate int
+	// Output is the final answer count.
+	Output int
+	// ValidationRemoved counts tuples discarded by the final structural
+	// validation (XJoin) or never formed (baseline: always 0).
+	ValidationRemoved int
+	// Q1Size and Q2Size are the baseline's per-model result sizes.
+	Q1Size, Q2Size int
+}
+
+// project returns the positions of attrs within from, erroring on misses.
+func project(from []string, attrs []string) ([]int, error) {
+	pos := make(map[string]int, len(from))
+	for i, a := range from {
+		pos[a] = i
+	}
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := pos[a]
+		if !ok {
+			return nil, fmt.Errorf("core: attribute %q not in result", a)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Project reorders/projects the result onto attrs, deduplicating.
+func (r *Result) Project(attrs []string) (*Result, error) {
+	cols, err := project(r.Attrs, attrs)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(r.Tuples))
+	out := &Result{Attrs: append([]string(nil), attrs...), Stats: r.Stats}
+	var key []byte
+	for _, t := range r.Tuples {
+		nt := make(relational.Tuple, len(cols))
+		key = key[:0]
+		for i, c := range cols {
+			nt[i] = t[c]
+			v := uint64(t[c])
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), byte(v>>32))
+		}
+		if seen[string(key)] {
+			continue
+		}
+		seen[string(key)] = true
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}
+
+// Table materializes the result as a relational table named name.
+func (r *Result) Table(name string) (*relational.Table, error) {
+	schema, err := relational.NewSchema(r.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	t := relational.NewTable(name, schema)
+	for _, tu := range r.Tuples {
+		if err := t.Append(tu); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

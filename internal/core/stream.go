@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+	"repro/internal/wcoj"
+)
+
+// XJoinStream evaluates the query like XJoin but streams validated answer
+// tuples to emit instead of materializing them — Algorithm 1 with the
+// final structural filter applied per tuple, in constant memory beyond the
+// current binding. emit receives a transient tuple over the same attribute
+// order XJoin would report (Stats.Order); returning false stops the join.
+// The returned stats carry the explored per-stage sizes and validation
+// counts of the completed portion.
+func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Stats, error) {
+	algo := "xjoin-stream"
+	atoms := buildAtoms(q.twigs, q.Tables, opts.PartialAD)
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("core: query has no atoms")
+	}
+	order := opts.Order
+	if order == nil {
+		var err error
+		order, err = chooseOrderErr(q, opts.Strategy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := checkOrder(q, order); err != nil {
+		return nil, err
+	}
+
+	stats := &Stats{Algorithm: algo}
+	var validators []*validator
+	if !opts.SkipValidation {
+		for _, tw := range q.twigs {
+			validators = append(validators, newValidator(tw.ix, tw.pattern, order))
+		}
+	}
+
+	gjStats, err := wcoj.GenericJoinStream(atoms, order, func(t relational.Tuple) bool {
+		for _, v := range validators {
+			if !v.hasWitness(t) {
+				stats.ValidationRemoved++
+				return true
+			}
+		}
+		stats.Output++
+		return emit(t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.Order = gjStats.Order
+	stats.StageSizes = gjStats.StageSizes
+	stats.PeakIntermediate = gjStats.PeakIntermediate
+	for _, s := range gjStats.StageSizes {
+		stats.TotalIntermediate += s
+	}
+	return stats, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/relational"
+)
+
+// TestStreamMatchesMaterialized: the streaming executor must emit exactly
+// the materializing executor's tuples, in the same order, with the same
+// stage accounting.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 40; trial++ {
+		inst, err := datagen.RandomMultiModel(rng, datagen.RandomConfig{Tables: rng.Intn(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := mustQuery(t, inst)
+		mat, err := XJoin(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed []relational.Tuple
+		st, err := XJoinStream(q, Options{}, func(tu relational.Tuple) bool {
+			streamed = append(streamed, tu.Clone())
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(streamed, mat.Tuples) && !(len(streamed) == 0 && len(mat.Tuples) == 0) {
+			t.Fatalf("trial %d twig %s: stream %d tuples, materialized %d (or order differs)",
+				trial, inst.Pattern, len(streamed), len(mat.Tuples))
+		}
+		if st.Output != mat.Stats.Output || st.ValidationRemoved != mat.Stats.ValidationRemoved {
+			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, st, mat.Stats)
+		}
+		if !reflect.DeepEqual(st.StageSizes, mat.Stats.StageSizes) {
+			// The materializing executor truncates trailing stages when one
+			// empties; the stream reports zeros there instead.
+			for i, s := range mat.Stats.StageSizes {
+				if st.StageSizes[i] != s {
+					t.Fatalf("trial %d: stage %d: %d vs %d", trial, i, st.StageSizes[i], s)
+				}
+			}
+			for _, s := range st.StageSizes[len(mat.Stats.StageSizes):] {
+				if s != 0 {
+					t.Fatalf("trial %d: nonzero stage beyond materialized run", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamEarlyStop(t *testing.T) {
+	inst, err := datagen.Example34(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuery(inst.Doc, inst.Pattern, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	st, err := XJoinStream(q, Options{}, func(relational.Tuple) bool {
+		count++
+		return count < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("early stop emitted %d", count)
+	}
+	if st.Output != 10 {
+		t.Fatalf("stats.Output = %d", st.Output)
+	}
+}
+
+func TestStreamValidationCounts(t *testing.T) {
+	const n = 8
+	inst, err := datagen.ValidationAdversarial(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustQuery(t, inst)
+	emitted := 0
+	st, err := XJoinStream(q, Options{}, func(relational.Tuple) bool {
+		emitted++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != n || st.ValidationRemoved != n*n-n {
+		t.Fatalf("emitted %d removed %d, want %d and %d", emitted, st.ValidationRemoved, n, n*n-n)
+	}
+}

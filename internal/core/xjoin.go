@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relational"
+	"repro/internal/wcoj"
+)
+
+// OrderStrategy selects how the attribute expansion priority PA (Algorithm
+// 1's input) is chosen when the caller does not supply one explicitly.
+type OrderStrategy int
+
+const (
+	// OrderRelationalFirst expands the relational tables' attributes first
+	// (schema order), then the remaining twig tags in preorder. Relational
+	// atoms are usually the most selective, so this is the default.
+	OrderRelationalFirst OrderStrategy = iota
+	// OrderDocument expands attributes in first-appearance order: tables in
+	// declaration order, then twig preorder.
+	OrderDocument
+	// OrderGreedy expands attributes by increasing candidate-set size
+	// (the minimum distinct-value count over the atoms containing them),
+	// a static selectivity heuristic.
+	OrderGreedy
+	// OrderMinBound greedily minimizes the per-stage AGM bound (one small
+	// LP per candidate extension); see MinBoundOrder.
+	OrderMinBound
+)
+
+// Options tunes an XJoin run.
+type Options struct {
+	// Order is the explicit attribute priority PA; when nil, Strategy
+	// picks one.
+	Order []string
+	// Strategy selects the automatic ordering (default OrderRelationalFirst).
+	Strategy OrderStrategy
+	// PartialAD enables the paper's future-work extension: cut A-D edges
+	// participate as (materialized) atoms during expansion instead of being
+	// checked only by the final validation.
+	PartialAD bool
+	// SkipValidation disables the final structural validation; only safe
+	// for queries whose twig has no A-D edges and no branching (tests use
+	// it to demonstrate why validation is needed).
+	SkipValidation bool
+	// Parallelism fans stage expansion out over this many goroutines:
+	// 0 or 1 runs serially, negative uses GOMAXPROCS. Output and
+	// statistics are identical to the serial run.
+	Parallelism int
+}
+
+// XJoin evaluates the query with Algorithm 1: a worst-case optimal
+// attribute-at-a-time expansion over all atoms of both models, followed by
+// structural validation of the twig on the candidate answers.
+func XJoin(q *Query, opts Options) (*Result, error) {
+	algo := "xjoin"
+	if opts.PartialAD {
+		algo = "xjoin+"
+	}
+	atoms := buildAtoms(q.twigs, q.Tables, opts.PartialAD)
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("core: query has no atoms")
+	}
+	order := opts.Order
+	if order == nil {
+		var err error
+		order, err = chooseOrderErr(q, opts.Strategy)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := checkOrder(q, order); err != nil {
+		return nil, err
+	}
+
+	var gj *wcoj.GenericJoinResult
+	var err error
+	switch {
+	case opts.Parallelism < 0:
+		gj, err = wcoj.GenericJoinParallel(atoms, order, 0)
+	case opts.Parallelism > 1:
+		gj, err = wcoj.GenericJoinParallel(atoms, order, opts.Parallelism)
+	default:
+		gj, err = wcoj.GenericJoin(atoms, order)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Attrs: gj.Attrs, Stats: Stats{
+		Algorithm:        algo,
+		Order:            gj.Stats.Order,
+		StageSizes:       gj.Stats.StageSizes,
+		PeakIntermediate: gj.Stats.PeakIntermediate,
+		Output:           gj.Stats.Output,
+	}}
+	for _, s := range gj.Stats.StageSizes {
+		res.Stats.TotalIntermediate += s
+	}
+
+	// Final filter of Algorithm 1: "Filter R by validating structure of Sx".
+	if len(q.twigs) == 0 || opts.SkipValidation {
+		res.Tuples = gj.Tuples
+		res.Stats.Output = len(res.Tuples)
+		return res, nil
+	}
+	validators := make([]*validator, len(q.twigs))
+	for i, tw := range q.twigs {
+		validators[i] = newValidator(tw.ix, tw.pattern, res.Attrs)
+	}
+tuples:
+	for _, t := range gj.Tuples {
+		for _, v := range validators {
+			if !v.hasWitness(t) {
+				res.Stats.ValidationRemoved++
+				continue tuples
+			}
+		}
+		res.Tuples = append(res.Tuples, t)
+	}
+	res.Stats.Output = len(res.Tuples)
+	return res, nil
+}
+
+// ChooseOrder computes the attribute priority PA for the given strategy.
+// For OrderMinBound use MinBoundOrder directly to observe LP errors; this
+// wrapper falls back to the default strategy if the LP fails.
+func ChooseOrder(q *Query, s OrderStrategy) []string {
+	order, err := chooseOrderErr(q, s)
+	if err != nil {
+		return ChooseOrder(q, OrderRelationalFirst)
+	}
+	return order
+}
+
+func chooseOrderErr(q *Query, s OrderStrategy) ([]string, error) {
+	if s == OrderMinBound {
+		return MinBoundOrder(q)
+	}
+	return chooseOrderStatic(q, s), nil
+}
+
+func chooseOrderStatic(q *Query, s OrderStrategy) []string {
+	switch s {
+	case OrderDocument:
+		return q.Attrs()
+	case OrderGreedy:
+		return greedyOrder(q)
+	default: // OrderRelationalFirst
+		var out []string
+		seen := make(map[string]bool)
+		for _, t := range q.Tables {
+			for _, a := range t.Schema().Attrs() {
+				if !seen[a] {
+					seen[a] = true
+					out = append(out, a)
+				}
+			}
+		}
+		for _, tw := range q.twigs {
+			for _, a := range tw.pattern.Attrs() {
+				if !seen[a] {
+					seen[a] = true
+					out = append(out, a)
+				}
+			}
+		}
+		return out
+	}
+}
+
+// greedyOrder sorts attributes by the minimum distinct-value count over the
+// atoms containing them (ties broken by first-appearance order, keeping the
+// order deterministic).
+func greedyOrder(q *Query) []string {
+	attrs := q.Attrs()
+	weight := make(map[string]int, len(attrs))
+	for _, a := range attrs {
+		weight[a] = int(^uint(0) >> 1)
+	}
+	consider := func(attr string, n int) {
+		if w, ok := weight[attr]; ok && n < w {
+			weight[attr] = n
+		}
+	}
+	for _, t := range q.Tables {
+		for i, a := range t.Schema().Attrs() {
+			consider(a, len(t.DistinctValues(i)))
+		}
+	}
+	for _, tw := range q.twigs {
+		for _, qa := range tw.pattern.Attrs() {
+			consider(qa, tw.ix.TagValues(qa).Len())
+		}
+	}
+	rank := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		rank[a] = i
+	}
+	sort.SliceStable(attrs, func(i, j int) bool {
+		wi, wj := weight[attrs[i]], weight[attrs[j]]
+		if wi != wj {
+			return wi < wj
+		}
+		return rank[attrs[i]] < rank[attrs[j]]
+	})
+	return attrs
+}
+
+func checkOrder(q *Query, order []string) error {
+	want := q.Attrs()
+	if len(order) != len(want) {
+		return fmt.Errorf("core: attribute order has %d attributes, query has %d", len(order), len(want))
+	}
+	seen := make(map[string]bool, len(order))
+	for _, a := range order {
+		seen[a] = true
+	}
+	for _, a := range want {
+		if !seen[a] {
+			return fmt.Errorf("core: attribute order is missing %q", a)
+		}
+	}
+	return nil
+}
+
+// SortResultTuples orders a result's tuples lexicographically in place, for
+// deterministic output and comparisons.
+func SortResultTuples(r *Result) {
+	sort.Slice(r.Tuples, func(i, j int) bool {
+		a, b := r.Tuples[i], r.Tuples[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// EqualResults reports whether two results hold the same tuple set over the
+// same attributes (order-insensitive on both attributes and tuples).
+func EqualResults(a, b *Result) bool {
+	if len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	attrs := append([]string(nil), a.Attrs...)
+	sort.Strings(attrs)
+	pa, err := project(a.Attrs, attrs)
+	if err != nil {
+		return false
+	}
+	pb, err := project(b.Attrs, attrs)
+	if err != nil {
+		return false
+	}
+	key := func(t relational.Tuple, cols []int) string {
+		buf := make([]byte, 0, len(cols)*8)
+		for _, c := range cols {
+			v := uint64(t[c])
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+				byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+		}
+		return string(buf)
+	}
+	set := make(map[string]int, len(a.Tuples))
+	for _, t := range a.Tuples {
+		set[key(t, pa)]++
+	}
+	for _, t := range b.Tuples {
+		k := key(t, pb)
+		if set[k] == 0 {
+			return false
+		}
+		set[k]--
+	}
+	return true
+}

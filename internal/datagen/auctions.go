@@ -1,0 +1,134 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relational"
+	"repro/internal/twig"
+	"repro/internal/xmldb"
+)
+
+// AuctionConfig scales the auction-site workload (an XMark-flavored schema:
+// a site with regions/items and people, plus open auctions referencing
+// both).
+type AuctionConfig struct {
+	// People, Items and Auctions are entity counts (defaults 20/30/40).
+	People, Items, Auctions int
+	// Regions is the number of item regions (default 3).
+	Regions int
+	// Seed drives the pseudo-random wiring.
+	Seed int64
+}
+
+func (c *AuctionConfig) defaults() {
+	if c.People == 0 {
+		c.People = 20
+	}
+	if c.Items == 0 {
+		c.Items = 30
+	}
+	if c.Auctions == 0 {
+		c.Auctions = 40
+	}
+	if c.Regions == 0 {
+		c.Regions = 3
+	}
+}
+
+// AuctionInstance is the generated workload: the site document, relational
+// side tables, and the twigs the integration experiments query it with.
+type AuctionInstance struct {
+	Dict *relational.Dict
+	Doc  *xmldb.Document
+	// Ratings(personID, rating) and Categories(itemID, category) are the
+	// relational side.
+	Ratings, Categories *relational.Table
+	// AuctionTwig matches open auctions with their buyer and item refs.
+	AuctionTwig *twig.Pattern
+	// PersonTwig matches people with their ids and cities.
+	PersonTwig *twig.Pattern
+	Config     AuctionConfig
+}
+
+// Auctions generates the workload. The document shape:
+//
+//	site
+//	├── regions > region* > item* (itemID, itemName)
+//	├── people  > person* (personID, city)
+//	└── auctions > auction* (buyerID, itemRef, amount)
+//
+// buyerID values join person personID values (and the Ratings table);
+// itemRef values join itemID values (and the Categories table) — the
+// cross-model, cross-subtree joins the multi-model framework exists for.
+func Auctions(cfg AuctionConfig) (*AuctionInstance, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dict := relational.NewDict()
+	b := xmldb.NewBuilder(dict)
+
+	b.Open("site")
+	b.Open("regions")
+	for r := 0; r < cfg.Regions; r++ {
+		b.Open("region").Text(fmt.Sprintf("region%d", r))
+		for i := r; i < cfg.Items; i += cfg.Regions {
+			b.Open("item").
+				Leaf("itemID", fmt.Sprintf("item%d", i)).
+				Leaf("itemName", fmt.Sprintf("thing-%d", i)).
+				Close()
+		}
+		b.Close()
+	}
+	b.Close()
+
+	cities := []string{"helsinki", "oslo", "riga", "tartu"}
+	b.Open("people")
+	for p := 0; p < cfg.People; p++ {
+		b.Open("person").
+			Leaf("personID", fmt.Sprintf("p%d", p)).
+			Leaf("city", cities[p%len(cities)]).
+			Close()
+	}
+	b.Close()
+
+	b.Open("auctions")
+	for a := 0; a < cfg.Auctions; a++ {
+		b.Open("auction").
+			Leaf("buyerID", fmt.Sprintf("p%d", rng.Intn(cfg.People))).
+			Leaf("itemRef", fmt.Sprintf("item%d", rng.Intn(cfg.Items))).
+			Leaf("amount", fmt.Sprintf("%d", 10+rng.Intn(90))).
+			Close()
+	}
+	b.Close()
+	b.Close() // site
+
+	doc, err := b.Done()
+	if err != nil {
+		return nil, err
+	}
+
+	ratings := relational.NewTable("ratings", relational.MustSchema("buyerID", "rating"))
+	grades := []string{"gold", "silver", "bronze"}
+	for p := 0; p < cfg.People; p++ {
+		ratings.MustAppend(
+			dict.Intern(fmt.Sprintf("p%d", p)),
+			dict.Intern(grades[p%len(grades)]))
+	}
+	categories := relational.NewTable("categories", relational.MustSchema("itemRef", "category"))
+	cats := []string{"books", "tools", "toys"}
+	for i := 0; i < cfg.Items; i++ {
+		categories.MustAppend(
+			dict.Intern(fmt.Sprintf("item%d", i)),
+			dict.Intern(cats[i%len(cats)]))
+	}
+
+	return &AuctionInstance{
+		Dict:        dict,
+		Doc:         doc,
+		Ratings:     ratings,
+		Categories:  categories,
+		AuctionTwig: twig.MustParse("//auction[buyerID][itemRef]/amount"),
+		PersonTwig:  twig.MustParse("//person[personID]/city"),
+		Config:      cfg,
+	}, nil
+}

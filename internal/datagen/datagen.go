@@ -1,0 +1,283 @@
+// Package datagen generates the synthetic workloads of the evaluation: the
+// paper's Figure 1 example, the running-twig instances of Examples 3.3 and
+// 3.4 (Figure 3's experiment), Lemma 3.2-style worst-case constructions,
+// and randomized multi-model instances for property testing.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relational"
+	"repro/internal/twig"
+	"repro/internal/xmldb"
+)
+
+// PaperTwig is the running twig of Figures 2 and 3 in the XPath subset:
+// A with P-C children B and D, an A-D edge to C (child E), an A-D edge from
+// C to F (child H), and an A-D edge from F to G. Its derived path relations
+// are exactly the paper's R3(A,B), R4(A,D), R5(C,E), R6(F,H), R7(G).
+const PaperTwig = "//A[B][D][.//C[E][.//F[H][.//G]]]"
+
+// Instance is a self-contained multi-model workload.
+type Instance struct {
+	Dict    *relational.Dict
+	Doc     *xmldb.Document
+	Pattern *twig.Pattern
+	Tables  []*relational.Table
+	// N is the scale parameter (nodes per twig tag).
+	N int
+}
+
+// Figure1 builds the paper's Figure 1: the invoices document, the
+// relational table R(orderID, userID), and the twig joining them. The
+// expected query result is the paper's table
+// (userID, ISBN, price) = {(jack, 978-3-16-1, 30), (tom, 634-3-12-2, 20)}.
+func Figure1() (*Instance, error) {
+	dict := relational.NewDict()
+	doc, err := xmldb.NewBuilder(dict).
+		Open("invoices").
+		Open("orderLine").
+		Leaf("orderID", "10963").
+		Leaf("ISBN", "978-3-16-1").
+		Leaf("price", "30").
+		Leaf("discount", "0.1").
+		Close().
+		Open("orderLine").
+		Leaf("orderID", "20134").
+		Leaf("ISBN", "634-3-12-2").
+		Leaf("price", "20").
+		Leaf("discount", "0.3").
+		Close().
+		Close().
+		Done()
+	if err != nil {
+		return nil, err
+	}
+	r := relational.NewTable("R", relational.MustSchema("orderID", "userID"))
+	for _, row := range [][2]string{{"10963", "jack"}, {"20134", "tom"}, {"35768", "bob"}} {
+		r.MustAppend(dict.Intern(row[0]), dict.Intern(row[1]))
+	}
+	pattern, err := twig.Parse("/invoices/orderLine[orderID][ISBN]/price")
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Dict: dict, Doc: doc, Pattern: pattern, Tables: []*relational.Table{r}, N: 2}, nil
+}
+
+// paperTwigDoc builds the worst-case document for the running twig at scale
+// n, following the Lemma 3.2 tightness construction:
+//
+//   - one A node with n B children and n D children (the {A,B,D} component
+//     joins to n² value combinations),
+//   - a nested chain of n C nodes (each with an E child) under A, so every
+//     C is an ancestor of everything below the chain,
+//   - a nested chain of n F nodes (each with an H child) under the deepest
+//     C, and n G leaves under the deepest F.
+//
+// Every tag has at most n nodes and every derived path relation has at most
+// n tuples, yet the twig-only result Q2 has exactly n⁵ value tuples.
+func paperTwigDoc(dict *relational.Dict, n int) (*xmldb.Document, error) {
+	b := xmldb.NewBuilder(dict)
+	b.Open("A").Text(val("a", 0))
+	for i := 0; i < n; i++ {
+		b.Leaf("B", val("b", i))
+		b.Leaf("D", val("d", i))
+	}
+	for i := 0; i < n; i++ {
+		b.Open("C").Text(val("c", i))
+		b.Leaf("E", val("e", i))
+	}
+	for i := 0; i < n; i++ {
+		b.Open("F").Text(val("f", i))
+		b.Leaf("H", val("h", i))
+	}
+	for i := 0; i < n; i++ {
+		b.Leaf("G", val("g", i))
+	}
+	for i := 0; i < 2*n; i++ { // close the F chain then the C chain
+		b.Close()
+	}
+	b.Close() // A
+	return b.Done()
+}
+
+// Example33 builds the instance of Example 3.3: relational R1(B,D) and
+// R2(F,G,H) (diagonal, n rows each) joined with the running twig. The
+// worst-case exponents are 5 for the twig alone and 7/2 for the full query.
+func Example33(n int) (*Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("datagen: scale must be positive, got %d", n)
+	}
+	dict := relational.NewDict()
+	doc, err := paperTwigDoc(dict, n)
+	if err != nil {
+		return nil, err
+	}
+	r1 := relational.NewTable("R1", relational.MustSchema("B", "D"))
+	r2 := relational.NewTable("R2", relational.MustSchema("F", "G", "H"))
+	for i := 0; i < n; i++ {
+		r1.MustAppend(dict.Intern(val("b", i)), dict.Intern(val("d", i)))
+		r2.MustAppend(dict.Intern(val("f", i)), dict.Intern(val("g", i)), dict.Intern(val("h", i)))
+	}
+	return &Instance{
+		Dict: dict, Doc: doc, Pattern: twig.MustParse(PaperTwig),
+		Tables: []*relational.Table{r1, r2}, N: n,
+	}, nil
+}
+
+// Example34 builds the Figure 3 experiment instance (Example 3.4):
+// relational R1(A,B,C,D) and R2(E,F,G,H) (diagonal, n rows each) joined
+// with the running twig. Exponents: Q and Q1 are 2, Q2 is 5 — so the
+// baseline's XML-side intermediate result is n⁵ while the full query has at
+// most n² answers (here exactly n).
+func Example34(n int) (*Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("datagen: scale must be positive, got %d", n)
+	}
+	dict := relational.NewDict()
+	doc, err := paperTwigDoc(dict, n)
+	if err != nil {
+		return nil, err
+	}
+	r1 := relational.NewTable("R1", relational.MustSchema("A", "B", "C", "D"))
+	r2 := relational.NewTable("R2", relational.MustSchema("E", "F", "G", "H"))
+	for i := 0; i < n; i++ {
+		r1.MustAppend(dict.Intern(val("a", 0)), dict.Intern(val("b", i)),
+			dict.Intern(val("c", i)), dict.Intern(val("d", i)))
+		r2.MustAppend(dict.Intern(val("e", i)), dict.Intern(val("f", i)),
+			dict.Intern(val("g", i)), dict.Intern(val("h", i)))
+	}
+	return &Instance{
+		Dict: dict, Doc: doc, Pattern: twig.MustParse(PaperTwig),
+		Tables: []*relational.Table{r1, r2}, N: n,
+	}, nil
+}
+
+func val(tag string, i int) string { return fmt.Sprintf("%s%d", tag, i) }
+
+// ValidationAdversarial builds an instance that maximizes the work of
+// Algorithm 1's final structural validation: n sibling a-nodes share one
+// value, each carrying a distinct b child and a distinct c child. At value
+// level the twig //a[b][c] admits n² pairwise-consistent tuples, but only
+// the n diagonal ones have a witness (both children under the same a node).
+func ValidationAdversarial(n int) (*Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("datagen: scale must be positive, got %d", n)
+	}
+	dict := relational.NewDict()
+	b := xmldb.NewBuilder(dict)
+	b.Open("root")
+	for i := 0; i < n; i++ {
+		b.Open("a").Text("A").
+			Leaf("b", val("b", i)).
+			Leaf("c", val("c", i)).
+			Close()
+	}
+	b.Close()
+	doc, err := b.Done()
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Dict: dict, Doc: doc, Pattern: twig.MustParse("//a[b][c]"), N: n}, nil
+}
+
+// RandomConfig parameterizes RandomMultiModel.
+type RandomConfig struct {
+	// NodeBudget bounds the document size (default 60).
+	NodeBudget int
+	// TagDomain is the per-tag distinct value count (default 4).
+	TagDomain int
+	// Tables is the number of relational tables to generate (default 1).
+	Tables int
+	// MaxTableRows bounds each table's size (default 20).
+	MaxTableRows int
+}
+
+func (c *RandomConfig) defaults() {
+	if c.NodeBudget == 0 {
+		c.NodeBudget = 60
+	}
+	if c.TagDomain == 0 {
+		c.TagDomain = 4
+	}
+	if c.MaxTableRows == 0 {
+		c.MaxTableRows = 20
+	}
+}
+
+// randomTwigs is the pattern catalog RandomMultiModel draws from; all tags
+// are drawn from {a,b,c,d,e}.
+var randomTwigs = []string{
+	"//a",
+	"//a/b",
+	"//a//b",
+	"//a[b]/c",
+	"//a[b][c]",
+	"//a[.//b]/c",
+	"//a[b]//c[d]",
+	"//a[b][d][.//c[e]]",
+	"//a/b/c",
+	"//a//b//c",
+}
+
+// RandomMultiModel generates a random document, a random twig from the
+// catalog, and cfg.Tables random tables over the twig's tags, with values
+// drawn from the same per-tag pools the document uses, so cross-model joins
+// actually intersect.
+func RandomMultiModel(rng *rand.Rand, cfg RandomConfig) (*Instance, error) {
+	cfg.defaults()
+	dict := relational.NewDict()
+	tags := []string{"a", "b", "c", "d", "e"}
+
+	b := xmldb.NewBuilder(dict)
+	b.Open("root")
+	open := 1
+	for i := 0; i < cfg.NodeBudget; i++ {
+		if open > 1 && rng.Intn(3) == 0 {
+			b.Close()
+			open--
+			continue
+		}
+		tag := tags[rng.Intn(len(tags))]
+		b.Open(tag)
+		b.Text(val(tag, rng.Intn(cfg.TagDomain)))
+		open++
+	}
+	for ; open > 0; open-- {
+		b.Close()
+	}
+	doc, err := b.Done()
+	if err != nil {
+		return nil, err
+	}
+
+	pattern := twig.MustParse(randomTwigs[rng.Intn(len(randomTwigs))])
+
+	var tables []*relational.Table
+	twigTags := pattern.Attrs()
+	for t := 0; t < cfg.Tables; t++ {
+		arity := 1 + rng.Intn(2)
+		if arity > len(twigTags) {
+			arity = len(twigTags)
+		}
+		attrs := make([]string, 0, arity)
+		for _, i := range rng.Perm(len(twigTags))[:arity] {
+			attrs = append(attrs, twigTags[i])
+		}
+		tb := relational.NewTable(fmt.Sprintf("T%d", t), relational.MustSchema(attrs...))
+		rows := 1 + rng.Intn(cfg.MaxTableRows)
+		tup := make(relational.Tuple, len(attrs))
+		for r := 0; r < rows; r++ {
+			for i, a := range attrs {
+				tup[i] = dict.Intern(val(a, rng.Intn(cfg.TagDomain)))
+			}
+			if err := tb.Append(tup); err != nil {
+				return nil, err
+			}
+		}
+		tb.Dedup()
+		tables = append(tables, tb)
+	}
+	return &Instance{Dict: dict, Doc: doc, Pattern: pattern, Tables: tables, N: cfg.NodeBudget}, nil
+}

@@ -1,0 +1,134 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/twig"
+	"repro/internal/xmatch"
+)
+
+func TestExample34InstanceShape(t *testing.T) {
+	const n = 5
+	inst, err := Example34(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := inst.Doc
+	// Every tag has exactly n nodes (A has 1), per the paper's model.
+	for _, tag := range []string{"B", "C", "D", "E", "F", "G", "H"} {
+		if got := len(doc.NodesByTag(tag)); got != n {
+			t.Errorf("|%s| = %d want %d", tag, got, n)
+		}
+	}
+	if len(doc.NodesByTag("A")) != 1 {
+		t.Errorf("|A| = %d want 1", len(doc.NodesByTag("A")))
+	}
+	// The twig-only result must reach the n^5 worst case (Lemma 3.2).
+	ms, _ := xmatch.TwigStackMatch(doc, inst.Pattern)
+	if len(ms) != n*n*n*n*n {
+		t.Errorf("twig matches = %d want n^5 = %d", len(ms), n*n*n*n*n)
+	}
+	// Diagonal tables of n rows each.
+	if inst.Tables[0].Len() != n || inst.Tables[1].Len() != n {
+		t.Errorf("table sizes = %d, %d", inst.Tables[0].Len(), inst.Tables[1].Len())
+	}
+}
+
+func TestExample33InstanceShape(t *testing.T) {
+	inst, err := Example33(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Tables[0].Name() != "R1" || inst.Tables[0].Schema().Len() != 2 {
+		t.Error("R1 shape wrong")
+	}
+	if inst.Tables[1].Name() != "R2" || inst.Tables[1].Schema().Len() != 3 {
+		t.Error("R2 shape wrong")
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	if _, err := Example33(0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Example34(-1); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, err := ValidationAdversarial(0); err == nil {
+		t.Error("zero adversarial scale accepted")
+	}
+}
+
+func TestFigure1Instance(t *testing.T) {
+	inst, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Doc.NodesByTag("orderLine")) != 2 {
+		t.Error("figure 1 doc shape wrong")
+	}
+	if inst.Tables[0].Len() != 3 {
+		t.Error("figure 1 table shape wrong")
+	}
+	ms, _ := xmatch.TwigStackMatch(inst.Doc, inst.Pattern)
+	if len(ms) != 2 {
+		t.Errorf("figure 1 twig matches = %d", len(ms))
+	}
+}
+
+func TestValidationAdversarialShape(t *testing.T) {
+	const n = 6
+	inst, err := ValidationAdversarial(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node-level matches: only the diagonal.
+	ms, _ := xmatch.TwigStackMatch(inst.Doc, inst.Pattern)
+	if len(ms) != n {
+		t.Errorf("node matches = %d want %d", len(ms), n)
+	}
+	// All a-nodes share one value.
+	vals := make(map[string]bool)
+	for _, id := range inst.Doc.NodesByTag("a") {
+		vals[inst.Dict.String(inst.Doc.Value(id))] = true
+	}
+	if len(vals) != 1 {
+		t.Errorf("a-node values = %d want 1", len(vals))
+	}
+}
+
+func TestRandomMultiModelValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		inst, err := RandomMultiModel(rng, RandomConfig{Tables: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Doc == nil || inst.Pattern == nil || len(inst.Tables) != 2 {
+			t.Fatal("incomplete instance")
+		}
+		// Every table attribute is a twig tag (so cross-model joins bind).
+		tags := make(map[string]bool)
+		for _, a := range inst.Pattern.Attrs() {
+			tags[a] = true
+		}
+		for _, tb := range inst.Tables {
+			for _, a := range tb.Schema().Attrs() {
+				if !tags[a] {
+					t.Fatalf("table attr %q not a twig tag", a)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperTwigConstant(t *testing.T) {
+	p, err := twig.Parse(PaperTwig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 8 {
+		t.Fatalf("paper twig nodes = %d", p.Len())
+	}
+}

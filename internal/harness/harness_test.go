@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFigure3SmallScales(t *testing.T) {
+	rows, err := RunFigure3([]int{2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		n := r.N
+		if r.Q2Size != n*n*n*n*n {
+			t.Errorf("n=%d: Q2 = %d want %d", n, r.Q2Size, n*n*n*n*n)
+		}
+		if r.Q1Size != n*n {
+			t.Errorf("n=%d: Q1 = %d want %d", n, r.Q1Size, n*n)
+		}
+		if r.Output != n {
+			t.Errorf("n=%d: output = %d want %d", n, r.Output, n)
+		}
+		if r.SizeRatio() <= 1 {
+			t.Errorf("n=%d: baseline should dominate on intermediates, ratio %.2f", n, r.SizeRatio())
+		}
+		if r.XJoinTime <= 0 || r.BaselineTime <= 0 {
+			t.Errorf("n=%d: missing timings", n)
+		}
+	}
+	out := FormatFigure3(rows)
+	if !strings.Contains(out, "size_ratio") || !strings.Contains(out, "time_ratio") {
+		t.Errorf("format missing columns:\n%s", out)
+	}
+}
+
+func TestRunOrderAblation(t *testing.T) {
+	rows, err := RunOrderAblation(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("ablation rows = %d", len(rows))
+	}
+	out := FormatAblation(rows)
+	for _, want := range []string{"relational-first", "document-order", "greedy", "xjoin+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatTableAlignment(t *testing.T) {
+	out := FormatTable([]string{"a", "long_header"}, [][]string{{"xxxxx", "1"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("underline misaligned:\n%s", out)
+	}
+}

@@ -1,0 +1,219 @@
+package hypergraph
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func mustAdd(t *testing.T, h *Hypergraph, name string, attrs ...string) {
+	t.Helper()
+	if err := h.AddEdge(name, attrs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	h := New()
+	if err := h.AddEdge("R", nil); err == nil {
+		t.Error("empty edge accepted")
+	}
+	if err := h.AddEdge("R", []string{""}); err == nil {
+		t.Error("empty attribute accepted")
+	}
+	mustAdd(t, h, "R", "a", "a", "b")
+	if got := h.Edges()[0].Attrs; len(got) != 2 {
+		t.Errorf("duplicate attrs not collapsed: %v", got)
+	}
+	if !h.HasAttr("a") || h.HasAttr("z") {
+		t.Error("HasAttr misbehaves")
+	}
+}
+
+func TestTriangleCoverAndPacking(t *testing.T) {
+	// The triangle query: ρ* = 3/2, packing y = (1/2,1/2,1/2).
+	h := New()
+	mustAdd(t, h, "R", "a", "b")
+	mustAdd(t, h, "S", "b", "c")
+	mustAdd(t, h, "T", "a", "c")
+	cover, err := h.FractionalEdgeCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cover.Rho.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Errorf("triangle ρ* = %s want 3/2", cover.Rho.RatString())
+	}
+	pack, err := h.FractionalVertexPacking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pack.Total.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Errorf("triangle packing total = %s want 3/2", pack.Total.RatString())
+	}
+}
+
+// TestExample33Hypergraph reproduces the paper's Example 3.3 exactly:
+// relational R1(B,D), R2(F,G,H) plus the derived twig path relations
+// R3(A,B), R4(A,D), R5(C,E), R6(F,H), R7(G).
+// Twig-only exponent must be exactly 5, full-query exponent exactly 7/2.
+func TestExample33Hypergraph(t *testing.T) {
+	full := New()
+	mustAdd(t, full, "R1", "B", "D")
+	mustAdd(t, full, "R2", "F", "G", "H")
+	mustAdd(t, full, "R3", "A", "B")
+	mustAdd(t, full, "R4", "A", "D")
+	mustAdd(t, full, "R5", "C", "E")
+	mustAdd(t, full, "R6", "F", "H")
+	mustAdd(t, full, "R7", "G")
+
+	twigOnly := full.SubgraphOn(func(e Edge) bool { return e.Name != "R1" && e.Name != "R2" })
+	rhoTwig, err := twigOnly.AGMExponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhoTwig.Cmp(big.NewRat(5, 1)) != 0 {
+		t.Errorf("twig-only exponent = %s want exactly 5", rhoTwig.RatString())
+	}
+
+	rhoQ, err := full.AGMExponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhoQ.Cmp(big.NewRat(7, 2)) != 0 {
+		t.Errorf("full query exponent = %s want exactly 7/2", rhoQ.RatString())
+	}
+}
+
+// TestExample34Hypergraph checks the Figure 3 variant: R1(A,B,C,D),
+// R2(E,F,G,H) + the same path relations. Q and Q1 have exponent 2; the
+// twig-only Q2 keeps exponent 5.
+func TestExample34Hypergraph(t *testing.T) {
+	full := New()
+	mustAdd(t, full, "R1", "A", "B", "C", "D")
+	mustAdd(t, full, "R2", "E", "F", "G", "H")
+	mustAdd(t, full, "R3", "A", "B")
+	mustAdd(t, full, "R4", "A", "D")
+	mustAdd(t, full, "R5", "C", "E")
+	mustAdd(t, full, "R6", "F", "H")
+	mustAdd(t, full, "R7", "G")
+
+	rhoQ, err := full.AGMExponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhoQ.Cmp(big.NewRat(2, 1)) != 0 {
+		t.Errorf("Q exponent = %s want exactly 2", rhoQ.RatString())
+	}
+
+	q1 := full.SubgraphOn(func(e Edge) bool { return e.Name == "R1" || e.Name == "R2" })
+	rhoQ1, err := q1.AGMExponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhoQ1.Cmp(big.NewRat(2, 1)) != 0 {
+		t.Errorf("Q1 exponent = %s want exactly 2", rhoQ1.RatString())
+	}
+
+	q2 := full.SubgraphOn(func(e Edge) bool { return e.Name != "R1" && e.Name != "R2" })
+	rhoQ2, err := q2.AGMExponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhoQ2.Cmp(big.NewRat(5, 1)) != 0 {
+		t.Errorf("Q2 exponent = %s want exactly 5", rhoQ2.RatString())
+	}
+}
+
+func TestAGMBoundWeighted(t *testing.T) {
+	// Triangle with |R|=|S|=|T|=n has bound n^{3/2}.
+	h := New()
+	mustAdd(t, h, "R", "a", "b")
+	mustAdd(t, h, "S", "b", "c")
+	mustAdd(t, h, "T", "a", "c")
+	bound, weights, err := h.AGMBound(map[string]int{"R": 100, "S": 100, "T": 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bound-1000) > 1e-6*1000 {
+		t.Errorf("bound = %v want 100^1.5 = 1000", bound)
+	}
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	if math.Abs(sum-1.5) > 1e-6 {
+		t.Errorf("cover weights sum to %v", sum)
+	}
+	// Asymmetric sizes: R tiny forces weight onto it (cartesian-ish bound).
+	bound2, _, err := h.AGMBound(map[string]int{"R": 1, "S": 100, "T": 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound2 > 1000 {
+		t.Errorf("shrinking a relation increased the bound: %v", bound2)
+	}
+}
+
+func TestAGMBoundEmptyRelation(t *testing.T) {
+	h := New()
+	mustAdd(t, h, "R", "a")
+	bound, _, err := h.AGMBound(map[string]int{"R": 0}, 0)
+	if err != nil || bound != 0 {
+		t.Errorf("empty relation bound = %v err %v, want 0", bound, err)
+	}
+	if _, _, err := h.AGMBound(nil, -3); err == nil {
+		t.Error("nonpositive default size accepted")
+	}
+}
+
+// Property: strong duality — on random hypergraphs the exact edge-cover
+// optimum equals the exact vertex-packing optimum.
+func TestStrongDualityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	attrs := []string{"a", "b", "c", "d", "e", "f"}
+	for trial := 0; trial < 80; trial++ {
+		h := New()
+		na := 2 + rng.Intn(len(attrs)-1)
+		ne := 1 + rng.Intn(6)
+		used := make(map[string]bool)
+		for e := 0; e < ne; e++ {
+			k := 1 + rng.Intn(na)
+			perm := rng.Perm(na)[:k]
+			var ea []string
+			for _, p := range perm {
+				ea = append(ea, attrs[p])
+				used[attrs[p]] = true
+			}
+			mustAdd(t, h, edgeName(e), ea...)
+		}
+		cover, err := h.FractionalEdgeCover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pack, err := h.FractionalVertexPacking()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cover.Rho.Cmp(pack.Total) != 0 {
+			t.Fatalf("trial %d: cover %s != packing %s\n%s", trial,
+				cover.Rho.RatString(), pack.Total.RatString(), h)
+		}
+		// Feasibility of the packing: every edge constraint holds.
+		for _, e := range h.Edges() {
+			sum := new(big.Rat)
+			for _, a := range e.Attrs {
+				for i, ha := range h.Attrs() {
+					if ha == a {
+						sum.Add(sum, pack.Weights[i])
+					}
+				}
+			}
+			if sum.Cmp(big.NewRat(1, 1)) > 0 {
+				t.Fatalf("trial %d: packing violates edge %s: %s", trial, e.Name, sum.RatString())
+			}
+		}
+	}
+}
+
+func edgeName(i int) string { return string(rune('R')) + string(rune('0'+i)) }

@@ -1,0 +1,93 @@
+// Package lp implements the linear-programming substrate behind the paper's
+// size bounds (Equation 1): a dense two-phase primal simplex with Bland's
+// anti-cycling rule, generic over the arithmetic so the same solver runs in
+// float64 (fast, for planning and randomized testing) and in exact rational
+// arithmetic over math/big.Rat (for reported bound exponents, which must be
+// exact — Example 3.3's 7/2, not 3.4999...).
+package lp
+
+import "math/big"
+
+// Arith abstracts the field the simplex works over. Implementations must be
+// stateless; all methods return fresh values and never mutate arguments.
+type Arith[T any] interface {
+	// Zero and One are the additive and multiplicative identities.
+	Zero() T
+	One() T
+	// FromInt converts a small integer.
+	FromInt(i int64) T
+	// FromRatio converts p/q (q != 0).
+	FromRatio(p, q int64) T
+	Add(a, b T) T
+	Sub(a, b T) T
+	Mul(a, b T) T
+	Div(a, b T) T
+	Neg(a T) T
+	// Sign classifies a as negative (-1), zero (0) or positive (+1),
+	// applying the arithmetic's tolerance if it has one.
+	Sign(a T) int
+	// Cmp compares a and b: -1 if a<b, 0 if equal, +1 if a>b.
+	Cmp(a, b T) int
+	// Float converts to float64 for reporting.
+	Float(a T) float64
+	// String renders a for diagnostics.
+	String(a T) string
+}
+
+// Float64Arith is plain float64 arithmetic with an absolute tolerance used
+// by Sign and Cmp to absorb rounding noise from pivoting.
+type Float64Arith struct {
+	// Eps is the zero tolerance; 1e-9 if left zero.
+	Eps float64
+}
+
+func (f Float64Arith) eps() float64 {
+	if f.Eps > 0 {
+		return f.Eps
+	}
+	return 1e-9
+}
+
+func (f Float64Arith) Zero() float64                { return 0 }
+func (f Float64Arith) One() float64                 { return 1 }
+func (f Float64Arith) FromInt(i int64) float64      { return float64(i) }
+func (f Float64Arith) FromRatio(p, q int64) float64 { return float64(p) / float64(q) }
+func (f Float64Arith) Add(a, b float64) float64     { return a + b }
+func (f Float64Arith) Sub(a, b float64) float64     { return a - b }
+func (f Float64Arith) Mul(a, b float64) float64     { return a * b }
+func (f Float64Arith) Div(a, b float64) float64     { return a / b }
+func (f Float64Arith) Neg(a float64) float64        { return -a }
+func (f Float64Arith) Float(a float64) float64      { return a }
+func (f Float64Arith) String(a float64) string      { return big.NewFloat(a).Text('g', 10) }
+
+func (f Float64Arith) Sign(a float64) int {
+	switch {
+	case a > f.eps():
+		return 1
+	case a < -f.eps():
+		return -1
+	default:
+		return 0
+	}
+}
+
+func (f Float64Arith) Cmp(a, b float64) int { return f.Sign(a - b) }
+
+// RatArith is exact rational arithmetic over *big.Rat.
+type RatArith struct{}
+
+func (RatArith) Zero() *big.Rat                { return new(big.Rat) }
+func (RatArith) One() *big.Rat                 { return big.NewRat(1, 1) }
+func (RatArith) FromInt(i int64) *big.Rat      { return big.NewRat(i, 1) }
+func (RatArith) FromRatio(p, q int64) *big.Rat { return big.NewRat(p, q) }
+
+func (RatArith) Add(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }
+func (RatArith) Sub(a, b *big.Rat) *big.Rat { return new(big.Rat).Sub(a, b) }
+func (RatArith) Mul(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }
+func (RatArith) Div(a, b *big.Rat) *big.Rat { return new(big.Rat).Quo(a, b) }
+func (RatArith) Neg(a *big.Rat) *big.Rat    { return new(big.Rat).Neg(a) }
+
+func (RatArith) Sign(a *big.Rat) int      { return a.Sign() }
+func (RatArith) Cmp(a, b *big.Rat) int    { return a.Cmp(b) }
+func (RatArith) Float(a *big.Rat) float64 { f, _ := a.Float64(); return f }
+func (RatArith) String(a *big.Rat) string { return a.RatString() }

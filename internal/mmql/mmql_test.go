@@ -1,0 +1,349 @@
+package mmql
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	xmjoin "repro"
+)
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+const invoicesXML = `
+<invoices>
+  <orderLine>
+    <orderID>10963</orderID>
+    <ISBN>978-3-16-1</ISBN>
+    <price>30</price>
+  </orderLine>
+  <orderLine>
+    <orderID>20134</orderID>
+    <ISBN>634-3-12-2</ISBN>
+    <price>20</price>
+  </orderLine>
+</invoices>`
+
+func testDB(t *testing.T) *xmjoin.Database {
+	t.Helper()
+	db := xmjoin.NewDatabase()
+	if err := db.LoadXMLString(invoicesXML); err != nil {
+		t.Fatal(err)
+	}
+	err := db.AddTableRows("R", []string{"orderID", "userID"}, [][]string{
+		{"10963", "jack"}, {"20134", "tom"}, {"35768", "bob"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestParseBasics(t *testing.T) {
+	st, err := Parse(`SELECT userID, price FROM R, TWIG '/invoices/orderLine[orderID]/price' WHERE userID = 'jack' VIA xjoin`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SelectItem{{Attr: "userID"}, {Attr: "price"}}
+	if !reflect.DeepEqual(st.Items, want) {
+		t.Errorf("items = %v", st.Items)
+	}
+	if !reflect.DeepEqual(st.Tables, []string{"R"}) {
+		t.Errorf("tables = %v", st.Tables)
+	}
+	if len(st.Twigs) != 1 || !strings.HasPrefix(st.Twigs[0].Pattern, "/invoices") {
+		t.Errorf("twigs = %v", st.Twigs)
+	}
+	if len(st.Filters) != 1 || st.Filters[0] != (Filter{"userID", "jack"}) {
+		t.Errorf("filters = %v", st.Filters)
+	}
+	if st.Algo != "xjoin" {
+		t.Errorf("algo = %q", st.Algo)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	st, err := Parse(`select * from R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Items != nil || len(st.Tables) != 1 {
+		t.Errorf("star parse: %+v", st)
+	}
+}
+
+func TestParseQuoteEscape(t *testing.T) {
+	st, err := Parse(`SELECT * FROM R WHERE userID = 'O''Brien'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Filters[0].Value != "O'Brien" {
+		t.Errorf("escaped value = %q", st.Filters[0].Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"SELECT",
+		"SELECT FROM R",
+		"SELECT * FROM",
+		"SELECT * FROM TWIG",
+		"SELECT * FROM TWIG missing_quotes",
+		"SELECT a b FROM R",
+		"SELECT * FROM R WHERE",
+		"SELECT * FROM R WHERE a",
+		"SELECT * FROM R WHERE a =",
+		"SELECT * FROM R WHERE a = b",
+		"SELECT * FROM R VIA",
+		"SELECT * FROM R VIA quantum",
+		"SELECT * FROM R extra",
+		"SELECT * FROM R WHERE a = 'x",
+		"SELECT * FROM R; DROP",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	db := testDB(t)
+	res, err := RunString(db,
+		`SELECT userID, ISBN, price FROM R, TWIG '/invoices/orderLine[orderID][ISBN]/price'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if got := strings.Join(res.Rows[0], "|"); got != "jack|978-3-16-1|30" {
+		t.Errorf("row 0 = %s", got)
+	}
+}
+
+func TestRunWhereAndVia(t *testing.T) {
+	db := testDB(t)
+	for _, via := range []string{"xjoin", "xjoinplus", "baseline"} {
+		res, err := RunString(db,
+			`SELECT userID FROM R, TWIG '/invoices/orderLine[orderID]/price' WHERE price = '20' VIA `+via)
+		if err != nil {
+			t.Fatalf("%s: %v", via, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0] != "tom" {
+			t.Fatalf("%s: rows = %v", via, res.Rows)
+		}
+	}
+}
+
+func TestRunMultiTwig(t *testing.T) {
+	db := xmjoin.NewDatabase()
+	err := db.LoadXMLString(`
+<db>
+  <orders><order><oid>1</oid><item>book</item></order></orders>
+  <shipments><shipment><oid>1</oid><carrier>dhl</carrier></shipment></shipments>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunString(db,
+		`SELECT item, carrier FROM TWIG '//order[oid]/item', TWIG '//shipment[oid]/carrier'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || strings.Join(res.Rows[0], "|") != "book|dhl" {
+		t.Fatalf("multi-twig rows = %v", res.Rows)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := RunString(db, `SELECT * FROM missing`); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := RunString(db, `SELECT nope FROM R`); err == nil {
+		t.Error("unknown projection accepted")
+	}
+	if _, err := RunString(db, `SELECT * FROM R WHERE ghost = 'x'`); err == nil {
+		t.Error("unknown WHERE attribute accepted")
+	}
+	if _, err := RunString(db, `SELECT * FROM TWIG '///'`); err == nil {
+		t.Error("bad twig accepted")
+	}
+}
+
+func TestExplainStatement(t *testing.T) {
+	db := testDB(t)
+	st, err := Parse(`SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price' VIA xjoinplus`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Explain(db, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "xjoin+") || !strings.Contains(plan, "PA") {
+		t.Errorf("plan missing pieces:\n%s", plan)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	st, err := Parse(`SELECT userID, COUNT(*), SUM(price), MIN(price), MAX(price) FROM R GROUP BY userID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Items) != 5 || !st.HasAggregates() {
+		t.Fatalf("items = %v", st.Items)
+	}
+	if st.Items[1].Func != AggCount || st.Items[1].Attr != "*" {
+		t.Errorf("count item = %v", st.Items[1])
+	}
+	if st.Items[2].Label() != "sum(price)" {
+		t.Errorf("label = %q", st.Items[2].Label())
+	}
+	for _, bad := range []string{
+		"SELECT COUNT(* FROM R",
+		"SELECT COUNT() FROM R",
+		"SELECT SUM(*) FROM R",
+		"SELECT FROB(x) FROM R",
+		"SELECT a, COUNT(*) FROM R",           // a not grouped
+		"SELECT a FROM R GROUP BY",            // missing group cols
+		"SELECT * FROM R GROUP BY a",          // * with GROUP BY
+		"SELECT COUNT(*) FROM R GROUP BY a b", // junk
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunGroupBy(t *testing.T) {
+	db := xmjoin.NewDatabase()
+	if err := db.LoadXMLString(`
+<shop>
+  <sale><rep>ann</rep><amount>10</amount></sale>
+  <sale><rep>ann</rep><amount>30</amount></sale>
+  <sale><rep>bob</rep><amount>5</amount></sale>
+</shop>`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunString(db,
+		`SELECT rep, COUNT(*), SUM(amount), MIN(amount), MAX(amount) FROM TWIG '//sale[rep]/amount' GROUP BY rep`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	if got := strings.Join(res.Rows[0], "|"); got != "ann|2|40|10|30" {
+		t.Errorf("ann group = %s", got)
+	}
+	if got := strings.Join(res.Rows[1], "|"); got != "bob|1|5|5|5" {
+		t.Errorf("bob group = %s", got)
+	}
+	// Whole-result aggregate without GROUP BY.
+	res2, err := RunString(db, `SELECT COUNT(*), SUM(amount) FROM TWIG '//sale[rep]/amount'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 1 || res2.Rows[0][0] != "3" || res2.Rows[0][1] != "45" {
+		t.Errorf("global aggregate = %v", res2.Rows)
+	}
+	// SUM over non-numeric text errors.
+	if _, err := RunString(db, `SELECT SUM(rep) FROM TWIG '//sale[rep]/amount'`); err == nil {
+		t.Error("SUM over text accepted")
+	}
+}
+
+func TestPushdownFilters(t *testing.T) {
+	db := testDB(t)
+	// The WHERE on price (a twig tag) must be pushed into the pattern.
+	st, err := Parse(`SELECT userID FROM R, TWIG '/invoices/orderLine[orderID]/price' WHERE price = '30' AND userID = 'jack'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twigs, remaining, err := pushdownFilters(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(twigs[0].Twig, `price="30"`) {
+		t.Errorf("filter not pushed: %s", twigs[0].Twig)
+	}
+	if len(remaining) != 1 || remaining[0].Attr != "userID" {
+		t.Errorf("remaining = %v", remaining)
+	}
+	res, err := Run(db, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "jack" {
+		t.Errorf("pushdown result = %v", res.Rows)
+	}
+	// Contradictory double filter on one attribute yields empty, not error.
+	res2, err := RunString(db,
+		`SELECT userID FROM R, TWIG '/invoices/orderLine[orderID]/price="30"' WHERE price = '20'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 0 {
+		t.Errorf("contradiction produced rows: %v", res2.Rows)
+	}
+}
+
+func TestOutputString(t *testing.T) {
+	o := &Output{Attrs: []string{"a", "bb"}, Rows: [][]string{{"xxx", "1"}}}
+	s := o.String()
+	if !strings.Contains(s, "(1 rows)") || !strings.Contains(s, "xxx") {
+		t.Errorf("render = %q", s)
+	}
+}
+
+// TestParseNeverPanics: random token soup must never panic the parser.
+func TestParseNeverPanics(t *testing.T) {
+	words := []string{"SELECT", "FROM", "WHERE", "TWIG", "VIA", "GROUP", "BY", "AND",
+		"COUNT", "SUM", "*", ",", "=", "(", ")", "'x'", "R", "a", "'", "''"}
+	rng := newRand()
+	for trial := 0; trial < 5000; trial++ {
+		var parts []string
+		for i, n := 0, 1+rng.Intn(10); i < n; i++ {
+			parts = append(parts, words[rng.Intn(len(words))])
+		}
+		_, _ = Parse(strings.Join(parts, " "))
+	}
+}
+
+// TestRunAcrossDocuments: TWIG ... IN 'name' joins twigs over different
+// named documents.
+func TestRunAcrossDocuments(t *testing.T) {
+	db := xmjoin.NewDatabase()
+	if err := db.LoadXMLNamedString("orders",
+		`<orders><order><oid>7</oid><item>book</item></order></orders>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadXMLNamedString("ship",
+		`<shipments><shipment><oid>7</oid><carrier>dhl</carrier></shipment></shipments>`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunString(db,
+		`SELECT item, carrier FROM TWIG '//order[oid]/item' IN 'orders', TWIG '//shipment[oid]/carrier' IN 'ship'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || strings.Join(res.Rows[0], "|") != "book|dhl" {
+		t.Fatalf("cross-doc rows = %v", res.Rows)
+	}
+	st, err := Parse(`SELECT * FROM TWIG '//a' IN 'orders'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Twigs[0].Doc != "orders" {
+		t.Errorf("doc = %q", st.Twigs[0].Doc)
+	}
+	if _, err := Parse(`SELECT * FROM TWIG '//a' IN missing_quotes`); err == nil {
+		t.Error("unquoted IN accepted")
+	}
+	if _, err := RunString(db, `SELECT * FROM TWIG '//a' IN 'nope'`); err == nil {
+		t.Error("unknown document accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package mmql
+
+import (
+	"fmt"
+	"sort"
+
+	xmjoin "repro"
+	"repro/internal/twig"
+)
+
+// Run executes a parsed statement against a database: equality selections
+// on twig tags are pushed into the patterns as tag="value" filters, the
+// multi-model query is evaluated with the requested algorithm, any
+// remaining selections are applied to the result, and the SELECT list is
+// projected or aggregated.
+func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
+	twigs, remaining, err := pushdownFilters(st)
+	if err != nil {
+		return nil, err
+	}
+	q, err := db.QueryOn(twigs, st.Tables...)
+	if err != nil {
+		return nil, err
+	}
+	var res *xmjoin.Result
+	switch st.Algo {
+	case "", "xjoin":
+		res, err = q.ExecXJoin()
+	case "xjoin+":
+		res, err = q.WithPartialAD(true).ExecXJoin()
+	case "baseline":
+		res, err = q.ExecBaseline()
+	default:
+		return nil, fmt.Errorf("mmql: unknown algorithm %q", st.Algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if len(remaining) > 0 {
+		res, err = applyFilters(res, remaining)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	attrs := res.Attrs()
+	rows := make([][]string, res.Len())
+	for i := range rows {
+		rows[i] = append([]string(nil), res.Row(i)...)
+	}
+
+	if st.HasAggregates() || len(st.GroupBy) > 0 {
+		return aggregate(attrs, rows, st.Items, st.GroupBy)
+	}
+	return projectOutput(attrs, rows, st.Items)
+}
+
+// RunString parses and executes src.
+func RunString(db *xmjoin.Database, src string) (*Output, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(db, st)
+}
+
+// Explain renders the plan the statement's query would run (always the
+// XJoin plan; the baseline has a fixed shape). Pushed-down selections are
+// reflected in the plan's atom cardinalities.
+func Explain(db *xmjoin.Database, st *Statement) (string, error) {
+	twigs, _, err := pushdownFilters(st)
+	if err != nil {
+		return "", err
+	}
+	q, err := db.QueryOn(twigs, st.Tables...)
+	if err != nil {
+		return "", err
+	}
+	if st.Algo == "xjoin+" {
+		q = q.WithPartialAD(true)
+	}
+	return q.Explain()
+}
+
+// pushdownFilters rewrites WHERE selections on twig tags into tag="value"
+// pattern filters and returns the rewritten patterns plus the selections
+// that could not be pushed (attributes not in any twig, or conflicting
+// with an existing filter — the latter are left to the post-filter, which
+// then correctly yields the empty result).
+func pushdownFilters(st *Statement) (twigs []xmjoin.TwigOn, remaining []Filter, err error) {
+	patterns := make([]*twig.Pattern, len(st.Twigs))
+	for i, src := range st.Twigs {
+		patterns[i], err = twig.Parse(src.Pattern)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+filters:
+	for _, f := range st.Filters {
+		for _, p := range patterns {
+			n := p.NodeByTag(f.Attr)
+			if n == nil {
+				continue
+			}
+			switch n.ValueFilter {
+			case "":
+				n.ValueFilter = f.Value
+				continue filters
+			case f.Value:
+				continue filters // already enforced
+			default:
+				// Contradicts an existing filter; let the post-filter
+				// produce the (empty) answer rather than guessing here.
+			}
+		}
+		remaining = append(remaining, f)
+	}
+	twigs = make([]xmjoin.TwigOn, len(patterns))
+	for i, p := range patterns {
+		twigs[i] = xmjoin.TwigOn{Doc: st.Twigs[i].Doc, Twig: p.String()}
+	}
+	return twigs, remaining, nil
+}
+
+// applyFilters keeps the rows matching every attr = value selection.
+func applyFilters(res *xmjoin.Result, filters []Filter) (*xmjoin.Result, error) {
+	cols := make([]int, len(filters))
+	attrs := res.Attrs()
+	for i, f := range filters {
+		cols[i] = -1
+		for j, a := range attrs {
+			if a == f.Attr {
+				cols[i] = j
+				break
+			}
+		}
+		if cols[i] < 0 {
+			return nil, fmt.Errorf("mmql: WHERE references unknown attribute %q", f.Attr)
+		}
+	}
+	return res.Filter(func(row []string) bool {
+		for i, f := range filters {
+			if row[cols[i]] != f.Value {
+				return false
+			}
+		}
+		return true
+	}), nil
+}
+
+// projectOutput projects decoded rows onto the select list (nil = all
+// columns), deduplicates, and sorts for deterministic output.
+func projectOutput(attrs []string, rows [][]string, items []SelectItem) (*Output, error) {
+	out := &Output{}
+	var cols []int
+	if items == nil {
+		out.Attrs = attrs
+		for i := range attrs {
+			cols = append(cols, i)
+		}
+	} else {
+		pos := make(map[string]int, len(attrs))
+		for i, a := range attrs {
+			pos[a] = i
+		}
+		for _, it := range items {
+			c, ok := pos[it.Attr]
+			if !ok {
+				return nil, fmt.Errorf("mmql: SELECT references unknown attribute %q", it.Attr)
+			}
+			cols = append(cols, c)
+			out.Attrs = append(out.Attrs, it.Attr)
+		}
+	}
+	seen := make(map[string]bool, len(rows))
+	for _, row := range rows {
+		pr := make([]string, len(cols))
+		for i, c := range cols {
+			pr[i] = row[c]
+		}
+		key := fmt.Sprint(pr)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Rows = append(out.Rows, pr)
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		a, b := out.Rows[i], out.Rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}

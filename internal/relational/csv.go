@@ -1,0 +1,80 @@
+package relational
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV loads a relation from CSV. The first record is the header and
+// becomes the schema; every field is interned into dict.
+func ReadCSV(r io.Reader, name string, dict *Dict) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relational: reading CSV header for %s: %w", name, err)
+	}
+	schema, err := NewSchema(append([]string(nil), header...)...)
+	if err != nil {
+		return nil, fmt.Errorf("relational: CSV header for %s: %w", name, err)
+	}
+	t := NewTable(name, schema)
+	row := make(Tuple, schema.Len())
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relational: reading CSV rows for %s: %w", name, err)
+		}
+		for i, f := range rec {
+			row[i] = dict.Intern(f)
+		}
+		if err := t.Append(row); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ReadCSVFile is ReadCSV over a file path; the relation is named after the
+// path's base unless name is non-empty.
+func ReadCSVFile(path, name string, dict *Dict) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if name == "" {
+		name = path
+	}
+	return ReadCSV(f, name, dict)
+}
+
+// WriteCSV writes the relation with a header row, decoding values through
+// dict.
+func WriteCSV(w io.Writer, t *Table, dict *Dict) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Attrs()); err != nil {
+		return err
+	}
+	rec := make([]string, t.Schema().Len())
+	var werr error
+	t.Rows(func(row Tuple) bool {
+		for i, v := range row {
+			rec[i] = dict.String(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,47 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadWriteCSVRoundTrip(t *testing.T) {
+	in := "orderID,userID\n10963,jack\n20134,tom\n35768,bob\n"
+	dict := NewDict()
+	tb, err := ReadCSV(strings.NewReader(in), "R", dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 3 || tb.Schema().String() != "(orderID, userID)" {
+		t.Fatalf("loaded %d rows schema %s", tb.Len(), tb.Schema())
+	}
+	if dict.String(tb.Value(1, 1)) != "tom" {
+		t.Errorf("row 1 userID = %q", dict.String(tb.Value(1, 1)))
+	}
+	var out strings.Builder
+	if err := WriteCSV(&out, tb, dict); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != in {
+		t.Errorf("round trip:\n got %q\nwant %q", out.String(), in)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	dict := NewDict()
+	if _, err := ReadCSV(strings.NewReader(""), "R", dict); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,a\n1,2\n"), "R", dict); err == nil {
+		t.Error("duplicate header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n"), "R", dict); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile("/nonexistent/path.csv", "", NewDict()); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema is an ordered list of distinct attribute names.
+type Schema struct {
+	attrs []string
+	pos   map[string]int
+}
+
+// NewSchema builds a schema from attribute names. It rejects empty and
+// duplicate names: the multi-model framework identifies join variables by
+// attribute name, so a relation mentioning the same attribute twice would
+// be ambiguous.
+func NewSchema(attrs ...string) (*Schema, error) {
+	s := &Schema{
+		attrs: append([]string(nil), attrs...),
+		pos:   make(map[string]int, len(attrs)),
+	}
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relational: empty attribute name at position %d", i)
+		}
+		if _, dup := s.pos[a]; dup {
+			return nil, fmt.Errorf("relational: duplicate attribute %q", a)
+		}
+		s.pos[a] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically known attribute lists; it panics on
+// error and is intended for tests and examples.
+func MustSchema(attrs ...string) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Attrs returns the attribute names in schema order. The caller must not
+// mutate the returned slice.
+func (s *Schema) Attrs() []string { return s.attrs }
+
+// Len reports the number of attributes (the relation's arity).
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Pos reports the position of attribute a, and whether it exists.
+func (s *Schema) Pos(a string) (int, bool) {
+	p, ok := s.pos[a]
+	return p, ok
+}
+
+// Contains reports whether attribute a is part of the schema.
+func (s *Schema) Contains(a string) bool {
+	_, ok := s.pos[a]
+	return ok
+}
+
+// Attr returns the name of the attribute at position i.
+func (s *Schema) Attr(i int) string { return s.attrs[i] }
+
+// String renders the schema as "(a, b, c)".
+func (s *Schema) String() string {
+	return "(" + strings.Join(s.attrs, ", ") + ")"
+}
+
+// Equal reports whether two schemas have identical attribute sequences.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i, a := range s.attrs {
+		if o.attrs[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuple is one row of a relation; Tuple[i] is the value of the schema's i-th
+// attribute.
+type Tuple []Value
+
+// Clone returns an independent copy of t.
+func (t Tuple) Clone() Tuple {
+	return append(Tuple(nil), t...)
+}

@@ -1,0 +1,218 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an in-memory relation with flat row-major storage: all rows live
+// in one contiguous []Value with stride equal to the arity, which keeps
+// scans and sorts cache-friendly.
+type Table struct {
+	name   string
+	schema *Schema
+	data   []Value // len(data) == rows * schema.Len()
+}
+
+// NewTable returns an empty table with the given name and schema.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{name: name, schema: schema}
+}
+
+// Name returns the relation's name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the relation's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len reports the number of rows.
+func (t *Table) Len() int {
+	if t.schema.Len() == 0 {
+		return 0
+	}
+	return len(t.data) / t.schema.Len()
+}
+
+// Append adds one row. The tuple is copied; the caller may reuse it.
+func (t *Table) Append(row Tuple) error {
+	if len(row) != t.schema.Len() {
+		return fmt.Errorf("relational: table %s%s: appending tuple of arity %d", t.name, t.schema, len(row))
+	}
+	t.data = append(t.data, row...)
+	return nil
+}
+
+// MustAppend is Append for statically correct rows; it panics on arity
+// mismatch and is intended for tests, examples and generators.
+func (t *Table) MustAppend(row ...Value) {
+	if err := t.Append(Tuple(row)); err != nil {
+		panic(err)
+	}
+}
+
+// Row returns the i-th row as a view into the table's storage. The caller
+// must not mutate or retain it across table mutations; use Clone to keep it.
+func (t *Table) Row(i int) Tuple {
+	k := t.schema.Len()
+	return Tuple(t.data[i*k : (i+1)*k])
+}
+
+// Value returns the value of column col in row i.
+func (t *Table) Value(i, col int) Value {
+	return t.data[i*t.schema.Len()+col]
+}
+
+// Rows iterates all rows in storage order, invoking f with a transient view
+// of each. Iteration stops early if f returns false.
+func (t *Table) Rows(f func(Tuple) bool) {
+	k := t.schema.Len()
+	for i := 0; i+k <= len(t.data); i += k {
+		if !f(Tuple(t.data[i : i+k])) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	return &Table{name: t.name, schema: t.schema, data: append([]Value(nil), t.data...)}
+}
+
+// SortBy sorts rows lexicographically by the given column positions. Columns
+// not listed do not participate in the order (the sort is not stable across
+// them, which is fine for set semantics).
+func (t *Table) SortBy(cols ...int) {
+	k := t.schema.Len()
+	n := t.Len()
+	sort.Sort(&rowSorter{data: t.data, k: k, n: n, cols: cols})
+}
+
+// SortByAttrs sorts by named attributes; unknown names are an error.
+func (t *Table) SortByAttrs(attrs ...string) error {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := t.schema.Pos(a)
+		if !ok {
+			return fmt.Errorf("relational: table %s has no attribute %q", t.name, a)
+		}
+		cols[i] = p
+	}
+	t.SortBy(cols...)
+	return nil
+}
+
+type rowSorter struct {
+	data []Value
+	k, n int
+	cols []int
+	tmp  []Value
+}
+
+func (s *rowSorter) Len() int { return s.n }
+
+func (s *rowSorter) Less(i, j int) bool {
+	bi, bj := i*s.k, j*s.k
+	for _, c := range s.cols {
+		vi, vj := s.data[bi+c], s.data[bj+c]
+		if vi != vj {
+			return vi < vj
+		}
+	}
+	return false
+}
+
+func (s *rowSorter) Swap(i, j int) {
+	if s.tmp == nil {
+		s.tmp = make([]Value, s.k)
+	}
+	bi, bj := i*s.k, j*s.k
+	copy(s.tmp, s.data[bi:bi+s.k])
+	copy(s.data[bi:bi+s.k], s.data[bj:bj+s.k])
+	copy(s.data[bj:bj+s.k], s.tmp)
+}
+
+// Dedup sorts the table by all columns and removes duplicate rows, giving
+// the relation set semantics.
+func (t *Table) Dedup() {
+	k := t.schema.Len()
+	if k == 0 || t.Len() <= 1 {
+		return
+	}
+	all := make([]int, k)
+	for i := range all {
+		all[i] = i
+	}
+	t.SortBy(all...)
+	w := k // write offset; first row always kept
+	for r := k; r < len(t.data); r += k {
+		// Compare against the last kept row, not the physically previous one.
+		if !equalRows(t.data[w-k:w], t.data[r:r+k]) {
+			copy(t.data[w:w+k], t.data[r:r+k])
+			w += k
+		}
+	}
+	t.data = t.data[:w]
+}
+
+func equalRows(a, b []Value) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new table holding the named attributes, preserving row
+// order and multiplicity (call Dedup for set semantics).
+func (t *Table) Project(name string, attrs ...string) (*Table, error) {
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := t.schema.Pos(a)
+		if !ok {
+			return nil, fmt.Errorf("relational: table %s has no attribute %q", t.name, a)
+		}
+		cols[i] = p
+	}
+	out := NewTable(name, schema)
+	row := make(Tuple, len(cols))
+	t.Rows(func(r Tuple) bool {
+		for i, c := range cols {
+			row[i] = r[c]
+		}
+		out.data = append(out.data, row...)
+		return true
+	})
+	return out, nil
+}
+
+// Select returns a new table with the rows for which keep returns true.
+func (t *Table) Select(name string, keep func(Tuple) bool) *Table {
+	out := NewTable(name, t.schema)
+	t.Rows(func(r Tuple) bool {
+		if keep(r) {
+			out.data = append(out.data, r...)
+		}
+		return true
+	})
+	return out
+}
+
+// DistinctValues returns the sorted distinct values of one column.
+func (t *Table) DistinctValues(col int) []Value {
+	seen := make(map[Value]struct{})
+	k := t.schema.Len()
+	for i := col; i < len(t.data); i += k {
+		seen[t.data[i]] = struct{}{}
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,248 @@
+package relational
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s, err := NewSchema("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if p, ok := s.Pos("b"); !ok || p != 1 {
+		t.Errorf("Pos(b) = %d,%v", p, ok)
+	}
+	if s.Contains("z") {
+		t.Error("Contains(z) = true")
+	}
+	if s.String() != "(a, b, c)" {
+		t.Errorf("String = %q", s.String())
+	}
+	if !s.Equal(MustSchema("a", "b", "c")) || s.Equal(MustSchema("a", "b")) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestSchemaRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := NewSchema("a", "a"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewSchema("a", ""); err == nil {
+		t.Error("empty attribute accepted")
+	}
+}
+
+func TestTableAppendRow(t *testing.T) {
+	tb := NewTable("R", MustSchema("x", "y"))
+	tb.MustAppend(1, 2)
+	tb.MustAppend(3, 4)
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if got := tb.Row(1); got[0] != 3 || got[1] != 4 {
+		t.Errorf("Row(1) = %v", got)
+	}
+	if tb.Value(0, 1) != 2 {
+		t.Errorf("Value(0,1) = %v", tb.Value(0, 1))
+	}
+	if err := tb.Append(Tuple{1}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestTableSortByAndDedup(t *testing.T) {
+	tb := NewTable("R", MustSchema("x", "y"))
+	rows := [][2]Value{{3, 1}, {1, 2}, {3, 1}, {2, 9}, {1, 1}}
+	for _, r := range rows {
+		tb.MustAppend(r[0], r[1])
+	}
+	tb.Dedup()
+	want := [][2]Value{{1, 1}, {1, 2}, {2, 9}, {3, 1}}
+	if tb.Len() != len(want) {
+		t.Fatalf("after Dedup Len = %d want %d", tb.Len(), len(want))
+	}
+	for i, w := range want {
+		if r := tb.Row(i); r[0] != w[0] || r[1] != w[1] {
+			t.Errorf("row %d = %v want %v", i, r, w)
+		}
+	}
+}
+
+func TestTableSortBySecondColumn(t *testing.T) {
+	tb := NewTable("R", MustSchema("x", "y"))
+	tb.MustAppend(1, 9)
+	tb.MustAppend(2, 3)
+	tb.MustAppend(3, 6)
+	if err := tb.SortByAttrs("y"); err != nil {
+		t.Fatal(err)
+	}
+	got := []Value{tb.Value(0, 1), tb.Value(1, 1), tb.Value(2, 1)}
+	if got[0] != 3 || got[1] != 6 || got[2] != 9 {
+		t.Errorf("sorted y column = %v", got)
+	}
+	if err := tb.SortByAttrs("nope"); err == nil {
+		t.Error("sorting by unknown attribute accepted")
+	}
+}
+
+func TestTableProjectSelect(t *testing.T) {
+	tb := NewTable("R", MustSchema("x", "y", "z"))
+	tb.MustAppend(1, 2, 3)
+	tb.MustAppend(4, 5, 6)
+	p, err := tb.Project("P", "z", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := p.Row(0); r[0] != 3 || r[1] != 1 {
+		t.Errorf("projected row = %v", r)
+	}
+	if _, err := tb.Project("P", "w"); err == nil {
+		t.Error("projecting unknown attribute accepted")
+	}
+	sel := tb.Select("S", func(r Tuple) bool { return r[0] == 4 })
+	if sel.Len() != 1 || sel.Value(0, 2) != 6 {
+		t.Errorf("Select kept wrong rows: %d", sel.Len())
+	}
+}
+
+func TestTableDistinctValues(t *testing.T) {
+	tb := NewTable("R", MustSchema("x", "y"))
+	tb.MustAppend(5, 1)
+	tb.MustAppend(3, 1)
+	tb.MustAppend(5, 2)
+	got := tb.DistinctValues(0)
+	if !reflect.DeepEqual(got, []Value{3, 5}) {
+		t.Errorf("DistinctValues(0) = %v", got)
+	}
+}
+
+func TestTableRowsEarlyStop(t *testing.T) {
+	tb := NewTable("R", MustSchema("x"))
+	for i := 0; i < 10; i++ {
+		tb.MustAppend(Value(i))
+	}
+	n := 0
+	tb.Rows(func(Tuple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d rows", n)
+	}
+}
+
+// Property: Dedup yields a sorted duplicate-free table holding exactly the
+// set of input rows.
+func TestDedupProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		tb := NewTable("R", MustSchema("x", "y"))
+		set := make(map[[2]Value]bool)
+		for i := 0; i+1 < len(raw); i += 2 {
+			a, b := Value(raw[i]%8), Value(raw[i+1]%8)
+			tb.MustAppend(a, b)
+			set[[2]Value{a, b}] = true
+		}
+		tb.Dedup()
+		if tb.Len() != len(set) {
+			return false
+		}
+		for i := 0; i < tb.Len(); i++ {
+			r := tb.Row(i)
+			if !set[[2]Value{r[0], r[1]}] {
+				return false
+			}
+			if i > 0 {
+				p := tb.Row(i - 1)
+				if p[0] > r[0] || (p[0] == r[0] && p[1] >= r[1]) {
+					return false // not strictly increasing
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashIndexProbe(t *testing.T) {
+	tb := NewTable("R", MustSchema("x", "y"))
+	tb.MustAppend(1, 10)
+	tb.MustAppend(2, 20)
+	tb.MustAppend(1, 30)
+	idx := BuildHashIndex(tb, 0)
+	var rows []int
+	idx.Probe([]Value{1}, func(r int) bool { rows = append(rows, r); return true })
+	if !reflect.DeepEqual(rows, []int{0, 2}) {
+		t.Errorf("Probe(1) rows = %v", rows)
+	}
+	if idx.Contains([]Value{3}) {
+		t.Error("Contains(3) = true")
+	}
+	if !idx.Contains([]Value{2}) {
+		t.Error("Contains(2) = false")
+	}
+}
+
+func TestHashIndexMultiColumn(t *testing.T) {
+	tb := NewTable("R", MustSchema("x", "y", "z"))
+	tb.MustAppend(1, 2, 3)
+	tb.MustAppend(1, 2, 4)
+	tb.MustAppend(1, 3, 5)
+	idx := BuildHashIndex(tb, 0, 1)
+	n := 0
+	idx.Probe([]Value{1, 2}, func(int) bool { n++; return true })
+	if n != 2 {
+		t.Errorf("Probe(1,2) matched %d rows, want 2", n)
+	}
+}
+
+// Property: hash index probing finds exactly the rows a scan finds.
+func TestHashIndexProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		tb := NewTable("R", MustSchema("x", "y"))
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			tb.MustAppend(Value(rng.Intn(5)), Value(rng.Intn(5)))
+		}
+		idx := BuildHashIndex(tb, 1)
+		for key := Value(0); key < 5; key++ {
+			var got []int
+			idx.Probe([]Value{key}, func(r int) bool { got = append(got, r); return true })
+			sort.Ints(got)
+			var want []int
+			for i := 0; i < tb.Len(); i++ {
+				if tb.Value(i, 1) == key {
+					want = append(want, i)
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d key %d: probe=%v scan=%v", trial, key, got, want)
+			}
+		}
+	}
+}
+
+func TestValueSet(t *testing.T) {
+	s := NewValueSet([]Value{5, 1, 3, 5, 1})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !reflect.DeepEqual(s.Values(), []Value{1, 3, 5}) {
+		t.Errorf("Values = %v", s.Values())
+	}
+	if i := s.SeekGE(2); i != 1 || s.At(i) != 3 {
+		t.Errorf("SeekGE(2) = %d", i)
+	}
+	if i := s.SeekGE(6); i != s.Len() {
+		t.Errorf("SeekGE(6) = %d", i)
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Error("Contains misbehaves")
+	}
+}

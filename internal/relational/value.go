@@ -1,0 +1,76 @@
+// Package relational implements the relational storage substrate shared by
+// every component of the multi-model join system: dictionary-encoded values,
+// schemas, tables with flat row storage, sorting and deduplication, hash
+// indexes, and CSV input/output.
+//
+// All join attributes — relational columns and XML element values alike —
+// are dictionary-encoded into Value (an int64 identifier). A single Dict is
+// shared by the relational and XML sides of a database so that values from
+// both models compare directly, which keeps the worst-case-optimal join's
+// inner loops branch-light integer work.
+package relational
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is a dictionary-encoded datum. Two Values drawn from the same Dict
+// are equal iff the original strings are equal. The ordering of Values is
+// the Dict's insertion order; joins only require a consistent total order,
+// not a semantic one.
+type Value int64
+
+// Null is the sentinel for "no value". It is never produced by a Dict.
+const Null Value = -1
+
+// Dict interns strings to Values and back. The zero Dict is not ready for
+// use; call NewDict. A Dict is not safe for concurrent mutation; loaders
+// populate it single-threaded and queries only read it.
+type Dict struct {
+	byStr map[string]Value
+	strs  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byStr: make(map[string]Value)}
+}
+
+// Intern returns the Value for s, assigning a fresh identifier if s has not
+// been seen before.
+func (d *Dict) Intern(s string) Value {
+	if v, ok := d.byStr[s]; ok {
+		return v
+	}
+	v := Value(len(d.strs))
+	d.byStr[s] = v
+	d.strs = append(d.strs, s)
+	return v
+}
+
+// InternInt interns the decimal representation of i.
+func (d *Dict) InternInt(i int64) Value {
+	return d.Intern(strconv.FormatInt(i, 10))
+}
+
+// Lookup reports the Value for s without interning it.
+func (d *Dict) Lookup(s string) (Value, bool) {
+	v, ok := d.byStr[s]
+	return v, ok
+}
+
+// String returns the string interned as v. It returns "<null>" for Null and
+// a diagnostic placeholder for out-of-range identifiers.
+func (d *Dict) String(v Value) string {
+	if v == Null {
+		return "<null>"
+	}
+	if v < 0 || int(v) >= len(d.strs) {
+		return fmt.Sprintf("<bad value %d>", int64(v))
+	}
+	return d.strs[v]
+}
+
+// Len reports how many distinct strings have been interned.
+func (d *Dict) Len() int { return len(d.strs) }

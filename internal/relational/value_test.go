@@ -1,0 +1,81 @@
+package relational
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDictInternRoundTrip(t *testing.T) {
+	d := NewDict()
+	words := []string{"jack", "tom", "bob", "", "978-3-16-1", "jack"}
+	vals := make([]Value, len(words))
+	for i, w := range words {
+		vals[i] = d.Intern(w)
+	}
+	if vals[0] != vals[5] {
+		t.Errorf("re-interning %q gave %d then %d", words[0], vals[0], vals[5])
+	}
+	for i, w := range words {
+		if got := d.String(vals[i]); got != w {
+			t.Errorf("String(Intern(%q)) = %q", w, got)
+		}
+	}
+	if d.Len() != 5 {
+		t.Errorf("Len = %d, want 5 distinct strings", d.Len())
+	}
+}
+
+func TestDictLookup(t *testing.T) {
+	d := NewDict()
+	v := d.Intern("x")
+	if got, ok := d.Lookup("x"); !ok || got != v {
+		t.Errorf("Lookup(x) = %v,%v want %v,true", got, ok, v)
+	}
+	if _, ok := d.Lookup("y"); ok {
+		t.Error("Lookup(y) found a value that was never interned")
+	}
+}
+
+func TestDictInternInt(t *testing.T) {
+	d := NewDict()
+	v := d.InternInt(42)
+	if got := d.String(v); got != "42" {
+		t.Errorf("String(InternInt(42)) = %q", got)
+	}
+	if v2 := d.Intern("42"); v2 != v {
+		t.Errorf("InternInt(42)=%d but Intern(\"42\")=%d", v, v2)
+	}
+}
+
+func TestDictNullAndBadValues(t *testing.T) {
+	d := NewDict()
+	if got := d.String(Null); got != "<null>" {
+		t.Errorf("String(Null) = %q", got)
+	}
+	if got := d.String(Value(99)); got == "" {
+		t.Error("String(out of range) returned empty string, want diagnostic")
+	}
+}
+
+// Property: interning any sequence of strings is injective on distinct
+// strings and the inverse mapping recovers the original.
+func TestDictInternProperty(t *testing.T) {
+	f := func(words []string) bool {
+		d := NewDict()
+		seen := make(map[string]Value)
+		for _, w := range words {
+			v := d.Intern(w)
+			if prev, ok := seen[w]; ok && prev != v {
+				return false
+			}
+			seen[w] = v
+			if d.String(v) != w {
+				return false
+			}
+		}
+		return d.Len() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package shell implements the interactive multi-model shell behind
+// cmd/xmsh: dot-commands manage the database (load XML/CSV, save, open,
+// inspect) and everything else is parsed as an mmql query.
+package shell
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	xmjoin "repro"
+	"repro/internal/mmql"
+)
+
+// ErrQuit is returned by Execute when the user asks to leave.
+var ErrQuit = errors.New("shell: quit")
+
+// Shell is one interactive session over a database.
+type Shell struct {
+	db  *xmjoin.Database
+	out io.Writer
+}
+
+// New returns a shell over a fresh database, writing results to out.
+func New(out io.Writer) *Shell {
+	return &Shell{db: xmjoin.NewDatabase(), out: out}
+}
+
+// DB exposes the shell's database (tests and embedding callers).
+func (s *Shell) DB() *xmjoin.Database { return s.db }
+
+// Run reads lines from r until EOF or .quit, executing each and printing
+// errors without aborting the session.
+func (s *Shell) Run(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(s.out, "xmsh> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if err := s.Execute(line); err != nil {
+				if errors.Is(err, ErrQuit) {
+					return nil
+				}
+				fmt.Fprintln(s.out, "error:", err)
+			}
+		}
+		fmt.Fprint(s.out, "xmsh> ")
+	}
+	fmt.Fprintln(s.out)
+	return sc.Err()
+}
+
+// Execute runs one command or query.
+func (s *Shell) Execute(line string) error {
+	if !strings.HasPrefix(line, ".") {
+		res, err := mmql.RunString(s.db, line)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(s.out, res)
+		return nil
+	}
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".help":
+		fmt.Fprint(s.out, helpText)
+		return nil
+	case ".quit", ".exit":
+		return ErrQuit
+	case ".load":
+		return s.load(fields[1:])
+	case ".tables":
+		for _, n := range s.db.TableNames() {
+			t, _ := s.db.Table(n)
+			fmt.Fprintf(s.out, "%s%s  %d rows\n", n, t.Schema(), t.Len())
+		}
+		if doc := s.db.Doc(); doc != nil {
+			fmt.Fprintf(s.out, "xml document: %d nodes, tags %s\n",
+				doc.Len(), strings.Join(doc.Tags(), " "))
+		}
+		return nil
+	case ".explain":
+		rest := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
+		st, err := mmql.Parse(rest)
+		if err != nil {
+			return err
+		}
+		plan, err := mmql.Explain(s.db, st)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(s.out, plan)
+		return nil
+	case ".save":
+		if len(fields) != 2 {
+			return errors.New("shell: usage: .save DIR")
+		}
+		if err := s.db.Save(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "saved to %s\n", fields[1])
+		return nil
+	case ".open":
+		if len(fields) != 2 {
+			return errors.New("shell: usage: .open DIR")
+		}
+		db, err := xmjoin.Open(fields[1])
+		if err != nil {
+			return err
+		}
+		s.db = db
+		fmt.Fprintf(s.out, "opened %s\n", fields[1])
+		return nil
+	default:
+		return fmt.Errorf("shell: unknown command %s (try .help)", fields[0])
+	}
+}
+
+func (s *Shell) load(args []string) error {
+	switch {
+	case len(args) == 2 && args[0] == "xml":
+		if err := s.db.LoadXMLFile(args[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "loaded XML: %d nodes\n", s.db.Doc().Len())
+		return nil
+	case len(args) == 3 && args[0] == "xml":
+		f, err := os.Open(args[2])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := s.db.LoadXMLNamed(args[1], f); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "loaded XML document %q\n", args[1])
+		return nil
+	case len(args) == 3 && args[0] == "table":
+		if err := s.db.AddTableCSVFile(args[1], args[2]); err != nil {
+			return err
+		}
+		t, _ := s.db.Table(args[1])
+		fmt.Fprintf(s.out, "loaded table %s: %d rows\n", args[1], t.Len())
+		return nil
+	default:
+		return errors.New("shell: usage: .load xml [NAME] PATH | .load table NAME PATH.csv")
+	}
+}
+
+const helpText = `commands:
+  .load xml [NAME] PATH     load the default (or a named) XML document
+  .load table NAME PATH     load a CSV table
+  .tables                   list loaded tables and document tags
+  .explain QUERY            show the XJoin plan and bounds for a query
+  .save DIR / .open DIR     persist / reopen the database
+  .help / .quit
+queries (everything else):
+  SELECT items|* FROM src[, src...] [WHERE a = 'v' [AND ...]]
+         [GROUP BY a[, b...]] [VIA algo]
+  items:   attributes and aggregates COUNT(*|a), SUM(a), MIN(a), MAX(a)
+  sources: table names and TWIG '<pattern>' [IN 'docname']
+  algos:   xjoin (default), xjoinplus, baseline
+`

@@ -1,0 +1,157 @@
+package shell
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixtures(t *testing.T) (xmlPath, csvPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	xmlPath = filepath.Join(dir, "doc.xml")
+	err := os.WriteFile(xmlPath, []byte(`
+<invoices>
+  <orderLine><orderID>1</orderID><price>30</price></orderLine>
+  <orderLine><orderID>2</orderID><price>20</price></orderLine>
+</invoices>`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvPath = filepath.Join(dir, "r.csv")
+	if err := os.WriteFile(csvPath, []byte("orderID,userID\n1,jack\n2,tom\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return xmlPath, csvPath
+}
+
+func TestShellSession(t *testing.T) {
+	xmlPath, csvPath := writeFixtures(t)
+	var out strings.Builder
+	sh := New(&out)
+
+	steps := []string{
+		".load xml " + xmlPath,
+		".load table R " + csvPath,
+		".tables",
+		`SELECT userID, price FROM R, TWIG '//orderLine[orderID]/price'`,
+		`.explain SELECT * FROM R, TWIG '//orderLine[orderID]/price'`,
+	}
+	for _, line := range steps {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	o := out.String()
+	for _, want := range []string{
+		"loaded XML", "loaded table R: 2 rows",
+		"jack", "tom", "30", "20",
+		"plan: xjoin", "attribute priority",
+	} {
+		if !strings.Contains(o, want) {
+			t.Errorf("output missing %q:\n%s", want, o)
+		}
+	}
+}
+
+func TestShellSaveOpen(t *testing.T) {
+	xmlPath, csvPath := writeFixtures(t)
+	dir := t.TempDir()
+	var out strings.Builder
+	sh := New(&out)
+	for _, line := range []string{
+		".load xml " + xmlPath,
+		".load table R " + csvPath,
+		".save " + dir,
+		".open " + dir,
+		`SELECT userID FROM R WHERE userID = 'tom'`,
+	} {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	if !strings.Contains(out.String(), "tom") {
+		t.Errorf("reopened database lost data:\n%s", out.String())
+	}
+}
+
+func TestShellErrorsAndQuit(t *testing.T) {
+	var out strings.Builder
+	sh := New(&out)
+	for _, bad := range []string{
+		".bogus",
+		".load xml",
+		".load xml /nonexistent.xml",
+		".save",
+		".open /nonexistent-dir",
+		"SELECT * FROM nothing",
+		"not a query",
+		".explain SELECT",
+	} {
+		if err := sh.Execute(bad); err == nil {
+			t.Errorf("Execute(%q) succeeded", bad)
+		}
+	}
+	if err := sh.Execute(".quit"); !errors.Is(err, ErrQuit) {
+		t.Errorf(".quit returned %v", err)
+	}
+	if err := sh.Execute(".help"); err != nil {
+		t.Errorf(".help: %v", err)
+	}
+}
+
+func TestShellRunLoop(t *testing.T) {
+	xmlPath, _ := writeFixtures(t)
+	var out strings.Builder
+	sh := New(&out)
+	input := strings.Join([]string{
+		".load xml " + xmlPath,
+		"SELECT price FROM TWIG '//orderLine/price'",
+		"garbage that errors",
+		".quit",
+		"never reached",
+	}, "\n")
+	if err := sh.Run(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	o := out.String()
+	if !strings.Contains(o, "error:") {
+		t.Error("errors not surfaced in loop")
+	}
+	if strings.Contains(o, "never reached") {
+		t.Error("loop did not stop at .quit")
+	}
+	if !strings.Contains(o, "xmsh>") {
+		t.Error("prompt missing")
+	}
+}
+
+func TestShellNamedDocuments(t *testing.T) {
+	dir := t.TempDir()
+	orders := filepath.Join(dir, "orders.xml")
+	ship := filepath.Join(dir, "ship.xml")
+	if err := os.WriteFile(orders,
+		[]byte(`<orders><order><oid>7</oid><item>book</item></order></orders>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ship,
+		[]byte(`<shipments><shipment><oid>7</oid><carrier>dhl</carrier></shipment></shipments>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	sh := New(&out)
+	for _, line := range []string{
+		".load xml orders " + orders,
+		".load xml ship " + ship,
+		`SELECT item, carrier FROM TWIG '//order[oid]/item' IN 'orders', TWIG '//shipment[oid]/carrier' IN 'ship'`,
+	} {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	if !strings.Contains(out.String(), "book") || !strings.Contains(out.String(), "dhl") {
+		t.Errorf("cross-document shell query failed:\n%s", out.String())
+	}
+}

@@ -1,0 +1,67 @@
+package twig
+
+import "testing"
+
+func TestParseValueFilter(t *testing.T) {
+	p, err := Parse(`//orderLine[orderID="10963"]/price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := p.NodeByTag("orderID")
+	if oid.ValueFilter != "10963" {
+		t.Errorf("filter = %q", oid.ValueFilter)
+	}
+	if p.NodeByTag("price").ValueFilter != "" {
+		t.Error("price should not carry a filter")
+	}
+}
+
+func TestParseValueFilterOnTrunkAndRoot(t *testing.T) {
+	p, err := Parse(`//a="x"/b="y"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NodeByTag("a").ValueFilter != "x" || p.NodeByTag("b").ValueFilter != "y" {
+		t.Errorf("filters = %q, %q", p.NodeByTag("a").ValueFilter, p.NodeByTag("b").ValueFilter)
+	}
+}
+
+func TestValueFilterRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`//orderLine[orderID="10963"]/price`,
+		`//a="x"`,
+		`/r[a="1"][b="2"]//c="3"`,
+	} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p.String(), err)
+		}
+		if p.String() != p2.String() {
+			t.Errorf("unstable: %q -> %q", p.String(), p2.String())
+		}
+	}
+}
+
+func TestParseValueFilterErrors(t *testing.T) {
+	for _, bad := range []string{
+		`//a=`, `//a="`, `//a="x`, `//a=""`, `//a=x"`, `//a="x"="y"`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValueFilterWithSpecialChars(t *testing.T) {
+	p, err := Parse(`//ISBN="978-3-16-1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root().ValueFilter != "978-3-16-1" {
+		t.Errorf("filter = %q", p.Root().ValueFilter)
+	}
+}

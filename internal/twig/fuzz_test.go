@@ -1,0 +1,64 @@
+package twig
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics hammers the parser with random structured garbage:
+// any input must yield a pattern or an error, never a panic, and accepted
+// inputs must render and re-parse stably.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	chars := []string{"/", "//", "[", "]", ".", "a", "b", "cd", "=", `"`, `"x"`, " ", "@", "-", "1"}
+	for trial := 0; trial < 5000; trial++ {
+		var sb strings.Builder
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			sb.WriteString(chars[rng.Intn(len(chars))])
+		}
+		src := sb.String()
+		p, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but its render %q does not re-parse: %v", src, rendered, err)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("unstable render for %q: %q -> %q", src, rendered, p2.String())
+		}
+		if p.Len() == 0 {
+			t.Fatalf("accepted %q with zero nodes", src)
+		}
+	}
+}
+
+// TestTransformNeverPanics runs the transformation over every pattern the
+// fuzz loop accepts.
+func TestTransformNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	chars := []string{"/", "//", "[", "]", ".", "x", "y", "z", "w", "v"}
+	accepted := 0
+	for trial := 0; trial < 5000; trial++ {
+		var sb strings.Builder
+		for i, n := 0, 1+rng.Intn(10); i < n; i++ {
+			sb.WriteString(chars[rng.Intn(len(chars))])
+		}
+		p, err := Parse(sb.String())
+		if err != nil {
+			continue
+		}
+		accepted++
+		tr := Transform(p)
+		if len(tr.Paths) == 0 {
+			t.Fatalf("pattern %q transformed to zero paths", p)
+		}
+	}
+	if accepted == 0 {
+		t.Skip("fuzz charset produced no valid patterns (unexpected)")
+	}
+}

@@ -1,0 +1,206 @@
+package twig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a twig pattern in an XPath subset:
+//
+//	pattern   = ("/" | "//")? step ( ("/" | "//") step )*
+//	step      = name ('=' '"' value '"')? predicate*
+//	predicate = "[" relpath "]"
+//	relpath   = "."? ("/" | "//")? step ( ("/" | "//") step )*
+//	name      = [A-Za-z_@] [A-Za-z0-9_@.:-]*
+//
+// A leading "/" anchors the twig root at the document element; a leading
+// "//" (or a bare name) matches anywhere. Inside predicates a bare name or
+// "./" means child, ".//" means descendant. A step may carry an equality
+// selection on the element's text value. Examples:
+//
+//	/invoices/orderLine[orderID][ISBN]/price
+//	//A[B][D][.//C[E][.//F[H][.//G]]]
+//	//orderLine[orderID="10963"]/price
+func Parse(input string) (*Pattern, error) {
+	p := &parser{src: input}
+	root, err := p.parsePattern()
+	if err != nil {
+		return nil, fmt.Errorf("twig: parsing %q: %w", input, err)
+	}
+	return build(root)
+}
+
+// MustParse is Parse for statically known patterns; it panics on error.
+func MustParse(input string) *Pattern {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) parsePattern() (*Node, error) {
+	p.skipSpace()
+	rootAxis := Descendant // bare names match anywhere
+	switch {
+	case p.eat("//"):
+		rootAxis = Descendant
+	case p.eat("/"):
+		rootAxis = Child
+	}
+	root, err := p.parseStep()
+	if err != nil {
+		return nil, err
+	}
+	root.Axis = rootAxis
+	if err := p.parseTrunk(root); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("unexpected %q at offset %d", p.rest(), p.pos)
+	}
+	return root, nil
+}
+
+// parseTrunk parses the chain of /step and //step continuations hanging off
+// cur, attaching each as the last child of the previous step.
+func (p *parser) parseTrunk(cur *Node) error {
+	for {
+		p.skipSpace()
+		var axis Axis
+		switch {
+		case p.eat("//"):
+			axis = Descendant
+		case p.eat("/"):
+			axis = Child
+		default:
+			return nil
+		}
+		step, err := p.parseStep()
+		if err != nil {
+			return err
+		}
+		step.Axis = axis
+		cur.Children = append(cur.Children, step)
+		cur = step
+	}
+}
+
+// parseStep parses name ('=' '"' value '"')? predicate*.
+func (p *parser) parseStep() (*Node, error) {
+	p.skipSpace()
+	name := p.parseName()
+	if name == "" {
+		return nil, fmt.Errorf("expected a tag name at offset %d (near %q)", p.pos, p.rest())
+	}
+	n := &Node{Tag: name}
+	if p.eat("=") {
+		filter, err := p.parseQuoted()
+		if err != nil {
+			return nil, err
+		}
+		n.ValueFilter = filter
+	}
+	for p.eat("[") {
+		child, err := p.parseRelPath()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat("]") {
+			return nil, fmt.Errorf("missing ] at offset %d (near %q)", p.pos, p.rest())
+		}
+		n.Children = append(n.Children, child)
+	}
+	return n, nil
+}
+
+// parseRelPath parses a predicate body: an optional "." then an axis and a
+// step chain relative to the predicated node.
+func (p *parser) parseRelPath() (*Node, error) {
+	p.skipSpace()
+	p.eat(".")
+	axis := Child // bare name and "./" both mean child
+	switch {
+	case p.eat("//"):
+		axis = Descendant
+	case p.eat("/"):
+		axis = Child
+	}
+	step, err := p.parseStep()
+	if err != nil {
+		return nil, err
+	}
+	step.Axis = axis
+	if err := p.parseTrunk(step); err != nil {
+		return nil, err
+	}
+	return step, nil
+}
+
+// parseQuoted parses a double-quoted value (no embedded quotes).
+func (p *parser) parseQuoted() (string, error) {
+	if !p.eat(`"`) {
+		return "", fmt.Errorf(`expected " after = at offset %d (near %q)`, p.pos, p.rest())
+	}
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '"' {
+		p.pos++
+	}
+	if p.pos == len(p.src) {
+		return "", fmt.Errorf("unterminated quoted value starting at offset %d", start)
+	}
+	v := p.src[start:p.pos]
+	p.pos++ // closing quote
+	if v == "" {
+		return "", fmt.Errorf("empty quoted value at offset %d", start)
+	}
+	return v, nil
+}
+
+func (p *parser) parseName() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		ok := c == '_' || c == '@' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if p.pos > start {
+			ok = ok || (c >= '0' && c <= '9') || c == '.' || c == ':' || c == '-'
+		}
+		if !ok {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) eat(tok string) bool {
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		// "." must not swallow the dot of ".//" or "./": only eat a lone "."
+		// when it is followed by a name start or end; the axis forms are
+		// handled by eating "//" and "/" first at the call sites.
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) rest() string {
+	r := p.src[p.pos:]
+	if len(r) > 12 {
+		r = r[:12] + "..."
+	}
+	return r
+}

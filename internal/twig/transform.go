@@ -1,0 +1,146 @@
+package twig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PathRelation is one derived relational-like table of the Figure-2
+// transformation: a root-to-leaf parent-child path of a sub-twig, viewed as
+// a relation over the tags along the path. Its worst-case cardinality is
+// the number of document nodes with the leaf's tag, because in a tree each
+// node determines its entire ancestor chain.
+type PathRelation struct {
+	// Name identifies the derived relation, e.g. "X[A/B]".
+	Name string
+	// Nodes lists the query nodes on the path, ancestor first.
+	Nodes []*Node
+}
+
+// Attrs returns the path's attribute (tag) sequence, ancestor first.
+func (r *PathRelation) Attrs() []string {
+	out := make([]string, len(r.Nodes))
+	for i, n := range r.Nodes {
+		out[i] = n.Tag
+	}
+	return out
+}
+
+// Leaf returns the path's leaf query node, whose tag bounds the relation's
+// cardinality.
+func (r *PathRelation) Leaf() *Node { return r.Nodes[len(r.Nodes)-1] }
+
+// String renders the relation as "Name(A, B)".
+func (r *PathRelation) String() string {
+	return r.Name + "(" + strings.Join(r.Attrs(), ", ") + ")"
+}
+
+// CutEdge is an ancestor-descendant edge removed by the transformation; it
+// must be re-validated on final results (Algorithm 1's last filter).
+type CutEdge struct {
+	Ancestor, Descendant *Node
+}
+
+// SubTwig is one connected component of parent-child edges left after
+// cutting the A-D edges.
+type SubTwig struct {
+	// Root is the component's root query node.
+	Root *Node
+	// Nodes lists the component's nodes in preorder.
+	Nodes []*Node
+}
+
+// Transformation is the result of the Figure-2 pipeline applied to a
+// pattern: sub-twigs, their root-leaf path relations, and the cut A-D edges.
+type Transformation struct {
+	Pattern  *Pattern
+	SubTwigs []*SubTwig
+	Paths    []PathRelation
+	CutEdges []CutEdge
+}
+
+// Transform runs the paper's transformation: (1) cut every A-D edge,
+// splitting the twig into sub-twigs of continuous P-C edges; (2) enumerate
+// each sub-twig's root-leaf paths; (3) expose each path as a relation.
+func Transform(p *Pattern) *Transformation {
+	tr := &Transformation{Pattern: p}
+
+	// Step 1: components. A node roots a sub-twig iff it is the pattern
+	// root or hangs off its parent by a Descendant edge.
+	for _, n := range p.Nodes() {
+		if n.Parent != nil && n.Axis == Descendant {
+			tr.CutEdges = append(tr.CutEdges, CutEdge{Ancestor: n.Parent, Descendant: n})
+		}
+		if n.Parent == nil || n.Axis == Descendant {
+			st := &SubTwig{Root: n}
+			collectComponent(n, &st.Nodes)
+			tr.SubTwigs = append(tr.SubTwigs, st)
+		}
+	}
+
+	// Steps 2+3: root-leaf paths per component.
+	for _, st := range tr.SubTwigs {
+		var path []*Node
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			path = append(path, n)
+			leaf := true
+			for _, c := range n.Children {
+				if c.Axis == Child {
+					leaf = false
+					walk(c)
+				}
+			}
+			if leaf {
+				nodes := append([]*Node(nil), path...)
+				tr.Paths = append(tr.Paths, PathRelation{
+					Name:  pathName(p, nodes),
+					Nodes: nodes,
+				})
+			}
+			path = path[:len(path)-1]
+		}
+		walk(st.Root)
+	}
+	return tr
+}
+
+func collectComponent(n *Node, out *[]*Node) {
+	*out = append(*out, n)
+	for _, c := range n.Children {
+		if c.Axis == Child {
+			collectComponent(c, out)
+		}
+	}
+}
+
+func pathName(p *Pattern, nodes []*Node) string {
+	tags := make([]string, len(nodes))
+	for i, n := range nodes {
+		tags[i] = n.Tag
+	}
+	return "X[" + strings.Join(tags, "/") + "]"
+}
+
+// String renders the whole pipeline for diagnostics and the sizebound tool.
+func (tr *Transformation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "twig: %s\n", tr.Pattern)
+	fmt.Fprintf(&sb, "cut A-D edges (%d):\n", len(tr.CutEdges))
+	for _, e := range tr.CutEdges {
+		fmt.Fprintf(&sb, "  %s //=> %s\n", e.Ancestor.Tag, e.Descendant.Tag)
+	}
+	fmt.Fprintf(&sb, "sub-twigs (%d):\n", len(tr.SubTwigs))
+	for _, st := range tr.SubTwigs {
+		tags := make([]string, len(st.Nodes))
+		for i, n := range st.Nodes {
+			tags[i] = n.Tag
+		}
+		fmt.Fprintf(&sb, "  root %s: {%s}\n", st.Root.Tag, strings.Join(tags, ", "))
+	}
+	fmt.Fprintf(&sb, "derived path relations (%d):\n", len(tr.Paths))
+	for _, r := range tr.Paths {
+		fmt.Fprintf(&sb, "  %s\n", r.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,230 @@
+package twig
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// paperTwig is the running twig of Figures 2 and 3, reconstructed from the
+// derived relations R3(A,B), R4(A,D), R5(C,E), R6(F,H), R7(G).
+const paperTwig = "//A[B][D][.//C[E][.//F[H][.//G]]]"
+
+func TestParseSimplePath(t *testing.T) {
+	p, err := Parse("/invoices/orderLine/price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Rooted() {
+		t.Error("leading / should anchor the root")
+	}
+	if got := p.Attrs(); !reflect.DeepEqual(got, []string{"invoices", "orderLine", "price"}) {
+		t.Errorf("attrs = %v", got)
+	}
+	ol := p.NodeByTag("orderLine")
+	if ol.Axis != Child || ol.Parent.Tag != "invoices" {
+		t.Error("orderLine edge wrong")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	p, err := Parse("/invoices/orderLine[orderID][ISBN]/price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol := p.NodeByTag("orderLine")
+	if len(ol.Children) != 3 {
+		t.Fatalf("orderLine children = %d", len(ol.Children))
+	}
+	for _, tag := range []string{"orderID", "ISBN", "price"} {
+		n := p.NodeByTag(tag)
+		if n == nil || n.Parent != ol || n.Axis != Child {
+			t.Errorf("child %s wrong", tag)
+		}
+	}
+}
+
+func TestParseDescendantAxes(t *testing.T) {
+	p, err := Parse("//a[.//b]//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rooted() {
+		t.Error("// pattern should not be rooted")
+	}
+	if p.NodeByTag("b").Axis != Descendant {
+		t.Error(".//b should be a descendant edge")
+	}
+	if p.NodeByTag("c").Axis != Descendant {
+		t.Error("//c should be a descendant edge")
+	}
+}
+
+func TestParsePaperTwig(t *testing.T) {
+	p, err := Parse(paperTwig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 8 {
+		t.Fatalf("paper twig has %d nodes, want 8", p.Len())
+	}
+	wantEdges := map[string]struct {
+		parent string
+		axis   Axis
+	}{
+		"B": {"A", Child},
+		"D": {"A", Child},
+		"C": {"A", Descendant},
+		"E": {"C", Child},
+		"F": {"C", Descendant},
+		"H": {"F", Child},
+		"G": {"F", Descendant},
+	}
+	for tag, w := range wantEdges {
+		n := p.NodeByTag(tag)
+		if n == nil {
+			t.Fatalf("missing node %s", tag)
+		}
+		if n.Parent.Tag != w.parent || n.Axis != w.axis {
+			t.Errorf("%s: parent %s axis %v, want %s %v", tag, n.Parent.Tag, n.Axis, w.parent, w.axis)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"/invoices/orderLine[orderID][ISBN]/price",
+		paperTwig,
+		"//a",
+		"/root",
+		"//x[y]//z",
+	} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q (from %q): %v", p.String(), src, err)
+		}
+		if p.String() != p2.String() {
+			t.Errorf("unstable render: %q -> %q", p.String(), p2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "/", "//", "a[", "a[b", "a]", "a[b]]", "a//", "a/",
+		"a[b]c", "/a/a", "a[a]", "1abc", "[b]",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestTransformPaperTwig(t *testing.T) {
+	tr := Transform(MustParse(paperTwig))
+
+	if len(tr.CutEdges) != 3 {
+		t.Fatalf("cut edges = %d want 3", len(tr.CutEdges))
+	}
+	cuts := map[string]string{}
+	for _, e := range tr.CutEdges {
+		cuts[e.Descendant.Tag] = e.Ancestor.Tag
+	}
+	if cuts["C"] != "A" || cuts["F"] != "C" || cuts["G"] != "F" {
+		t.Errorf("cut edges = %v", cuts)
+	}
+
+	if len(tr.SubTwigs) != 4 {
+		t.Fatalf("sub-twigs = %d want 4", len(tr.SubTwigs))
+	}
+
+	var got [][]string
+	for _, r := range tr.Paths {
+		got = append(got, r.Attrs())
+	}
+	want := [][]string{{"A", "B"}, {"A", "D"}, {"C", "E"}, {"F", "H"}, {"G"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("paths = %v want %v", got, want)
+	}
+
+	// Leaf of each path bounds its cardinality; check identities.
+	if tr.Paths[0].Leaf().Tag != "B" || tr.Paths[4].Leaf().Tag != "G" {
+		t.Error("path leaves wrong")
+	}
+	if !strings.Contains(tr.String(), "X[A/B](A, B)") {
+		t.Errorf("render missing path relation:\n%s", tr.String())
+	}
+}
+
+func TestTransformSinglePath(t *testing.T) {
+	tr := Transform(MustParse("/a/b/c"))
+	if len(tr.SubTwigs) != 1 || len(tr.Paths) != 1 || len(tr.CutEdges) != 0 {
+		t.Fatalf("got %d subtwigs %d paths %d cuts", len(tr.SubTwigs), len(tr.Paths), len(tr.CutEdges))
+	}
+	if !reflect.DeepEqual(tr.Paths[0].Attrs(), []string{"a", "b", "c"}) {
+		t.Errorf("path = %v", tr.Paths[0].Attrs())
+	}
+}
+
+func TestTransformAllDescendants(t *testing.T) {
+	tr := Transform(MustParse("//a//b//c"))
+	if len(tr.SubTwigs) != 3 || len(tr.Paths) != 3 {
+		t.Fatalf("got %d subtwigs %d paths", len(tr.SubTwigs), len(tr.Paths))
+	}
+	for i, tag := range []string{"a", "b", "c"} {
+		if len(tr.Paths[i].Attrs()) != 1 || tr.Paths[i].Attrs()[0] != tag {
+			t.Errorf("path %d = %v", i, tr.Paths[i].Attrs())
+		}
+	}
+}
+
+// Property: the transformation covers every twig attribute exactly by the
+// union of path attributes, each path is a chain of Child edges, and the
+// number of cut edges equals the number of Descendant-axis nodes.
+func TestTransformInvariants(t *testing.T) {
+	for _, src := range []string{
+		paperTwig,
+		"/a/b/c",
+		"//a//b//c",
+		"/invoices/orderLine[orderID][ISBN]/price",
+		"//a[b][c[d]/e]//f[.//g]/h",
+		"//lone",
+	} {
+		p := MustParse(src)
+		tr := Transform(p)
+
+		covered := map[string]bool{}
+		for _, r := range tr.Paths {
+			for i, n := range r.Nodes {
+				covered[n.Tag] = true
+				if i > 0 {
+					if n.Parent != r.Nodes[i-1] || n.Axis != Child {
+						t.Errorf("%s: path %s not a P-C chain", src, r.String())
+					}
+				}
+			}
+		}
+		for _, a := range p.Attrs() {
+			if !covered[a] {
+				t.Errorf("%s: attribute %s not covered by any path", src, a)
+			}
+		}
+
+		wantCuts := 0
+		for _, n := range p.Nodes() {
+			if n.Parent != nil && n.Axis == Descendant {
+				wantCuts++
+			}
+		}
+		if len(tr.CutEdges) != wantCuts {
+			t.Errorf("%s: %d cuts want %d", src, len(tr.CutEdges), wantCuts)
+		}
+		if len(tr.SubTwigs) != wantCuts+1 {
+			t.Errorf("%s: %d sub-twigs want %d", src, len(tr.SubTwigs), wantCuts+1)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package wcoj
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+)
+
+// BinaryJoinStats records the intermediate sizes of a binary join plan.
+type BinaryJoinStats struct {
+	// StepSizes[i] is the cardinality after joining in the (i+1)-th table.
+	StepSizes []int
+	// PeakIntermediate is the largest materialized relation at any step.
+	PeakIntermediate int
+	Output           int
+}
+
+// HashJoin computes the natural join of a and b with a build/probe hash
+// join on their shared attributes (a cartesian product when they share
+// none). The result schema is a's attributes followed by b's non-shared
+// attributes.
+func HashJoin(name string, a, b *relational.Table) (*relational.Table, error) {
+	shared, bOnly := splitAttrs(a, b)
+	outAttrs := append(append([]string(nil), a.Schema().Attrs()...), bOnly...)
+	schema, err := relational.NewSchema(outAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("wcoj: joining %s and %s: %w", a.Name(), b.Name(), err)
+	}
+	out := relational.NewTable(name, schema)
+
+	// Build on the smaller input.
+	build, probe := a, b
+	swapped := false
+	if b.Len() < a.Len() {
+		build, probe = b, a
+		swapped = true
+	}
+	buildCols := make([]int, len(shared))
+	probeCols := make([]int, len(shared))
+	for i, s := range shared {
+		bc, _ := build.Schema().Pos(s)
+		pc, _ := probe.Schema().Pos(s)
+		buildCols[i] = bc
+		probeCols[i] = pc
+	}
+	idx := relational.BuildHashIndex(build, buildCols...)
+
+	aCols := a.Schema().Attrs()
+	bOnlyPos := make([]int, len(bOnly))
+	for i, s := range bOnly {
+		p, _ := b.Schema().Pos(s)
+		bOnlyPos[i] = p
+	}
+	aPos := make([]int, len(aCols))
+	for i, s := range aCols {
+		p, _ := a.Schema().Pos(s)
+		aPos[i] = p
+	}
+
+	key := make([]relational.Value, len(shared))
+	row := make(relational.Tuple, schema.Len())
+	n := probe.Len()
+	for r := 0; r < n; r++ {
+		for i, c := range probeCols {
+			key[i] = probe.Value(r, c)
+		}
+		idx.Probe(key, func(br int) bool {
+			// br indexes the build side, r the probe side; map them back to
+			// (a-row, b-row).
+			ar, brr := br, r
+			if swapped {
+				ar, brr = r, br
+			}
+			for i, c := range aPos {
+				row[i] = a.Value(ar, c)
+			}
+			for i, c := range bOnlyPos {
+				row[len(aPos)+i] = b.Value(brr, c)
+			}
+			// Append cannot fail: row matches the schema by construction.
+			_ = out.Append(row)
+			return true
+		})
+	}
+	return out, nil
+}
+
+// ChainHashJoin joins the tables left-deep in the given order, recording
+// intermediate sizes. The result has set semantics (deduplicated).
+func ChainHashJoin(name string, tables []*relational.Table) (*relational.Table, *BinaryJoinStats, error) {
+	if len(tables) == 0 {
+		return nil, nil, fmt.Errorf("wcoj: no tables to join")
+	}
+	stats := &BinaryJoinStats{}
+	acc := tables[0].Clone()
+	acc.Dedup()
+	stats.StepSizes = append(stats.StepSizes, acc.Len())
+	stats.PeakIntermediate = acc.Len()
+	for _, t := range tables[1:] {
+		next, err := HashJoin(name, acc, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		next.Dedup()
+		acc = next
+		stats.StepSizes = append(stats.StepSizes, acc.Len())
+		if acc.Len() > stats.PeakIntermediate {
+			stats.PeakIntermediate = acc.Len()
+		}
+	}
+	stats.Output = acc.Len()
+	return acc, stats, nil
+}
+
+// NestedLoopJoin is the quadratic natural-join oracle used in tests.
+func NestedLoopJoin(name string, a, b *relational.Table) (*relational.Table, error) {
+	shared, bOnly := splitAttrs(a, b)
+	outAttrs := append(append([]string(nil), a.Schema().Attrs()...), bOnly...)
+	schema, err := relational.NewSchema(outAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	out := relational.NewTable(name, schema)
+	sharedA := make([]int, len(shared))
+	sharedB := make([]int, len(shared))
+	for i, s := range shared {
+		sharedA[i], _ = a.Schema().Pos(s)
+		sharedB[i], _ = b.Schema().Pos(s)
+	}
+	bOnlyPos := make([]int, len(bOnly))
+	for i, s := range bOnly {
+		bOnlyPos[i], _ = b.Schema().Pos(s)
+	}
+	row := make(relational.Tuple, schema.Len())
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < b.Len(); j++ {
+			match := true
+			for k := range shared {
+				if a.Value(i, sharedA[k]) != b.Value(j, sharedB[k]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			copy(row, a.Row(i))
+			for k, c := range bOnlyPos {
+				row[a.Schema().Len()+k] = b.Value(j, c)
+			}
+			_ = out.Append(row)
+		}
+	}
+	return out, nil
+}
+
+func splitAttrs(a, b *relational.Table) (shared, bOnly []string) {
+	for _, s := range b.Schema().Attrs() {
+		if a.Schema().Contains(s) {
+			shared = append(shared, s)
+		} else {
+			bOnly = append(bOnly, s)
+		}
+	}
+	return shared, bOnly
+}

@@ -1,0 +1,187 @@
+package wcoj
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+)
+
+// Binding exposes the values bound so far during an attribute-at-a-time
+// join.
+type Binding interface {
+	// Get returns the value bound to attr, if any.
+	Get(attr string) (relational.Value, bool)
+}
+
+// Atom is one relation participating in a Generic Join. Implementations
+// exist for physical tables (TableAtom) and, in the core package, for the
+// paper's virtual XML parent-child relations — the whole point of the
+// interface is that the executor cannot tell them apart.
+type Atom interface {
+	// Name identifies the atom in diagnostics and statistics.
+	Name() string
+	// Attrs returns the atom's attributes.
+	Attrs() []string
+	// Candidates returns the sorted distinct values attr may take, given
+	// the values b binds for this atom's other attributes (attributes not
+	// bound are existentially quantified). attr is always one of Attrs().
+	// A nil result means the empty set.
+	Candidates(attr string, b Binding) *relational.ValueSet
+}
+
+// GenericJoinStats records the per-stage behaviour of a materializing
+// Generic Join — the quantities Lemma 3.5 bounds.
+type GenericJoinStats struct {
+	// Order is the attribute expansion order used.
+	Order []string
+	// StageSizes[i] is |T_i|: the number of partial tuples after expanding
+	// the i-th attribute.
+	StageSizes []int
+	// PeakIntermediate is max over StageSizes.
+	PeakIntermediate int
+	// Output is the final tuple count (equals the last stage size).
+	Output int
+	// Intersections counts candidate-set intersections performed.
+	Intersections int
+}
+
+// GenericJoinResult is the materialized join output: tuples over the
+// attribute order used (Stats.Order).
+type GenericJoinResult struct {
+	Attrs  []string
+	Tuples []relational.Tuple
+	Stats  GenericJoinStats
+}
+
+// GenericJoin evaluates the natural join of atoms by expanding one
+// attribute at a time in the given order, materializing every stage — a
+// faithful rendering of the paper's Algorithm 1 main loop: at each stage
+// the candidate values for the next attribute are the intersection, across
+// all atoms mentioning it, of the values consistent with the bindings so
+// far ("Get expanding result E from common value of p in S; Filter E by
+// satisfying relation between p and A in S; Expend R by E").
+//
+// Every attribute of every atom must appear in order, and every attribute
+// of order must occur in at least one atom.
+func GenericJoin(atoms []Atom, order []string) (*GenericJoinResult, error) {
+	pos := make(map[string]int, len(order))
+	for i, a := range order {
+		if _, dup := pos[a]; dup {
+			return nil, dupAttrErr(a)
+		}
+		pos[a] = i
+	}
+	byAttr, err := atomsByAttr(atoms, order, pos)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &GenericJoinResult{Attrs: append([]string(nil), order...)}
+	res.Stats.Order = res.Attrs
+	partial := []relational.Tuple{{}} // one empty tuple
+	for i := range order {
+		partial = expandStage(partial, byAttr[i], order[i], i, pos, &res.Stats)
+		res.Stats.StageSizes = append(res.Stats.StageSizes, len(partial))
+		if len(partial) > res.Stats.PeakIntermediate {
+			res.Stats.PeakIntermediate = len(partial)
+		}
+		if len(partial) == 0 {
+			break
+		}
+	}
+	if len(res.Stats.StageSizes) == len(order) {
+		res.Tuples = partial
+	}
+	res.Stats.Output = len(res.Tuples)
+	return res, nil
+}
+
+func dupAttrErr(a string) error {
+	return fmt.Errorf("wcoj: duplicate attribute %q in order", a)
+}
+
+// atomsByAttr groups atoms by the order position of each attribute they
+// mention, validating that atom attributes appear in the order and that
+// every order attribute is covered by at least one atom.
+func atomsByAttr(atoms []Atom, order []string, pos map[string]int) ([][]Atom, error) {
+	byAttr := make([][]Atom, len(order))
+	covered := make([]bool, len(order))
+	for _, at := range atoms {
+		for _, a := range at.Attrs() {
+			i, ok := pos[a]
+			if !ok {
+				return nil, fmt.Errorf("wcoj: atom %s attribute %q missing from order", at.Name(), a)
+			}
+			byAttr[i] = append(byAttr[i], at)
+			covered[i] = true
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("wcoj: attribute %q not covered by any atom", order[i])
+		}
+	}
+	return byAttr, nil
+}
+
+// prefixBinding adapts a partial tuple over a prefix of the global order to
+// the Binding interface.
+type prefixBinding struct {
+	pos   map[string]int
+	tuple relational.Tuple
+}
+
+func (b *prefixBinding) Get(attr string) (relational.Value, bool) {
+	i, ok := b.pos[attr]
+	if !ok || i >= len(b.tuple) {
+		return relational.Null, false
+	}
+	return b.tuple[i], true
+}
+
+// candidateIntersection intersects the candidate sets each atom proposes
+// for attr under binding b, leapfrogging across the sorted sets.
+func candidateIntersection(atoms []Atom, attr string, b Binding, stats *GenericJoinStats) []relational.Value {
+	sets := make([]*relational.ValueSet, 0, len(atoms))
+	for _, at := range atoms {
+		s := at.Candidates(attr, b)
+		if s == nil || s.Len() == 0 {
+			return nil
+		}
+		sets = append(sets, s)
+	}
+	stats.Intersections++
+	return IntersectValueSets(sets)
+}
+
+// IntersectValueSets intersects sorted distinct value sets with a k-way
+// leapfrog over binary searches.
+func IntersectValueSets(sets []*relational.ValueSet) []relational.Value {
+	switch len(sets) {
+	case 0:
+		return nil
+	case 1:
+		return sets[0].Values()
+	}
+	// Start from the smallest set to bound the output.
+	min := sets[0]
+	for _, s := range sets[1:] {
+		if s.Len() < min.Len() {
+			min = s
+		}
+	}
+	var out []relational.Value
+outer:
+	for _, v := range min.Values() {
+		for _, s := range sets {
+			if s == min {
+				continue
+			}
+			if !s.Contains(v) {
+				continue outer
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}

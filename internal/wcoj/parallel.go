@@ -1,0 +1,132 @@
+package wcoj
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/relational"
+)
+
+// parallelThreshold is the stage size below which the parallel executor
+// falls back to serial expansion: goroutine fan-out costs more than it
+// saves on small stages.
+const parallelThreshold = 256
+
+// GenericJoinParallel is GenericJoin with stage expansion fanned out over
+// workers goroutines (workers <= 1, or GOMAXPROCS when workers == 0,
+// degrades to the serial algorithm). Results and per-stage statistics are
+// identical to the serial executor: each worker expands a contiguous chunk
+// of the stage and the chunks are concatenated in order.
+func GenericJoinParallel(atoms []Atom, order []string, workers int) (*GenericJoinResult, error) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return GenericJoin(atoms, order)
+	}
+	pos := make(map[string]int, len(order))
+	for i, a := range order {
+		if _, dup := pos[a]; dup {
+			return nil, dupAttrErr(a)
+		}
+		pos[a] = i
+	}
+	byAttr, err := atomsByAttr(atoms, order, pos)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &GenericJoinResult{Attrs: append([]string(nil), order...)}
+	res.Stats.Order = res.Attrs
+	partial := []relational.Tuple{{}}
+	for i := range order {
+		var next []relational.Tuple
+		if len(partial) < parallelThreshold {
+			next = expandStage(partial, byAttr[i], order[i], i, pos, &res.Stats)
+		} else {
+			next = expandStageParallel(partial, byAttr[i], order[i], i, pos, &res.Stats, workers)
+		}
+		partial = next
+		res.Stats.StageSizes = append(res.Stats.StageSizes, len(partial))
+		if len(partial) > res.Stats.PeakIntermediate {
+			res.Stats.PeakIntermediate = len(partial)
+		}
+		if len(partial) == 0 {
+			break
+		}
+	}
+	if len(res.Stats.StageSizes) == len(order) {
+		res.Tuples = partial
+	}
+	res.Stats.Output = len(res.Tuples)
+	return res, nil
+}
+
+// expandStage expands one attribute serially (shared with the parallel
+// path for small stages).
+func expandStage(partial []relational.Tuple, atoms []Atom, attr string, depth int, pos map[string]int, stats *GenericJoinStats) []relational.Tuple {
+	var next []relational.Tuple
+	b := &prefixBinding{pos: pos}
+	for _, t := range partial {
+		b.tuple = t
+		for _, v := range candidateIntersection(atoms, attr, b, stats) {
+			nt := make(relational.Tuple, depth+1)
+			copy(nt, t)
+			nt[depth] = v
+			next = append(next, nt)
+		}
+	}
+	return next
+}
+
+// expandStageParallel splits the stage into per-worker chunks; chunk
+// results are concatenated in order so the output sequence matches the
+// serial executor exactly.
+func expandStageParallel(partial []relational.Tuple, atoms []Atom, attr string, depth int, pos map[string]int, stats *GenericJoinStats, workers int) []relational.Tuple {
+	if workers > len(partial) {
+		workers = len(partial)
+	}
+	chunks := make([][]relational.Tuple, workers)
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	per := (len(partial) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(partial) {
+			hi = len(partial)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := GenericJoinStats{}
+			b := &prefixBinding{pos: pos}
+			var out []relational.Tuple
+			for _, t := range partial[lo:hi] {
+				b.tuple = t
+				for _, v := range candidateIntersection(atoms, attr, b, &local) {
+					nt := make(relational.Tuple, depth+1)
+					copy(nt, t)
+					nt[depth] = v
+					out = append(out, nt)
+				}
+			}
+			chunks[w] = out
+			counts[w] = local.Intersections
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for w := range chunks {
+		total += len(chunks[w])
+		stats.Intersections += counts[w]
+	}
+	next := make([]relational.Tuple, 0, total)
+	for _, c := range chunks {
+		next = append(next, c...)
+	}
+	return next
+}

@@ -1,0 +1,112 @@
+package wcoj
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// TestParallelMatchesSerial: the parallel executor must produce the exact
+// tuple sequence and statistics of the serial one.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 20; trial++ {
+		ts := triangleTables(t, rng, 40+rng.Intn(120), 3+rng.Intn(10))
+		mk := func() []Atom {
+			return []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+		}
+		order := []string{"a", "b", "c"}
+		serial, err := GenericJoin(mk(), order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 0} {
+			par, err := GenericJoinParallel(mk(), order, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(par.Tuples, serial.Tuples) {
+				t.Fatalf("trial %d workers=%d: %d tuples vs serial %d (or order differs)",
+					trial, workers, len(par.Tuples), len(serial.Tuples))
+			}
+			if !reflect.DeepEqual(par.Stats.StageSizes, serial.Stats.StageSizes) {
+				t.Fatalf("trial %d workers=%d: stage sizes %v vs %v",
+					trial, workers, par.Stats.StageSizes, serial.Stats.StageSizes)
+			}
+			if par.Stats.Intersections != serial.Stats.Intersections {
+				t.Fatalf("trial %d workers=%d: intersections %d vs %d",
+					trial, workers, par.Stats.Intersections, serial.Stats.Intersections)
+			}
+		}
+	}
+}
+
+// TestParallelSharedAtoms exercises the race-prone path: the same atom
+// instances are shared by all workers, so lazy index building must be
+// synchronized (run with -race to check).
+func TestParallelSharedAtoms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ts := triangleTables(t, rng, 400, 12)
+	atoms := []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+	order := []string{"a", "b", "c"}
+	par, err := GenericJoinParallel(atoms, order, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := GenericJoin(
+		[]Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Tuples) != len(serial.Tuples) {
+		t.Fatalf("parallel %d vs serial %d", len(par.Tuples), len(serial.Tuples))
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	tb := table(t, "R", []string{"a", "b"}, []int64{1, 2})
+	if _, err := GenericJoinParallel([]Atom{NewTableAtom(tb)}, []string{"a", "a"}, 4); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := GenericJoinParallel([]Atom{NewTableAtom(tb)}, []string{"a", "b", "c"}, 4); err == nil {
+		t.Error("uncovered attribute accepted")
+	}
+}
+
+func TestParallelWorkerCountEdgeCases(t *testing.T) {
+	// More workers than tuples, and chains long enough to pass the
+	// threshold on later stages.
+	k := 3
+	var tables []*relational.Table
+	order := []string{"a0", "a1", "a2", "a3"}
+	for i := 0; i < k; i++ {
+		tb := relational.NewTable(fmt.Sprintf("R%d", i), relational.MustSchema(order[i], order[i+1]))
+		for x := 0; x < 12; x++ {
+			for y := 0; y < 12; y++ {
+				tb.MustAppend(relational.Value(x), relational.Value(y))
+			}
+		}
+		tables = append(tables, tb)
+	}
+	mk := func() []Atom {
+		var out []Atom
+		for _, tb := range tables {
+			out = append(out, NewTableAtom(tb))
+		}
+		return out
+	}
+	serial, err := GenericJoin(mk(), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := GenericJoinParallel(mk(), order, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Tuples, par.Tuples) {
+		t.Fatalf("parallel output differs: %d vs %d", len(par.Tuples), len(serial.Tuples))
+	}
+}

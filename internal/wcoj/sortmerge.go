@@ -1,0 +1,101 @@
+package wcoj
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+)
+
+// SortMergeJoin computes the natural join of a and b by sorting both on
+// their shared attributes and merging runs of equal keys. Result schema and
+// semantics match HashJoin; with no shared attributes it degrades to the
+// cartesian product. Inputs are cloned before sorting, so callers' tables
+// are untouched.
+func SortMergeJoin(name string, a, b *relational.Table) (*relational.Table, error) {
+	shared, bOnly := splitAttrs(a, b)
+	outAttrs := append(append([]string(nil), a.Schema().Attrs()...), bOnly...)
+	schema, err := relational.NewSchema(outAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("wcoj: sort-merge joining %s and %s: %w", a.Name(), b.Name(), err)
+	}
+	out := relational.NewTable(name, schema)
+
+	if len(shared) == 0 {
+		// Cartesian product.
+		row := make(relational.Tuple, schema.Len())
+		bOnlyPos := colPositions(b, bOnly)
+		for i := 0; i < a.Len(); i++ {
+			copy(row, a.Row(i))
+			for j := 0; j < b.Len(); j++ {
+				for k, c := range bOnlyPos {
+					row[a.Schema().Len()+k] = b.Value(j, c)
+				}
+				_ = out.Append(row)
+			}
+		}
+		return out, nil
+	}
+
+	as := a.Clone()
+	bs := b.Clone()
+	aCols := colPositions(as, shared)
+	bCols := colPositions(bs, shared)
+	as.SortBy(aCols...)
+	bs.SortBy(bCols...)
+
+	bOnlyPos := colPositions(bs, bOnly)
+	row := make(relational.Tuple, schema.Len())
+	i, j := 0, 0
+	for i < as.Len() && j < bs.Len() {
+		c := compareKeys(as, i, aCols, bs, j, bCols)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Find both runs of the equal key and emit their product.
+			iEnd := i + 1
+			for iEnd < as.Len() && compareKeys(as, iEnd, aCols, bs, j, bCols) == 0 {
+				iEnd++
+			}
+			jEnd := j + 1
+			for jEnd < bs.Len() && compareKeys(as, i, aCols, bs, jEnd, bCols) == 0 {
+				jEnd++
+			}
+			for x := i; x < iEnd; x++ {
+				copy(row, as.Row(x))
+				for y := j; y < jEnd; y++ {
+					for k, cpos := range bOnlyPos {
+						row[as.Schema().Len()+k] = bs.Value(y, cpos)
+					}
+					_ = out.Append(row)
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return out, nil
+}
+
+func colPositions(t *relational.Table, attrs []string) []int {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, _ := t.Schema().Pos(a)
+		out[i] = p
+	}
+	return out
+}
+
+func compareKeys(a *relational.Table, ai int, aCols []int, b *relational.Table, bi int, bCols []int) int {
+	for k := range aCols {
+		av, bv := a.Value(ai, aCols[k]), b.Value(bi, bCols[k])
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+package wcoj
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+func TestSortMergeJoinVsNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		a := relational.NewTable("A", relational.MustSchema("x", "y"))
+		b := relational.NewTable("B", relational.MustSchema("y", "z"))
+		for i := 0; i < rng.Intn(40); i++ {
+			a.MustAppend(relational.Value(rng.Intn(6)), relational.Value(rng.Intn(6)))
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			b.MustAppend(relational.Value(rng.Intn(6)), relational.Value(rng.Intn(6)))
+		}
+		sm, err := SortMergeJoin("J", a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl, err := NestedLoopJoin("J", a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm.Dedup()
+		nl.Dedup()
+		if sm.Len() != nl.Len() {
+			t.Fatalf("trial %d: sort-merge %d vs nested loop %d", trial, sm.Len(), nl.Len())
+		}
+		for i := 0; i < sm.Len(); i++ {
+			if !reflect.DeepEqual(sm.Row(i), nl.Row(i)) {
+				t.Fatalf("trial %d row %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestSortMergeJoinPreservesInputs(t *testing.T) {
+	a := relational.NewTable("A", relational.MustSchema("x", "y"))
+	a.MustAppend(3, 1)
+	a.MustAppend(1, 2)
+	b := relational.NewTable("B", relational.MustSchema("y", "z"))
+	b.MustAppend(2, 9)
+	if _, err := SortMergeJoin("J", a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Value(0, 0) != 3 {
+		t.Error("sort-merge join mutated its input")
+	}
+}
+
+func TestSortMergeJoinCartesian(t *testing.T) {
+	a := relational.NewTable("A", relational.MustSchema("x"))
+	a.MustAppend(1)
+	a.MustAppend(2)
+	b := relational.NewTable("B", relational.MustSchema("y"))
+	b.MustAppend(7)
+	b.MustAppend(8)
+	b.MustAppend(9)
+	j, err := SortMergeJoin("J", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 6 {
+		t.Fatalf("cartesian size = %d want 6", j.Len())
+	}
+}
+
+func TestSortMergeJoinDuplicateRuns(t *testing.T) {
+	// Heavy duplicates on the join key: run products must be complete.
+	a := relational.NewTable("A", relational.MustSchema("x", "k"))
+	b := relational.NewTable("B", relational.MustSchema("k", "z"))
+	for i := 0; i < 4; i++ {
+		a.MustAppend(relational.Value(i), 5)
+		b.MustAppend(5, relational.Value(100+i))
+	}
+	a.MustAppend(99, 6)
+	j, err := SortMergeJoin("J", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 16 {
+		t.Fatalf("run product = %d want 16", j.Len())
+	}
+}

@@ -1,0 +1,59 @@
+package wcoj
+
+import (
+	"repro/internal/relational"
+)
+
+// GenericJoinStream evaluates the join depth-first, emitting result tuples
+// in the same lexicographic order the materializing executor produces,
+// without holding any stage in memory — the right tool when the output
+// itself is worst-case sized (the n⁵ twig results of Figure 3's baseline
+// side, for instance). emit receives a transient tuple; returning false
+// stops the enumeration early. The returned StageSizes count the partial
+// tuples explored per depth, which for a completed run equal the
+// materializing executor's stage sizes.
+func GenericJoinStream(atoms []Atom, order []string, emit func(relational.Tuple) bool) (*GenericJoinStats, error) {
+	pos := make(map[string]int, len(order))
+	for i, a := range order {
+		if _, dup := pos[a]; dup {
+			return nil, dupAttrErr(a)
+		}
+		pos[a] = i
+	}
+	byAttr, err := atomsByAttr(atoms, order, pos)
+	if err != nil {
+		return nil, err
+	}
+
+	stats := &GenericJoinStats{Order: append([]string(nil), order...)}
+	stats.StageSizes = make([]int, len(order))
+	binding := make(relational.Tuple, 0, len(order))
+	b := &prefixBinding{pos: pos}
+
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == len(order) {
+			stats.Output++
+			return emit(binding)
+		}
+		b.tuple = binding
+		vals := candidateIntersection(byAttr[depth], order[depth], b, stats)
+		stats.StageSizes[depth] += len(vals)
+		for _, v := range vals {
+			binding = append(binding, v)
+			cont := rec(depth + 1)
+			binding = binding[:len(binding)-1]
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	for _, s := range stats.StageSizes {
+		if s > stats.PeakIntermediate {
+			stats.PeakIntermediate = s
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,146 @@
+package wcoj
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/relational"
+)
+
+// TableAtom adapts a physical relational table to the Atom interface. For
+// each (target attribute, set of bound attributes) shape it lazily builds a
+// hash index from bound-prefix keys to the sorted distinct target values —
+// the hash-trie formulation of Generic Join. Index building is guarded by a
+// mutex so the parallel executor's workers can share one atom.
+type TableAtom struct {
+	table *relational.Table
+	attrs []string
+	mu    sync.Mutex
+	// indexes is keyed by target column then bound-column bitmask.
+	indexes map[int]map[uint32]map[string]*relational.ValueSet
+}
+
+// NewTableAtom wraps t.
+func NewTableAtom(t *relational.Table) *TableAtom {
+	return &TableAtom{
+		table:   t,
+		attrs:   t.Schema().Attrs(),
+		indexes: make(map[int]map[uint32]map[string]*relational.ValueSet),
+	}
+}
+
+// Name returns the underlying table's name.
+func (a *TableAtom) Name() string { return a.table.Name() }
+
+// Attrs returns the underlying table's attributes.
+func (a *TableAtom) Attrs() []string { return a.attrs }
+
+// Table returns the wrapped table.
+func (a *TableAtom) Table() *relational.Table { return a.table }
+
+// Candidates returns the sorted distinct values of attr among rows matching
+// the bound attributes.
+func (a *TableAtom) Candidates(attr string, b Binding) *relational.ValueSet {
+	target, ok := a.table.Schema().Pos(attr)
+	if !ok {
+		return nil
+	}
+	var mask uint32
+	var boundCols []int
+	var key []relational.Value
+	for i, name := range a.attrs {
+		if i == target {
+			continue
+		}
+		if v, bound := b.Get(name); bound {
+			mask |= 1 << uint(i)
+			boundCols = append(boundCols, i)
+			key = append(key, v)
+		}
+	}
+	idx := a.index(target, mask, boundCols)
+	return idx[encodeKey(key)]
+}
+
+// index returns (building on first use) the map from bound-prefix key to
+// the sorted distinct values of column target.
+func (a *TableAtom) index(target int, mask uint32, boundCols []int) map[string]*relational.ValueSet {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	byMask, ok := a.indexes[target]
+	if !ok {
+		byMask = make(map[uint32]map[string]*relational.ValueSet)
+		a.indexes[target] = byMask
+	}
+	if idx, ok := byMask[mask]; ok {
+		return idx
+	}
+	groups := make(map[string][]relational.Value)
+	n := a.table.Len()
+	key := make([]relational.Value, len(boundCols))
+	for r := 0; r < n; r++ {
+		for i, c := range boundCols {
+			key[i] = a.table.Value(r, c)
+		}
+		k := encodeKey(key)
+		groups[k] = append(groups[k], a.table.Value(r, target))
+	}
+	idx := make(map[string]*relational.ValueSet, len(groups))
+	for k, vals := range groups {
+		idx[k] = relational.NewValueSet(vals)
+	}
+	byMask[mask] = idx
+	return idx
+}
+
+func encodeKey(vals []relational.Value) string {
+	b := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		u := uint64(v)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return string(b)
+}
+
+// SetAtom is a constant unary atom over a fixed value set; useful for
+// injecting selections and in tests.
+type SetAtom struct {
+	name string
+	attr string
+	set  *relational.ValueSet
+}
+
+// NewSetAtom builds a unary atom named name over attribute attr holding
+// exactly vals.
+func NewSetAtom(name, attr string, vals []relational.Value) *SetAtom {
+	return &SetAtom{name: name, attr: attr, set: relational.NewValueSet(vals)}
+}
+
+// Name implements Atom.
+func (s *SetAtom) Name() string { return s.name }
+
+// Attrs implements Atom.
+func (s *SetAtom) Attrs() []string { return []string{s.attr} }
+
+// Candidates implements Atom.
+func (s *SetAtom) Candidates(attr string, _ Binding) *relational.ValueSet {
+	if attr != s.attr {
+		return nil
+	}
+	return s.set
+}
+
+// SortTuples orders tuples lexicographically (for comparisons in tests and
+// deterministic output).
+func SortTuples(ts []relational.Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,159 @@
+// Package wcoj implements worst-case optimal join machinery over relational
+// data: sorted-array tries with Leapfrog-style iterators, the Leapfrog
+// Triejoin of Veldhuizen (the paper's reference [9]), a materializing
+// attribute-at-a-time Generic Join whose per-stage intermediates are exactly
+// what the paper's Algorithm 1 ("XJoin") tracks, and conventional binary
+// hash-join plans used by the baseline's relational query Q1.
+package wcoj
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+)
+
+// Trie is a read-only trie over a table's rows for a fixed attribute order,
+// laid out as the lexicographically sorted, deduplicated row array; levels
+// are navigated by binary search over value runs. Go's generics are too
+// weak to abstract the per-level cursor state usefully (the repro note), so
+// iterators are concrete int64-value cursors.
+type Trie struct {
+	attrs []string
+	arity int
+	data  []relational.Value // sorted rows, stride = arity
+}
+
+// NewTrie builds a trie over the projection of t onto attrs, in that order.
+func NewTrie(t *relational.Table, attrs []string) (*Trie, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("wcoj: trie needs at least one attribute")
+	}
+	proj, err := t.Project(t.Name(), attrs...)
+	if err != nil {
+		return nil, err
+	}
+	proj.Dedup()
+	tr := &Trie{attrs: append([]string(nil), attrs...), arity: len(attrs)}
+	tr.data = make([]relational.Value, 0, proj.Len()*len(attrs))
+	proj.Rows(func(row relational.Tuple) bool {
+		tr.data = append(tr.data, row...)
+		return true
+	})
+	return tr, nil
+}
+
+// Attrs returns the trie's attribute order.
+func (tr *Trie) Attrs() []string { return tr.attrs }
+
+// Len reports the number of distinct rows.
+func (tr *Trie) Len() int {
+	if tr.arity == 0 {
+		return 0
+	}
+	return len(tr.data) / tr.arity
+}
+
+// value returns the value at row r, level l.
+func (tr *Trie) value(r, l int) relational.Value { return tr.data[r*tr.arity+l] }
+
+// TrieIterator walks a Trie with the Leapfrog Triejoin interface: Open
+// descends into the first child of the current node, Up returns to the
+// parent, Next and Seek move among siblings at the current level in sorted
+// order. The iterator is positioned "above the root" initially (level -1).
+type TrieIterator struct {
+	trie *Trie
+	// level is the current depth: -1 at the virtual root, 0..arity-1 inside.
+	level int
+	// lo/hi bound the row range sharing the current prefix per level; pos
+	// is the first row of the current value's run.
+	lo, hi, pos []int
+}
+
+// NewIterator returns an iterator over tr, positioned at the virtual root.
+func (tr *Trie) NewIterator() *TrieIterator {
+	return &TrieIterator{
+		trie:  tr,
+		level: -1,
+		lo:    make([]int, tr.arity),
+		hi:    make([]int, tr.arity),
+		pos:   make([]int, tr.arity),
+	}
+}
+
+// Level reports the iterator's current depth (-1 at the virtual root).
+func (it *TrieIterator) Level() int { return it.level }
+
+// Open descends to the first value one level down. It reports false when
+// the current node has no children (empty trie at the root).
+func (it *TrieIterator) Open() bool {
+	var lo, hi int
+	if it.level < 0 {
+		lo, hi = 0, it.trie.Len()
+	} else {
+		lo, hi = it.pos[it.level], it.runEnd(it.level)
+	}
+	if lo >= hi {
+		return false
+	}
+	it.level++
+	it.lo[it.level], it.hi[it.level] = lo, hi
+	it.pos[it.level] = lo
+	return true
+}
+
+// Up returns to the parent level.
+func (it *TrieIterator) Up() {
+	if it.level >= 0 {
+		it.level--
+	}
+}
+
+// AtEnd reports whether the iterator has run past the last value at the
+// current level.
+func (it *TrieIterator) AtEnd() bool {
+	return it.pos[it.level] >= it.hi[it.level]
+}
+
+// Key returns the value at the current position; the iterator must not be
+// AtEnd.
+func (it *TrieIterator) Key() relational.Value {
+	return it.trie.value(it.pos[it.level], it.level)
+}
+
+// Next advances to the next distinct value at the current level.
+func (it *TrieIterator) Next() {
+	it.pos[it.level] = it.runEnd(it.level)
+}
+
+// Seek positions the iterator at the least value >= v at the current level;
+// it may leave the iterator AtEnd.
+func (it *TrieIterator) Seek(v relational.Value) {
+	l := it.level
+	lo, hi := it.pos[l], it.hi[l]
+	// Binary search over rows for the first row with value >= v at level l.
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if it.trie.value(mid, l) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.pos[l] = lo
+}
+
+// runEnd returns the first row past the current value's run at level l.
+func (it *TrieIterator) runEnd(l int) int {
+	lo, hi := it.pos[l], it.hi[l]
+	v := it.trie.value(lo, l)
+	// Binary search for the first row with value > v.
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if it.trie.value(mid, l) <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

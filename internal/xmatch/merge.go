@@ -1,0 +1,104 @@
+package xmatch
+
+import (
+	"repro/internal/twig"
+	"repro/internal/xmldb"
+)
+
+// rootLeafPaths enumerates the pattern's root-leaf query paths in leaf
+// preorder, each listed root-first.
+func rootLeafPaths(p *twig.Pattern) [][]*twig.Node {
+	var paths [][]*twig.Node
+	for _, q := range p.Nodes() {
+		if len(q.Children) > 0 {
+			continue
+		}
+		var path []*twig.Node
+		for n := q; n != nil; n = n.Parent {
+			path = append([]*twig.Node{n}, path...)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// mergePathSolutions joins per-path solutions on their shared query-node
+// prefixes into full twig matches. paths must be in leaf preorder (as
+// rootLeafPaths returns them) so that each path's overlap with the union of
+// its predecessors is a prefix. stats records the materialized sizes.
+func mergePathSolutions(p *twig.Pattern, paths [][]*twig.Node, sols [][][]xmldb.NodeID, stats *Stats) []Match {
+	n := p.Len()
+	covered := make([]bool, n)
+	var partial []Match
+
+	for pi, path := range paths {
+		ps := sols[pi]
+		stats.bump(len(ps))
+		if pi == 0 {
+			for _, s := range ps {
+				m := make(Match, n)
+				for i := range m {
+					m[i] = xmldb.NoNode
+				}
+				for j, q := range path {
+					m[q.ID] = s[j]
+				}
+				partial = append(partial, m)
+			}
+			for _, q := range path {
+				covered[q.ID] = true
+			}
+			stats.bump(len(partial))
+			continue
+		}
+		var sharedPos, newPos []int
+		for j, q := range path {
+			if covered[q.ID] {
+				sharedPos = append(sharedPos, j)
+			} else {
+				newPos = append(newPos, j)
+			}
+		}
+		index := make(map[string][][]xmldb.NodeID)
+		for _, s := range ps {
+			key := bindingKey(s, sharedPos)
+			index[key] = append(index[key], s)
+		}
+		var next []Match
+		for _, m := range partial {
+			key := matchKey(m, path, sharedPos)
+			for _, s := range index[key] {
+				nm := append(Match(nil), m...)
+				for _, j := range newPos {
+					nm[path[j].ID] = s[j]
+				}
+				next = append(next, nm)
+			}
+		}
+		partial = next
+		for _, q := range path {
+			covered[q.ID] = true
+		}
+		stats.bump(len(partial))
+	}
+	stats.Output = len(partial)
+	return partial
+}
+
+func bindingKey(s []xmldb.NodeID, pos []int) string {
+	b := make([]byte, 0, len(pos)*4)
+	for _, j := range pos {
+		v := s[j]
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func matchKey(m Match, path []*twig.Node, pos []int) string {
+	b := make([]byte, 0, len(pos)*4)
+	for _, j := range pos {
+		v := m[path[j].ID]
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,68 @@
+package xmatch
+
+import (
+	"fmt"
+
+	"repro/internal/twig"
+	"repro/internal/xmldb"
+)
+
+// PathStackMatch evaluates a *linear* pattern (a single root-leaf chain)
+// with the PathStack algorithm: the streams are merged in global document
+// order, each arriving node is pushed onto its query node's linked stack
+// when its parent stack is non-empty, and solutions are expanded whenever
+// the leaf is pushed. It errors on branching patterns — use TwigStackMatch
+// for those.
+func PathStackMatch(doc *xmldb.Document, p *twig.Pattern) ([]Match, *Stats, error) {
+	for _, q := range p.Nodes() {
+		if len(q.Children) > 1 {
+			return nil, nil, fmt.Errorf("xmatch: PathStack requires a linear pattern, %q branches at %s", p, q.Tag)
+		}
+	}
+	ts := newTwigStack(doc, p)
+	ts.runPathStack()
+	ms, stats := ts.merge()
+	return ms, stats, nil
+}
+
+// runPathStack is the PathStack main loop: strict document-order merge of
+// all streams (no getNext head selection — on a linear path every stream
+// node is a potential contributor).
+func (ts *twigStack) runPathStack() {
+	doc := ts.doc
+	leaf := ts.leaves[0]
+	for !leaf.eof() {
+		// Pick the stream whose head is earliest in document order.
+		var qmin *tsNode
+		for _, tn := range ts.nodes {
+			if tn.eof() {
+				continue
+			}
+			if qmin == nil || tn.headStart(doc) < qmin.headStart(doc) {
+				qmin = tn
+			}
+		}
+		if qmin == nil {
+			break
+		}
+		head := qmin.stream[qmin.pos]
+		hs := doc.Node(head).Start
+		// Clean every stack against the new position (the classic
+		// PathStack clean step).
+		for _, tn := range ts.nodes {
+			cleanStack(doc, tn, hs)
+		}
+		if qmin.parent == nil || len(qmin.parent.stack) > 0 {
+			parentTop := -1
+			if qmin.parent != nil {
+				parentTop = len(qmin.parent.stack) - 1
+			}
+			qmin.stack = append(qmin.stack, tsEntry{node: head, parentTop: parentTop})
+			if len(qmin.children) == 0 {
+				ts.emitPathSolutions(qmin)
+				qmin.stack = qmin.stack[:len(qmin.stack)-1]
+			}
+		}
+		qmin.pos++
+	}
+}

@@ -1,0 +1,117 @@
+package xmatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/twig"
+)
+
+var linearTwigs = []string{
+	"//a",
+	"//a/b",
+	"//a//b",
+	"//a/b/c",
+	"//a//b//c",
+	"//a/b//c",
+	"//a//b/c",
+	"/root//a/b",
+	"/root/a",
+}
+
+func TestPathStackMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		doc := randomDoc(t, rng, 40+rng.Intn(80))
+		for _, src := range linearTwigs {
+			p := twig.MustParse(src)
+			want := NaiveMatch(doc, p)
+			got, stats, err := PathStackMatch(doc, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !EqualMatchSets(got, want) {
+				t.Fatalf("trial %d path %s: PathStack %d matches, oracle %d",
+					trial, src, len(got), len(want))
+			}
+			if stats.Output != len(got) {
+				t.Fatalf("stats.Output mismatch")
+			}
+		}
+	}
+}
+
+func TestPathStackRejectsBranching(t *testing.T) {
+	doc := fig1Doc(t)
+	if _, _, err := PathStackMatch(doc, twig.MustParse("//a[b][c]")); err == nil {
+		t.Error("branching pattern accepted")
+	}
+}
+
+func TestTJFastMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 30; trial++ {
+		doc := randomDoc(t, rng, 40+rng.Intn(80))
+		for _, src := range testTwigs {
+			p := twig.MustParse(src)
+			want := NaiveMatch(doc, p)
+			got, stats := TJFastMatch(doc, p)
+			if !EqualMatchSets(got, want) {
+				t.Fatalf("trial %d twig %s: TJFast %d matches, oracle %d",
+					trial, src, len(got), len(want))
+			}
+			if stats.Output != len(got) {
+				t.Fatalf("stats.Output mismatch")
+			}
+		}
+	}
+}
+
+func TestTJFastRootedPatterns(t *testing.T) {
+	doc := fig1Doc(t)
+	got, _ := TJFastMatch(doc, twig.MustParse("/invoices/orderLine[orderID][ISBN]/price"))
+	if len(got) != 2 {
+		t.Fatalf("rooted twig matches = %d want 2", len(got))
+	}
+	got2, _ := TJFastMatch(doc, twig.MustParse("/orderLine/price"))
+	if len(got2) != 0 {
+		t.Fatalf("mis-rooted twig matches = %d want 0", len(got2))
+	}
+	// Single-node rooted and unrooted patterns.
+	got3, _ := TJFastMatch(doc, twig.MustParse("/invoices"))
+	if len(got3) != 1 {
+		t.Fatalf("/invoices matches = %d want 1", len(got3))
+	}
+	got4, _ := TJFastMatch(doc, twig.MustParse("//price"))
+	if len(got4) != 2 {
+		t.Fatalf("//price matches = %d want 2", len(got4))
+	}
+}
+
+// TestAllMatchersAgree runs every matcher on the same inputs — the full
+// algorithm family must be interchangeable.
+func TestAllMatchersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		doc := randomDoc(t, rng, 60)
+		for _, src := range linearTwigs {
+			p := twig.MustParse(src)
+			want := NaiveMatch(doc, p)
+			ts, _ := TwigStackMatch(doc, p)
+			bin, _ := BinaryTwigMatch(doc, p)
+			tj, _ := TJFastMatch(doc, p)
+			ps, _, err := PathStackMatch(doc, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, got := range map[string][]Match{
+				"twigstack": ts, "binary": bin, "tjfast": tj, "pathstack": ps,
+			} {
+				if !EqualMatchSets(got, want) {
+					t.Fatalf("trial %d %s on %s: %d matches, oracle %d",
+						trial, name, src, len(got), len(want))
+				}
+			}
+		}
+	}
+}

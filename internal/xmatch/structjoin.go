@@ -1,0 +1,88 @@
+package xmatch
+
+import (
+	"repro/internal/twig"
+	"repro/internal/xmldb"
+)
+
+// Pair is one (ancestor, descendant) result of a structural join.
+type Pair struct {
+	Ancestor, Descendant xmldb.NodeID
+}
+
+// StructuralJoin computes all pairs (a, d) with a from ancestors, d from
+// descendants, and a an ancestor of d — or a the parent of d when
+// parentOnly is set — using the stack-tree algorithm of the paper's
+// reference [1]. Both inputs must be in document order (as NodesByTag
+// returns them); the output is ordered by descendant.
+func StructuralJoin(doc *xmldb.Document, ancestors, descendants []xmldb.NodeID, parentOnly bool) []Pair {
+	var out []Pair
+	var stack []xmldb.NodeID
+	i, j := 0, 0
+	for j < len(descendants) {
+		d := doc.Node(descendants[j])
+		// Push every ancestor-stream node that starts before d does; the
+		// ones that have already ended are popped lazily below.
+		for i < len(ancestors) && doc.Node(ancestors[i]).Start < d.Start {
+			a := doc.Node(ancestors[i])
+			for len(stack) > 0 && doc.Node(stack[len(stack)-1]).End < a.Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, ancestors[i])
+			i++
+		}
+		for len(stack) > 0 && doc.Node(stack[len(stack)-1]).End < d.Start {
+			stack = stack[:len(stack)-1]
+		}
+		// Every remaining stack entry contains d: regions on a stack nest.
+		for _, a := range stack {
+			if parentOnly && doc.Parent(descendants[j]) != a {
+				continue
+			}
+			out = append(out, Pair{Ancestor: a, Descendant: descendants[j]})
+		}
+		j++
+	}
+	return out
+}
+
+// BinaryTwigMatch evaluates the pattern as a left-deep plan of binary
+// structural joins, one per twig edge in preorder: the pre-holistic
+// approach. Intermediates can blow up on branching twigs, which is exactly
+// the behaviour the holistic algorithms (and the paper's multi-model XJoin)
+// avoid; Stats records the blowup.
+func BinaryTwigMatch(doc *xmldb.Document, p *twig.Pattern) ([]Match, *Stats) {
+	stats := &Stats{}
+	nodes := p.Nodes()
+	partial := make([]Match, 0)
+	for _, root := range streamFor(doc, p, nodes[0]) {
+		m := make(Match, 1, len(nodes))
+		m[0] = root
+		partial = append(partial, m)
+	}
+	stats.bump(len(partial))
+
+	for i := 1; i < len(nodes); i++ {
+		q := nodes[i]
+		pairs := StructuralJoin(doc, streamFor(doc, p, q.Parent), streamFor(doc, p, q), q.Axis == twig.Child)
+		stats.PathSolutions += len(pairs)
+		stats.bump(len(pairs))
+		byAnc := make(map[xmldb.NodeID][]xmldb.NodeID)
+		for _, pr := range pairs {
+			byAnc[pr.Ancestor] = append(byAnc[pr.Ancestor], pr.Descendant)
+		}
+		next := make([]Match, 0, len(partial))
+		for _, m := range partial {
+			for _, d := range byAnc[m[q.Parent.ID]] {
+				nm := make(Match, i+1, len(nodes))
+				copy(nm, m)
+				nm[i] = d
+				next = append(next, nm)
+			}
+		}
+		partial = next
+		stats.bump(len(partial))
+	}
+	stats.Output = len(partial)
+	return partial, stats
+}

@@ -1,0 +1,78 @@
+package xmatch
+
+import (
+	"repro/internal/twig"
+	"repro/internal/xmldb"
+)
+
+// TJFastMatch evaluates a twig in the leaf-driven style of TJFast (Lu et
+// al., VLDB'05 — the paper's reference [5]): only the streams of *leaf*
+// query nodes are scanned; each leaf node's ancestor chain (our stand-in
+// for its extended Dewey label, which encodes exactly this information)
+// is matched against the root-leaf query path to produce path solutions,
+// which are then merged into full twig matches.
+func TJFastMatch(doc *xmldb.Document, p *twig.Pattern) ([]Match, *Stats) {
+	stats := &Stats{}
+	paths := rootLeafPaths(p)
+	sols := make([][][]xmldb.NodeID, len(paths))
+	for pi, path := range paths {
+		leaf := path[len(path)-1]
+		for _, n := range streamFor(doc, p, leaf) {
+			sols[pi] = append(sols[pi], matchAncestorChain(doc, p, path, n)...)
+		}
+		stats.PathSolutions += len(sols[pi])
+	}
+	ms := mergePathSolutions(p, paths, sols, stats)
+	return ms, stats
+}
+
+// matchAncestorChain returns every assignment of path (root-first) ending
+// at leaf node n, walking n's ancestor chain — the label-driven core of
+// TJFast, using parent pointers in place of decoding extended Dewey.
+func matchAncestorChain(doc *xmldb.Document, p *twig.Pattern, path []*twig.Node, n xmldb.NodeID) [][]xmldb.NodeID {
+	k := len(path)
+	binding := make([]xmldb.NodeID, k)
+	binding[k-1] = n
+	var out [][]xmldb.NodeID
+
+	// rec assigns path[i] given path[i+1]'s binding.
+	var rec func(i int, child xmldb.NodeID)
+	rec = func(i int, child xmldb.NodeID) {
+		if i < 0 {
+			root := binding[0]
+			if p.Rooted() && root != doc.Root() {
+				return
+			}
+			out = append(out, append([]xmldb.NodeID(nil), binding...))
+			return
+		}
+		q := path[i]
+		childAxis := path[i+1].Axis
+		if childAxis == twig.Child {
+			// The parent is forced.
+			par := doc.Parent(child)
+			if par == xmldb.NoNode || doc.Tag(par) != q.Tag || !nodeOK(doc, q, par) {
+				return
+			}
+			binding[i] = par
+			rec(i-1, par)
+			return
+		}
+		// Descendant edge: any strict ancestor with the right tag.
+		for a := doc.Parent(child); a != xmldb.NoNode; a = doc.Parent(a) {
+			if doc.Tag(a) != q.Tag || !nodeOK(doc, q, a) {
+				continue
+			}
+			binding[i] = a
+			rec(i-1, a)
+		}
+	}
+	if k == 1 {
+		if p.Rooted() && n != doc.Root() {
+			return nil
+		}
+		return [][]xmldb.NodeID{{n}}
+	}
+	rec(k-2, n)
+	return out
+}

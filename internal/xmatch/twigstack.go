@@ -1,0 +1,274 @@
+package xmatch
+
+import (
+	"math"
+
+	"repro/internal/twig"
+	"repro/internal/xmldb"
+)
+
+// TwigStackMatch computes all embeddings with a holistic twig-join
+// algorithm in the TwigStack family: per-query-node streams and linked
+// stacks, a getNext head-selection function, root-leaf path solutions
+// emitted on leaf pushes, and a final merge of path solutions into full
+// twig matches. Parent-child edges are verified during path enumeration
+// (TwigStack is only worst-case optimal for ancestor-descendant twigs — the
+// limitation the paper notes for prior XML work — but it remains correct on
+// mixed twigs).
+func TwigStackMatch(doc *xmldb.Document, p *twig.Pattern) ([]Match, *Stats) {
+	ts := newTwigStack(doc, p)
+	ts.run()
+	return ts.merge()
+}
+
+const infPos = math.MaxInt32
+
+type tsEntry struct {
+	node xmldb.NodeID
+	// parentTop is the index of the top of the parent query node's stack
+	// when this entry was pushed (-1 when the parent stack was empty, which
+	// only happens for the root).
+	parentTop int
+}
+
+type tsNode struct {
+	q        *twig.Node
+	parent   *tsNode
+	children []*tsNode
+	stream   []xmldb.NodeID
+	pos      int
+	stack    []tsEntry
+	dead     bool // subtree can produce no further path solutions
+}
+
+func (n *tsNode) eof() bool { return n.pos >= len(n.stream) }
+
+func (n *tsNode) headStart(doc *xmldb.Document) int32 {
+	if n.eof() {
+		return infPos
+	}
+	return doc.Node(n.stream[n.pos]).Start
+}
+
+func (n *tsNode) headEnd(doc *xmldb.Document) int32 {
+	if n.eof() {
+		return infPos
+	}
+	return doc.Node(n.stream[n.pos]).End
+}
+
+type twigStack struct {
+	doc     *xmldb.Document
+	pattern *twig.Pattern
+	nodes   []*tsNode // by query node ID (preorder)
+	root    *tsNode
+	leaves  []*tsNode
+	// pathSolutions[i] collects solutions of the i-th root-leaf query path;
+	// each solution lists bindings root-first.
+	paths         [][]*twig.Node
+	pathByLeaf    map[int]int
+	pathSolutions [][][]xmldb.NodeID
+	stats         *Stats
+}
+
+func newTwigStack(doc *xmldb.Document, p *twig.Pattern) *twigStack {
+	ts := &twigStack{
+		doc:        doc,
+		pattern:    p,
+		nodes:      make([]*tsNode, p.Len()),
+		pathByLeaf: make(map[int]int),
+		stats:      &Stats{},
+	}
+	for _, q := range p.Nodes() {
+		tn := &tsNode{q: q, stream: streamFor(doc, p, q)}
+		ts.nodes[q.ID] = tn
+		if q.Parent != nil {
+			tn.parent = ts.nodes[q.Parent.ID]
+			tn.parent.children = append(tn.parent.children, tn)
+		}
+	}
+	ts.root = ts.nodes[p.Root().ID]
+	for _, tn := range ts.nodes {
+		if len(tn.children) == 0 {
+			ts.leaves = append(ts.leaves, tn)
+		}
+	}
+	ts.paths = rootLeafPaths(p)
+	for i, path := range ts.paths {
+		ts.pathByLeaf[path[len(path)-1].ID] = i
+	}
+	ts.pathSolutions = make([][][]xmldb.NodeID, len(ts.paths))
+	return ts
+}
+
+// liveChildren returns the children whose subtree may still produce path
+// solutions (some stream not exhausted).
+func (ts *twigStack) liveChildren(n *tsNode) []*tsNode {
+	var out []*tsNode
+	for _, c := range n.children {
+		if !c.dead {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// getNext selects the query node whose stream head should be consumed next,
+// following the TwigStack head-selection recursion. Children whose subtree
+// is exhausted are skipped; an internal node with no live children acts as
+// a leaf (its own pushes can still extend previously emitted solutions of
+// live sibling paths via the merge).
+func (ts *twigStack) getNext(n *tsNode) *tsNode {
+	live := ts.liveChildren(n)
+	if len(live) == 0 {
+		return n
+	}
+	var nmin, nmax *tsNode
+	for _, c := range live {
+		ni := ts.getNext(c)
+		if ni != c {
+			return ni
+		}
+		if c.eof() {
+			// Surface the exhausted child so the main loop retires it;
+			// otherwise its +inf head would poison the nmax skip below and
+			// drain n's stream prematurely.
+			return c
+		}
+		if nmin == nil || c.headStart(ts.doc) < nmin.headStart(ts.doc) {
+			nmin = c
+		}
+		if nmax == nil || c.headStart(ts.doc) > nmax.headStart(ts.doc) {
+			nmax = c
+		}
+	}
+	// Skip heads of n that end before the farthest child head starts: they
+	// cannot be ancestors of all current child heads.
+	for !n.eof() && n.headEnd(ts.doc) < nmax.headStart(ts.doc) {
+		n.pos++
+	}
+	if n.headStart(ts.doc) < nmin.headStart(ts.doc) {
+		return n
+	}
+	return nmin
+}
+
+// markDeadIfExhausted marks n dead when its whole subtree is exhausted.
+func (ts *twigStack) markDeadIfExhausted(n *tsNode) bool {
+	if !n.eof() {
+		return false
+	}
+	for _, c := range n.children {
+		if !c.dead && !ts.markDeadIfExhausted(c) {
+			return false
+		}
+	}
+	n.dead = true
+	return true
+}
+
+func (ts *twigStack) run() {
+	doc := ts.doc
+	for !ts.root.dead {
+		q := ts.getNext(ts.root)
+		if q.eof() {
+			// q's subtree is exhausted; retire it so getNext makes progress
+			// on live siblings. If the root retires, we are done.
+			if !ts.markDeadIfExhausted(q) {
+				// Children still live but q's own stream is done: q can
+				// never be pushed again, so no new path solutions can pass
+				// through q; its subtree is dead for output purposes.
+				markDead(q)
+			}
+			if q == ts.root {
+				break
+			}
+			continue
+		}
+		head := q.stream[q.pos]
+		hs := doc.Node(head).Start
+
+		if q.parent != nil {
+			cleanStack(doc, q.parent, hs)
+		}
+		if q.parent == nil || len(q.parent.stack) > 0 {
+			cleanStack(doc, q, hs)
+			parentTop := -1
+			if q.parent != nil {
+				parentTop = len(q.parent.stack) - 1
+			}
+			q.stack = append(q.stack, tsEntry{node: head, parentTop: parentTop})
+			if len(q.children) == 0 {
+				ts.emitPathSolutions(q)
+				q.stack = q.stack[:len(q.stack)-1]
+			}
+		}
+		q.pos++
+	}
+	ts.root.dead = true
+}
+
+func markDead(n *tsNode) {
+	n.dead = true
+	for _, c := range n.children {
+		markDead(c)
+	}
+}
+
+func cleanStack(doc *xmldb.Document, n *tsNode, actStart int32) {
+	for len(n.stack) > 0 && doc.Node(n.stack[len(n.stack)-1].node).End < actStart {
+		n.stack = n.stack[:len(n.stack)-1]
+	}
+}
+
+// emitPathSolutions expands the stack-encoded solutions ending at the leaf
+// entry just pushed on leaf, verifying parent-child edges.
+func (ts *twigStack) emitPathSolutions(leaf *tsNode) {
+	doc := ts.doc
+	pathIdx := ts.pathByLeaf[leaf.q.ID]
+	path := ts.paths[pathIdx]
+	k := len(path)
+	binding := make([]xmldb.NodeID, k)
+
+	// rec expands bindings for path[0..i] given that path[i+1] is bound to
+	// an entry whose parentTop limits the usable entries of path[i].
+	var rec func(i int, maxTop int, childNode xmldb.NodeID, childAxis twig.Axis)
+	rec = func(i int, maxTop int, childNode xmldb.NodeID, childAxis twig.Axis) {
+		if i < 0 {
+			sol := append([]xmldb.NodeID(nil), binding...)
+			ts.pathSolutions[pathIdx] = append(ts.pathSolutions[pathIdx], sol)
+			ts.stats.PathSolutions++
+			return
+		}
+		tn := ts.nodes[path[i].ID]
+		for idx := 0; idx <= maxTop && idx < len(tn.stack); idx++ {
+			e := tn.stack[idx]
+			if childAxis == twig.Child {
+				if doc.Parent(childNode) != e.node {
+					continue
+				}
+			} else if !doc.IsAncestor(e.node, childNode) {
+				// Stack containment normally guarantees this; the explicit
+				// region check makes emitted solutions sound regardless.
+				continue
+			}
+			binding[i] = e.node
+			rec(i-1, e.parentTop, e.node, path[i].Axis)
+		}
+	}
+
+	leafEntry := leaf.stack[len(leaf.stack)-1]
+	binding[k-1] = leafEntry.node
+	if k == 1 {
+		ts.pathSolutions[pathIdx] = append(ts.pathSolutions[pathIdx], []xmldb.NodeID{leafEntry.node})
+		ts.stats.PathSolutions++
+		return
+	}
+	rec(k-2, leafEntry.parentTop, leafEntry.node, path[k-1].Axis)
+}
+
+// merge joins the per-path solutions on their shared query-node prefixes
+// into full twig matches.
+func (ts *twigStack) merge() ([]Match, *Stats) {
+	return mergePathSolutions(ts.pattern, ts.paths, ts.pathSolutions, ts.stats), ts.stats
+}

@@ -1,0 +1,80 @@
+package xmldb
+
+// Dewey is a Dewey label: the sequence of child ordinals on the path from
+// the root (whose label is empty) to a node. Labels give an alternative,
+// path-based implementation of the structural predicates, following the
+// Dewey-based matching line of work the paper cites (Lu et al., VLDB'05);
+// we implement ordinary Dewey rather than the tag-encoding "extended"
+// variant, which changes the label codec but not the matching logic.
+type Dewey []int32
+
+// Labeling holds the Dewey label of every node of one document.
+type Labeling struct {
+	labels []Dewey
+}
+
+// DeweyLabeling computes all labels in one preorder pass.
+func DeweyLabeling(d *Document) *Labeling {
+	l := &Labeling{labels: make([]Dewey, d.Len())}
+	var walk func(id NodeID)
+	walk = func(id NodeID) {
+		base := l.labels[id]
+		for i, c := range d.Children(id) {
+			lab := make(Dewey, len(base)+1)
+			copy(lab, base)
+			lab[len(base)] = int32(i)
+			l.labels[c] = lab
+			walk(c)
+		}
+	}
+	l.labels[d.Root()] = Dewey{}
+	walk(d.Root())
+	return l
+}
+
+// Label returns the label of id.
+func (l *Labeling) Label(id NodeID) Dewey { return l.labels[id] }
+
+// IsAncestor reports whether a is a strict prefix of b, i.e. a's node is a
+// strict ancestor of b's.
+func (a Dewey) IsAncestor(b Dewey) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	for i, x := range a {
+		if b[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// IsParent reports whether a's node is the parent of b's.
+func (a Dewey) IsParent(b Dewey) bool {
+	return len(a)+1 == len(b) && a.IsAncestor(b)
+}
+
+// Compare orders labels in document order: -1 if a precedes b, 0 if equal,
+// +1 if a follows b. An ancestor precedes its descendants.
+func (a Dewey) Compare(b Dewey) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,286 @@
+package xmldb
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// figure1XML is the paper's Figure 1 document (invoices with order lines).
+const figure1XML = `
+<invoices>
+  <orderLine>
+    <orderID>10963</orderID>
+    <ISBN>978-3-16-1</ISBN>
+    <price>30</price>
+    <discount>0.1</discount>
+  </orderLine>
+  <orderLine>
+    <orderID>20134</orderID>
+    <ISBN>634-3-12-2</ISBN>
+    <price>20</price>
+    <discount>0.3</discount>
+  </orderLine>
+</invoices>`
+
+func parseFig1(t *testing.T) (*Document, *relational.Dict) {
+	t.Helper()
+	dict := relational.NewDict()
+	doc, err := ParseString(figure1XML, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, dict
+}
+
+func TestParseFigure1(t *testing.T) {
+	doc, dict := parseFig1(t)
+	if doc.Tag(doc.Root()) != "invoices" {
+		t.Fatalf("root tag = %q", doc.Tag(doc.Root()))
+	}
+	if got := len(doc.NodesByTag("orderLine")); got != 2 {
+		t.Fatalf("orderLine count = %d", got)
+	}
+	ids := doc.NodesByTag("orderID")
+	if len(ids) != 2 {
+		t.Fatalf("orderID count = %d", len(ids))
+	}
+	if dict.String(doc.Value(ids[0])) != "10963" {
+		t.Errorf("first orderID value = %q", dict.String(doc.Value(ids[0])))
+	}
+	// The root is structural: its value must be synthetic, not Null.
+	if doc.Value(doc.Root()) == relational.Null {
+		t.Error("structural node has Null value")
+	}
+	if !IsSyntheticValue(dict, doc.Value(doc.Root())) {
+		t.Error("structural node value not marked synthetic")
+	}
+	if IsSyntheticValue(dict, doc.Value(ids[0])) {
+		t.Error("text value marked synthetic")
+	}
+}
+
+func TestRegionEncodingStructure(t *testing.T) {
+	doc, _ := parseFig1(t)
+	root := doc.Root()
+	for _, ol := range doc.NodesByTag("orderLine") {
+		if !doc.IsParent(root, ol) || !doc.IsAncestor(root, ol) {
+			t.Errorf("invoices should be parent+ancestor of orderLine %d", ol)
+		}
+		for _, price := range doc.NodesByTag("price") {
+			if doc.IsParent(root, price) {
+				t.Error("invoices is not price's parent")
+			}
+		}
+	}
+	ols := doc.NodesByTag("orderLine")
+	if doc.IsAncestor(ols[0], ols[1]) || doc.IsAncestor(ols[1], ols[0]) {
+		t.Error("siblings claim ancestry")
+	}
+	if doc.IsAncestor(root, root) {
+		t.Error("ancestry must be strict")
+	}
+}
+
+func TestBuilderAttrAndLeaf(t *testing.T) {
+	dict := relational.NewDict()
+	doc, err := NewBuilder(dict).
+		Open("order").
+		Attr("id", "42").
+		Leaf("item", "book").
+		Close().
+		Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := doc.NodesByTag("@id")
+	if len(attr) != 1 || dict.String(doc.Value(attr[0])) != "42" {
+		t.Fatalf("@id nodes = %v", attr)
+	}
+	if doc.Parent(attr[0]) != doc.Root() {
+		t.Error("attribute node not a child of its element")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	dict := relational.NewDict()
+	if _, err := NewBuilder(dict).Done(); err == nil {
+		t.Error("empty document accepted")
+	}
+	if _, err := NewBuilder(dict).Open("a").Done(); err == nil {
+		t.Error("unclosed element accepted")
+	}
+	if _, err := NewBuilder(dict).Close().Done(); err == nil {
+		t.Error("Close without Open accepted")
+	}
+	if _, err := NewBuilder(dict).Open("a").Close().Open("b").Close().Done(); err == nil {
+		t.Error("multiple roots accepted")
+	}
+	if _, err := NewBuilder(dict).Open("").Close().Done(); err == nil {
+		t.Error("empty tag accepted")
+	}
+	if _, err := NewBuilder(dict).Text("stray").Open("a").Close().Done(); err == nil {
+		t.Error("stray text accepted")
+	}
+}
+
+func TestParseMalformedXML(t *testing.T) {
+	dict := relational.NewDict()
+	for _, bad := range []string{"<a><b></a>", "<a>", "", "text only", "<a/><b/>"} {
+		if _, err := ParseString(bad, dict); err == nil {
+			t.Errorf("malformed %q accepted", bad)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	doc, dict := parseFig1(t)
+	var sb strings.Builder
+	if err := Write(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(sb.String(), dict)
+	if err != nil {
+		t.Fatalf("re-parsing serialized doc: %v\n%s", err, sb.String())
+	}
+	if doc2.Len() != doc.Len() {
+		t.Fatalf("round trip node count %d -> %d", doc.Len(), doc2.Len())
+	}
+	for _, tag := range doc.Tags() {
+		if len(doc2.NodesByTag(tag)) != len(doc.NodesByTag(tag)) {
+			t.Errorf("tag %s count changed", tag)
+		}
+	}
+	// Values of value-bearing nodes survive.
+	for i := 0; i < doc.Len(); i++ {
+		id := NodeID(i)
+		if IsSyntheticValue(dict, doc.Value(id)) {
+			continue
+		}
+		id2 := NodeID(i)
+		if dict.String(doc.Value(id)) != dict.String(doc2.Value(id2)) {
+			t.Errorf("node %d value changed: %q -> %q", i,
+				dict.String(doc.Value(id)), dict.String(doc2.Value(id2)))
+		}
+	}
+}
+
+func TestWriteEscapesText(t *testing.T) {
+	dict := relational.NewDict()
+	doc, err := NewBuilder(dict).Open("a").Text("x < y & z").Close().Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(sb.String(), dict)
+	if err != nil {
+		t.Fatalf("escaped output does not re-parse: %v\n%s", err, sb.String())
+	}
+	if dict.String(doc2.Value(doc2.Root())) != "x < y & z" {
+		t.Errorf("escaped text mangled: %q", dict.String(doc2.Value(doc2.Root())))
+	}
+}
+
+// randomDoc builds a random tree with the given node budget.
+func randomDoc(t *testing.T, rng *rand.Rand, n int) *Document {
+	t.Helper()
+	dict := relational.NewDict()
+	b := NewBuilder(dict)
+	tags := []string{"a", "b", "c", "d"}
+	open := 0
+	b.Open("root")
+	open++
+	for i := 0; i < n; i++ {
+		switch {
+		case open > 1 && rng.Intn(3) == 0:
+			b.Close()
+			open--
+		default:
+			b.Open(tags[rng.Intn(len(tags))])
+			if rng.Intn(2) == 0 {
+				b.Text(strconv.Itoa(rng.Intn(10)))
+			}
+			open++
+		}
+	}
+	for ; open > 0; open-- {
+		b.Close()
+	}
+	doc, err := b.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// Property: on random documents the region encoding and Dewey labels agree
+// on every ancestor/parent pair, and both agree with the parent pointers.
+func TestRegionDeweyAgreementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		doc := randomDoc(t, rng, 60)
+		lab := DeweyLabeling(doc)
+		n := doc.Len()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a, d := NodeID(i), NodeID(j)
+				wantAnc := deweyAnc(lab.Label(a), lab.Label(d))
+				if got := doc.IsAncestor(a, d); got != wantAnc {
+					t.Fatalf("trial %d: IsAncestor(%d,%d)=%v, Dewey says %v", trial, i, j, got, wantAnc)
+				}
+				wantPar := lab.Label(a).IsParent(lab.Label(d))
+				if got := doc.IsParent(a, d); got != wantPar {
+					t.Fatalf("trial %d: IsParent(%d,%d)=%v, Dewey says %v", trial, i, j, got, wantPar)
+				}
+				if wantPar && doc.Parent(d) != a {
+					t.Fatalf("trial %d: parent pointer disagrees", trial)
+				}
+			}
+		}
+		// Document order: Dewey Compare must order nodes by ID.
+		for i := 1; i < n; i++ {
+			if lab.Label(NodeID(i-1)).Compare(lab.Label(NodeID(i))) >= 0 {
+				t.Fatalf("trial %d: Dewey order broken at %d", trial, i)
+			}
+			if lab.Label(NodeID(i)).Compare(lab.Label(NodeID(i))) != 0 {
+				t.Fatalf("self-compare nonzero")
+			}
+		}
+	}
+}
+
+func deweyAnc(a, b Dewey) bool { return a.IsAncestor(b) }
+
+func TestLevelsMatchDeweyDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	doc := randomDoc(t, rng, 80)
+	lab := DeweyLabeling(doc)
+	for i := 0; i < doc.Len(); i++ {
+		if int(doc.Node(NodeID(i)).Level) != len(lab.Label(NodeID(i))) {
+			t.Fatalf("node %d: level %d but Dewey depth %d", i,
+				doc.Node(NodeID(i)).Level, len(lab.Label(NodeID(i))))
+		}
+	}
+}
+
+// TestParseNeverPanics: random tag soup through the XML parser.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	chunks := []string{"<a>", "</a>", "<b x='1'>", "</b>", "text", "<", ">", "&amp;", "&bad;", "<?pi?>", "<!--c-->"}
+	for trial := 0; trial < 3000; trial++ {
+		var sb strings.Builder
+		for i, n := 0, 1+rng.Intn(8); i < n; i++ {
+			sb.WriteString(chunks[rng.Intn(len(chunks))])
+		}
+		doc, err := ParseString(sb.String(), relational.NewDict())
+		if err == nil && doc.Len() == 0 {
+			t.Fatalf("accepted %q with zero nodes", sb.String())
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package xmldb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+func TestIndexesTagValues(t *testing.T) {
+	doc, dict := parseFig1(t)
+	ix := NewIndexes(doc)
+	prices := ix.TagValues("price")
+	if prices.Len() != 2 {
+		t.Fatalf("distinct price values = %d", prices.Len())
+	}
+	v30, ok := dict.Lookup("30")
+	if !ok || !prices.Contains(v30) {
+		t.Error("price 30 missing from TagValues")
+	}
+	if ix.TagValues("nonexistent").Len() != 0 {
+		t.Error("unknown tag should have empty value set")
+	}
+	nodes := ix.NodesByTagValue("price", v30)
+	if len(nodes) != 1 || dict.String(doc.Value(nodes[0])) != "30" {
+		t.Errorf("NodesByTagValue(price,30) = %v", nodes)
+	}
+}
+
+func TestEdgeIndexFigure1(t *testing.T) {
+	doc, dict := parseFig1(t)
+	ix := NewIndexes(doc)
+	e := ix.Edge("orderLine", "orderID")
+	if e.PairCount != 2 {
+		t.Fatalf("PairCount = %d", e.PairCount)
+	}
+	if e.ParentValues().Len() != 2 || e.ChildValues().Len() != 2 {
+		t.Fatalf("parent/child distinct = %d/%d", e.ParentValues().Len(), e.ChildValues().Len())
+	}
+	olv := doc.Value(doc.NodesByTag("orderLine")[0])
+	cs := e.ChildrenOf(olv)
+	v, _ := dict.Lookup("10963")
+	if cs == nil || !cs.Contains(v) {
+		t.Error("first orderLine should have child value 10963")
+	}
+	if !e.HasPair(olv, v) {
+		t.Error("HasPair(firstOrderLine, 10963) = false")
+	}
+	ps := e.ParentsOf(v)
+	if ps == nil || !ps.Contains(olv) {
+		t.Error("ParentsOf(10963) missing first orderLine")
+	}
+	// Mismatched tag pair: empty index, not a crash.
+	e2 := ix.Edge("price", "orderID")
+	if e2.PairCount != 0 || e2.ParentValues().Len() != 0 {
+		t.Error("price->orderID edge should be empty")
+	}
+	// Lazy cache returns the same instance.
+	if ix.Edge("orderLine", "orderID") != e {
+		t.Error("edge index not cached")
+	}
+}
+
+func TestAncestorWithTagValue(t *testing.T) {
+	doc, dict := parseFig1(t)
+	ix := NewIndexes(doc)
+	price := doc.NodesByTag("price")[0]
+	rootVal := doc.Value(doc.Root())
+	if !ix.AncestorWithTagValue(price, "invoices", rootVal) {
+		t.Error("price should have invoices ancestor")
+	}
+	olv := doc.Value(doc.NodesByTag("orderLine")[1])
+	if ix.AncestorWithTagValue(price, "orderLine", olv) {
+		t.Error("first price is not under second orderLine")
+	}
+	if ix.AncestorWithTagValue(doc.Root(), "invoices", rootVal) {
+		t.Error("ancestry must be strict")
+	}
+	_ = dict
+}
+
+// Property: for random documents, the edge index agrees with a direct scan
+// of parent pointers, and PairCount is bounded by the child tag count
+// (the size-preservation fact the paper's transformation relies on).
+func TestEdgeIndexAgreesWithScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		doc := randomDoc(t, rng, 70)
+		ix := NewIndexes(doc)
+		tags := doc.Tags()
+		for _, pt := range tags {
+			for _, ct := range tags {
+				e := ix.Edge(pt, ct)
+				if e.PairCount > len(doc.NodesByTag(ct)) {
+					t.Fatalf("PairCount %d exceeds |%s| = %d", e.PairCount, ct, len(doc.NodesByTag(ct)))
+				}
+				want := 0
+				for _, c := range doc.NodesByTag(ct) {
+					p := doc.Parent(c)
+					if p == NoNode || doc.Tag(p) != pt {
+						continue
+					}
+					want++
+					pv, cv := doc.Value(p), doc.Value(c)
+					if !e.HasPair(pv, cv) {
+						t.Fatalf("missing pair (%v,%v) for %s/%s", pv, cv, pt, ct)
+					}
+					if ps := e.ParentsOf(cv); ps == nil || !ps.Contains(pv) {
+						t.Fatalf("ParentsOf missing")
+					}
+				}
+				if e.PairCount != want {
+					t.Fatalf("PairCount %d want %d", e.PairCount, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTagValuesSortedAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	doc := randomDoc(t, rng, 100)
+	ix := NewIndexes(doc)
+	for _, tag := range doc.Tags() {
+		vs := ix.TagValues(tag)
+		for i := 1; i < vs.Len(); i++ {
+			if vs.At(i-1) >= vs.At(i) {
+				t.Fatalf("TagValues(%s) not strictly increasing", tag)
+			}
+		}
+		seen := make(map[relational.Value]bool)
+		for _, id := range doc.NodesByTag(tag) {
+			seen[doc.Value(id)] = true
+		}
+		if len(seen) != vs.Len() {
+			t.Fatalf("TagValues(%s) = %d distinct, scan says %d", tag, vs.Len(), len(seen))
+		}
+	}
+}

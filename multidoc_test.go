@@ -1,0 +1,181 @@
+package xmjoin
+
+import (
+	"strings"
+	"testing"
+)
+
+const ordersDocXML = `
+<orders>
+  <order><orderID>1</orderID><item>book</item></order>
+  <order><orderID>2</orderID><item>pen</item></order>
+  <order><orderID>3</orderID><item>ink</item></order>
+</orders>`
+
+const shipmentsDocXML = `
+<shipments>
+  <shipment><orderID>1</orderID><carrier>dhl</carrier></shipment>
+  <shipment><orderID>3</orderID><carrier>ups</carrier></shipment>
+</shipments>`
+
+func multiDocDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	if err := db.LoadXMLNamedString("orders", ordersDocXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadXMLNamedString("shipments", shipmentsDocXML); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestCrossDocumentJoin joins twigs over two separate XML documents — the
+// paper's multiple-XML-DB setting — on the shared orderID values.
+func TestCrossDocumentJoin(t *testing.T) {
+	db := multiDocDB(t)
+	if got := db.DocNames(); len(got) != 2 || got[0] != "orders" || got[1] != "shipments" {
+		t.Fatalf("DocNames = %v", got)
+	}
+	q, err := db.QueryOn([]TwigOn{
+		{Doc: "orders", Twig: "//order[orderID]/item"},
+		{Doc: "shipments", Twig: "//shipment[orderID]/carrier"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.ExecXJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Project("orderID", "item", "carrier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Sort()
+	if out.Len() != 2 {
+		t.Fatalf("cross-doc join = %d rows want 2", out.Len())
+	}
+	if got := strings.Join(out.Row(0), "|"); got != "1|book|dhl" {
+		t.Errorf("row 0 = %s", got)
+	}
+	if got := strings.Join(out.Row(1), "|"); got != "3|ink|ups" {
+		t.Errorf("row 1 = %s", got)
+	}
+
+	base, err := q.ExecBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(base) {
+		t.Fatalf("cross-doc: XJoin %d vs baseline %d", res.Len(), base.Len())
+	}
+
+	// Bounds and Explain work across documents (atoms carry doc prefixes).
+	plan, err := q.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "D1.") || !strings.Contains(plan, "D2.") {
+		t.Errorf("plan lacks per-document atom prefixes:\n%s", plan)
+	}
+	if _, err := q.Bounds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossDocumentWithTableAndDefault mixes the default document, a named
+// document, and a relational table in one query.
+func TestCrossDocumentWithTableAndDefault(t *testing.T) {
+	db := multiDocDB(t)
+	if err := db.LoadXMLString(`<ratings><entry><carrier>dhl</carrier><stars>5</stars></entry></ratings>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTableRows("users", []string{"orderID", "user"}, [][]string{
+		{"1", "jack"}, {"3", "tom"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.QueryOn([]TwigOn{
+		{Doc: "orders", Twig: "//order[orderID]/item"},
+		{Doc: "shipments", Twig: "//shipment[orderID]/carrier"},
+		{Twig: "//entry[carrier]/stars"}, // default document
+	}, "users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.ExecXJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Project("user", "item", "carrier", "stars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || strings.Join(out.Row(0), "|") != "jack|book|dhl|5" {
+		t.Fatalf("mixed query rows = %v", rowsOf(out))
+	}
+	base, err := q.ExecBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(base) {
+		t.Fatal("mixed query: algorithms disagree")
+	}
+}
+
+func TestQueryOnErrors(t *testing.T) {
+	db := multiDocDB(t)
+	if _, err := db.QueryOn([]TwigOn{{Doc: "nope", Twig: "//a"}}); err == nil {
+		t.Error("unknown document accepted")
+	}
+	if _, err := db.QueryOn([]TwigOn{{Twig: "//a"}}); err == nil {
+		t.Error("default-doc twig accepted without a default document")
+	}
+	if _, err := db.QueryOn([]TwigOn{{Doc: "orders", Twig: "///"}}); err == nil {
+		t.Error("bad twig accepted")
+	}
+	if err := db.LoadXMLNamedString("", "<a/>"); err == nil {
+		t.Error("empty document name accepted")
+	}
+	if err := db.LoadXMLNamedString("x", "<a><b></a>"); err == nil {
+		t.Error("malformed named document accepted")
+	}
+}
+
+func TestMultiDocPersistence(t *testing.T) {
+	dir := t.TempDir()
+	db := multiDocDB(t)
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.DocNames(); len(got) != 2 {
+		t.Fatalf("reloaded doc names = %v", got)
+	}
+	q, err := db2.QueryOn([]TwigOn{
+		{Doc: "orders", Twig: "//order[orderID]/item"},
+		{Doc: "shipments", Twig: "//shipment[orderID]/carrier"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.ExecXJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("reloaded cross-doc join = %d rows", res.Len())
+	}
+}
+
+func rowsOf(r *Result) [][]string {
+	out := make([][]string, r.Len())
+	for i := range out {
+		out[i] = r.Row(i)
+	}
+	return out
+}

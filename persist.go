@@ -1,0 +1,114 @@
+package xmjoin
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/relational"
+	"repro/internal/xmldb"
+)
+
+// manifest is the on-disk catalog of a saved database.
+type manifest struct {
+	Version int               `json:"version"`
+	XML     string            `json:"xml,omitempty"`
+	Docs    map[string]string `json:"docs,omitempty"`
+	Tables  []string          `json:"tables"`
+}
+
+const manifestName = "xmjoin.json"
+
+// Save writes the database to dir: the XML document as doc.xml, each table
+// as NAME.csv, and a manifest. The directory is created if needed; existing
+// files with those names are overwritten.
+func (db *Database) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m := manifest{Version: 1, Tables: db.order}
+	writeDoc := func(file string, doc *xmldb.Document) error {
+		f, err := os.Create(filepath.Join(dir, file))
+		if err != nil {
+			return err
+		}
+		if err := xmldb.Write(f, doc); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if db.doc != nil {
+		m.XML = "doc.xml"
+		if err := writeDoc(m.XML, db.doc); err != nil {
+			return err
+		}
+	}
+	if len(db.docs) > 0 {
+		m.Docs = make(map[string]string, len(db.docs))
+		for name, doc := range db.docs {
+			file := "doc-" + name + ".xml"
+			m.Docs[name] = file
+			if err := writeDoc(file, doc); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range db.order {
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := relational.WriteCSV(f, db.tables[name], db.dict); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), append(raw, '\n'), 0o644)
+}
+
+// Open loads a database previously written by Save.
+func Open(dir string) (*Database, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("xmjoin: reading manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("xmjoin: unsupported database version %d", m.Version)
+	}
+	db := NewDatabase()
+	if m.XML != "" {
+		if err := db.LoadXMLFile(filepath.Join(dir, m.XML)); err != nil {
+			return nil, err
+		}
+	}
+	for name, file := range m.Docs {
+		f, err := os.Open(filepath.Join(dir, file))
+		if err != nil {
+			return nil, err
+		}
+		err = db.LoadXMLNamed(name, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range m.Tables {
+		if err := db.AddTableCSVFile(name, filepath.Join(dir, name+".csv")); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

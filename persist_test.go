@@ -1,0 +1,86 @@
+package xmjoin
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := figure1DB(t)
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded database must answer the Figure 1 query identically.
+	run := func(d *Database) *Result {
+		q, err := d.Query("/invoices/orderLine[orderID][ISBN]/price", "R")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := q.ExecXJoin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(db), run(db2)
+	if !r1.Equal(r2) {
+		t.Fatalf("reloaded database answers differ: %d vs %d", r1.Len(), r2.Len())
+	}
+	if got := db2.TableNames(); len(got) != 1 || got[0] != "R" {
+		t.Errorf("reloaded tables = %v", got)
+	}
+}
+
+func TestSaveOpenTablesOnly(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDatabase()
+	if err := db.AddTableRows("R", []string{"a", "b"}, [][]string{{"1", "2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Doc() != nil {
+		t.Error("phantom document after reload")
+	}
+	tb, ok := db2.Table("R")
+	if !ok || tb.Len() != 1 {
+		t.Error("table lost in round trip")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{bad json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("future version accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName),
+		[]byte(`{"version":1,"tables":["missing"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("missing table file accepted")
+	}
+}

@@ -1,0 +1,402 @@
+// Package xmjoin is a worst-case optimal join engine for multi-model
+// queries spanning relational tables and XML documents, reproducing
+// "Worst Case Optimal Joins on Relational and XML data" (Chen, SIGMOD'18).
+//
+// A query names some relational tables and an XML twig pattern; attributes
+// with equal names join across the models (a twig node's tag doubles as an
+// attribute whose values are the matched elements' text). The engine offers
+// two evaluation strategies:
+//
+//   - XJoin (the paper's Algorithm 1): a single attribute-at-a-time
+//     worst-case optimal join over both models at once, in which the twig's
+//     parent-child edges participate as virtual relations backed by XML
+//     indexes. Every intermediate stage is bounded by the AGM bound of the
+//     whole multi-model query.
+//
+//   - Baseline: the conventional combination — evaluate the relational part
+//     Q1 (hash joins) and the XML part Q2 (a holistic TwigStack-family
+//     matcher) separately, then join the results. Q2 alone can be
+//     polynomially larger than the combined query's worst case, which is
+//     the gap the paper's Figure 3 demonstrates.
+//
+// Size bounds (Equation 1) are available exactly: the twig is transformed
+// into root-leaf path relations (Figure 2) and the fractional edge cover /
+// vertex packing LPs are solved in exact rational arithmetic.
+//
+// Quickstart:
+//
+//	db := xmjoin.NewDatabase()
+//	_ = db.LoadXMLString(invoicesXML)
+//	_ = db.AddTableRows("R", []string{"orderID", "userID"}, rows)
+//	q, _ := db.Query("/invoices/orderLine[orderID][ISBN]/price", "R")
+//	res, _ := q.ExecXJoin()
+//	out, _ := res.Project("userID", "ISBN", "price")
+package xmjoin
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relational"
+	"repro/internal/twig"
+	"repro/internal/xmldb"
+)
+
+// Database holds XML documents (a default one plus any number of named
+// ones) and relational tables over a shared value dictionary, ready to be
+// queried jointly — the multi-model, multi-DB setting the paper motivates.
+type Database struct {
+	dict   *relational.Dict
+	doc    *xmldb.Document
+	docs   map[string]*xmldb.Document
+	tables map[string]*relational.Table
+	order  []string // table insertion order
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		dict:   relational.NewDict(),
+		docs:   make(map[string]*xmldb.Document),
+		tables: make(map[string]*relational.Table),
+	}
+}
+
+// Dict exposes the shared value dictionary (mostly for decoding values in
+// custom output paths).
+func (db *Database) Dict() *relational.Dict { return db.dict }
+
+// Doc returns the loaded XML document, or nil.
+func (db *Database) Doc() *xmldb.Document { return db.doc }
+
+// LoadXML parses and stores the database's XML document. A database holds
+// one document; loading again replaces it.
+func (db *Database) LoadXML(r io.Reader) error {
+	doc, err := xmldb.Parse(r, db.dict)
+	if err != nil {
+		return err
+	}
+	db.doc = doc
+	return nil
+}
+
+// LoadXMLString is LoadXML over a string.
+func (db *Database) LoadXMLString(s string) error {
+	return db.LoadXML(strings.NewReader(s))
+}
+
+// LoadXMLFile is LoadXML over a file path.
+func (db *Database) LoadXMLFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.LoadXML(f)
+}
+
+// LoadXMLNamed parses and stores an additional named document; twigs
+// address it via QueryOn. Loading an existing name replaces that document.
+func (db *Database) LoadXMLNamed(name string, r io.Reader) error {
+	if name == "" {
+		return fmt.Errorf("xmjoin: named document needs a non-empty name")
+	}
+	doc, err := xmldb.Parse(r, db.dict)
+	if err != nil {
+		return err
+	}
+	db.docs[name] = doc
+	return nil
+}
+
+// LoadXMLNamedString is LoadXMLNamed over a string.
+func (db *Database) LoadXMLNamedString(name, s string) error {
+	return db.LoadXMLNamed(name, strings.NewReader(s))
+}
+
+// DocNames lists the named documents, sorted.
+func (db *Database) DocNames() []string {
+	out := make([]string, 0, len(db.docs))
+	for n := range db.docs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TwigOn addresses one twig at one document: the default document when Doc
+// is empty, a named one otherwise.
+type TwigOn struct {
+	// Doc names the target document ("" = the default document).
+	Doc string
+	// Twig is the pattern in the XPath subset.
+	Twig string
+}
+
+// QueryOn assembles a query whose twigs may target different documents —
+// the paper's multiple-XML-DB setting. Values join across documents and
+// tables through the shared dictionary.
+func (db *Database) QueryOn(twigs []TwigOn, tableNames ...string) (*Query, error) {
+	var inputs []core.TwigInput
+	for _, t := range twigs {
+		p, err := twig.Parse(t.Twig)
+		if err != nil {
+			return nil, err
+		}
+		doc := db.doc
+		if t.Doc != "" {
+			var ok bool
+			doc, ok = db.docs[t.Doc]
+			if !ok {
+				return nil, fmt.Errorf("xmjoin: unknown document %q", t.Doc)
+			}
+		}
+		if doc == nil {
+			return nil, fmt.Errorf("xmjoin: twig %s targets the default document but none is loaded", t.Twig)
+		}
+		inputs = append(inputs, core.TwigInput{Doc: doc, Pattern: p})
+	}
+	tables, err := db.resolveTables(tableNames)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := core.NewQueryInputs(inputs, tables)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{db: db, q: cq}, nil
+}
+
+func (db *Database) resolveTables(names []string) ([]*relational.Table, error) {
+	var tables []*relational.Table
+	for _, n := range names {
+		t, ok := db.tables[n]
+		if !ok {
+			return nil, fmt.Errorf("xmjoin: unknown table %q", n)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// AddTableCSV loads a relational table from CSV (header row = schema).
+func (db *Database) AddTableCSV(name string, r io.Reader) error {
+	t, err := relational.ReadCSV(r, name, db.dict)
+	if err != nil {
+		return err
+	}
+	return db.addTable(t)
+}
+
+// AddTableCSVFile is AddTableCSV over a file path.
+func (db *Database) AddTableCSVFile(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.AddTableCSV(name, f)
+}
+
+// AddTableRows creates a table from string rows.
+func (db *Database) AddTableRows(name string, attrs []string, rows [][]string) error {
+	schema, err := relational.NewSchema(attrs...)
+	if err != nil {
+		return err
+	}
+	t := relational.NewTable(name, schema)
+	tup := make(relational.Tuple, len(attrs))
+	for i, row := range rows {
+		if len(row) != len(attrs) {
+			return fmt.Errorf("xmjoin: table %s row %d has %d fields, want %d", name, i, len(row), len(attrs))
+		}
+		for j, s := range row {
+			tup[j] = db.dict.Intern(s)
+		}
+		if err := t.Append(tup); err != nil {
+			return err
+		}
+	}
+	return db.addTable(t)
+}
+
+func (db *Database) addTable(t *relational.Table) error {
+	if _, dup := db.tables[t.Name()]; dup {
+		return fmt.Errorf("xmjoin: table %q already exists", t.Name())
+	}
+	db.tables[t.Name()] = t
+	db.order = append(db.order, t.Name())
+	return nil
+}
+
+// Table returns a loaded table by name.
+func (db *Database) Table(name string) (*relational.Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// TableNames lists the loaded tables in insertion order.
+func (db *Database) TableNames() []string { return append([]string(nil), db.order...) }
+
+// Query assembles a multi-model query from a twig expression (empty string
+// for a pure relational query) and table names (none for a pure XML query).
+// The twig syntax is an XPath subset: /a/b child steps, //a descendant
+// steps, [p] predicates (child), [.//p] descendant predicates, and
+// tag="value" equality selections.
+func (db *Database) Query(twigExpr string, tableNames ...string) (*Query, error) {
+	var exprs []string
+	if twigExpr != "" {
+		exprs = []string{twigExpr}
+	}
+	return db.QueryMulti(exprs, tableNames...)
+}
+
+// QueryMulti assembles a query over any number of twig expressions —
+// Algorithm 1 takes "XML twigs Sx" plural. A tag shared by several twigs
+// (or by a twig and a table column) is a join point.
+func (db *Database) QueryMulti(twigExprs []string, tableNames ...string) (*Query, error) {
+	var patterns []*twig.Pattern
+	for _, expr := range twigExprs {
+		p, err := twig.Parse(expr)
+		if err != nil {
+			return nil, err
+		}
+		patterns = append(patterns, p)
+	}
+	if len(patterns) > 0 && db.doc == nil {
+		return nil, fmt.Errorf("xmjoin: twig query given but no XML document loaded")
+	}
+	tables, err := db.resolveTables(tableNames)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := core.NewQueryMulti(db.doc, patterns, tables)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{db: db, q: cq}, nil
+}
+
+// Strategy selects an automatic attribute-ordering heuristic.
+type Strategy = core.OrderStrategy
+
+// Re-exported ordering strategies; see the core documentation.
+const (
+	RelationalFirst = core.OrderRelationalFirst
+	DocumentOrder   = core.OrderDocument
+	Greedy          = core.OrderGreedy
+	MinBound        = core.OrderMinBound
+)
+
+// Query is a prepared multi-model join.
+type Query struct {
+	db   *Database
+	q    *core.Query
+	opts core.Options
+}
+
+// Attrs returns the query's output attributes.
+func (q *Query) Attrs() []string { return q.q.Attrs() }
+
+// SharedAttrs returns the attributes joining the two models.
+func (q *Query) SharedAttrs() []string { return q.q.SharedAttrs() }
+
+// WithOrder fixes the attribute expansion priority PA explicitly; it must
+// cover exactly the query's attributes.
+func (q *Query) WithOrder(attrs ...string) *Query {
+	q.opts.Order = attrs
+	return q
+}
+
+// WithStrategy selects the automatic ordering heuristic.
+func (q *Query) WithStrategy(s Strategy) *Query {
+	q.opts.Strategy = s
+	return q
+}
+
+// WithPartialAD enables the paper's future-work extension: ancestor-
+// descendant twig edges filter intermediate results during the join instead
+// of only being validated at the end.
+func (q *Query) WithPartialAD(on bool) *Query {
+	q.opts.PartialAD = on
+	return q
+}
+
+// WithParallelism fans XJoin's stage expansion out over n goroutines
+// (negative = GOMAXPROCS; 0 or 1 = serial). Answers and statistics are
+// identical to a serial run.
+func (q *Query) WithParallelism(n int) *Query {
+	q.opts.Parallelism = n
+	return q
+}
+
+// ExecXJoin evaluates the query with the worst-case optimal multi-model
+// join (Algorithm 1).
+func (q *Query) ExecXJoin() (*Result, error) {
+	r, err := core.XJoin(q.q, q.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{db: q.db, r: r}, nil
+}
+
+// ExecBaseline evaluates the query with the per-model baseline
+// (Q1 hash joins, Q2 holistic twig match, then a combining join).
+func (q *Query) ExecBaseline() (*Result, error) {
+	r, err := core.Baseline(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{db: q.db, r: r}, nil
+}
+
+// Bounds computes the query's worst-case size bounds (Equation 1) on the
+// transformed hypergraph of Figure 2.
+func (q *Query) Bounds() (*Bounds, error) {
+	b, err := core.ComputeBounds(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return &Bounds{b: b}, nil
+}
+
+// StageBounds returns the per-stage worst-case bound for the expansion
+// order the query would use (Lemma 3.5).
+func (q *Query) StageBounds() ([]float64, error) {
+	order := q.opts.Order
+	if order == nil {
+		order = core.ChooseOrder(q.q, q.opts.Strategy)
+	}
+	return core.StageBounds(q.q, order)
+}
+
+// Explain renders the XJoin plan: atoms and cardinalities, the attribute
+// priority, per-stage bounds, and the query's AGM exponents.
+func (q *Query) Explain() (string, error) {
+	return core.Explain(q.q, q.opts)
+}
+
+// ExecXJoinStream evaluates the query with the streaming worst-case optimal
+// join, invoking emit for each validated answer (decoded to strings, in the
+// plan's attribute order) without materializing the result. Returning false
+// from emit stops the join. It returns the run's statistics.
+func (q *Query) ExecXJoinStream(emit func(row []string) bool) (core.Stats, error) {
+	var decoded []string
+	stats, err := core.XJoinStream(q.q, q.opts, func(t relational.Tuple) bool {
+		if decoded == nil {
+			decoded = make([]string, len(t))
+		}
+		for i, v := range t {
+			decoded[i] = xmldb.DisplayValue(q.db.dict, v)
+		}
+		return emit(decoded)
+	})
+	if err != nil {
+		return core.Stats{}, err
+	}
+	return *stats, nil
+}
