@@ -51,21 +51,22 @@ func (a *EdgeAtom) Attrs() []string { return []string{a.parentTag, a.childTag} }
 // which the transformation bounds by the child tag's node count.
 func (a *EdgeAtom) Size() int { return a.edge.PairCount }
 
-// Candidates implements wcoj.Atom.
-func (a *EdgeAtom) Candidates(attr string, b wcoj.Binding) *relational.ValueSet {
+// Open implements wcoj.Atom: the returned cursor seeks over the edge
+// index's sorted value lists without materializing anything per call.
+func (a *EdgeAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {
 	switch attr {
 	case a.childTag:
 		if pv, ok := b.Get(a.parentTag); ok {
-			return a.edge.ChildrenOf(pv)
+			return wcoj.OpenValueSet(a.edge.ChildrenOf(pv)), nil
 		}
-		return a.edge.ChildValues()
+		return wcoj.OpenValueSet(a.edge.ChildValues()), nil
 	case a.parentTag:
 		if cv, ok := b.Get(a.childTag); ok {
-			return a.edge.ParentsOf(cv)
+			return wcoj.OpenValueSet(a.edge.ParentsOf(cv)), nil
 		}
-		return a.edge.ParentValues()
+		return wcoj.OpenValueSet(a.edge.ParentValues()), nil
 	default:
-		return nil
+		return nil, fmt.Errorf("core: atom %s has no attribute %q", a.name, attr)
 	}
 }
 
@@ -128,12 +129,12 @@ func (a *TagAtom) Attrs() []string { return []string{a.tag} }
 // Size returns the number of distinct values.
 func (a *TagAtom) Size() int { return a.vals.Len() }
 
-// Candidates implements wcoj.Atom.
-func (a *TagAtom) Candidates(attr string, _ wcoj.Binding) *relational.ValueSet {
+// Open implements wcoj.Atom.
+func (a *TagAtom) Open(attr string, _ wcoj.Binding) (wcoj.AtomIterator, error) {
 	if attr != a.tag {
-		return nil
+		return nil, fmt.Errorf("core: atom %s has no attribute %q", a.name, attr)
 	}
-	return a.vals
+	return wcoj.OpenValueSet(a.vals), nil
 }
 
 // ADAtom is the value-level ancestor-descendant relation of one cut twig
@@ -192,21 +193,21 @@ func (a *ADAtom) Name() string { return a.name }
 // Attrs implements wcoj.Atom.
 func (a *ADAtom) Attrs() []string { return []string{a.ancTag, a.descTag} }
 
-// Candidates implements wcoj.Atom.
-func (a *ADAtom) Candidates(attr string, b wcoj.Binding) *relational.ValueSet {
+// Open implements wcoj.Atom.
+func (a *ADAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {
 	switch attr {
 	case a.descTag:
 		if av, ok := b.Get(a.ancTag); ok {
-			return a.a2d[av]
+			return wcoj.OpenValueSet(a.a2d[av]), nil
 		}
-		return a.descs
+		return wcoj.OpenValueSet(a.descs), nil
 	case a.ancTag:
 		if dv, ok := b.Get(a.descTag); ok {
-			return a.d2a[dv]
+			return wcoj.OpenValueSet(a.d2a[dv]), nil
 		}
-		return a.ancs
+		return wcoj.OpenValueSet(a.ancs), nil
 	default:
-		return nil
+		return nil, fmt.Errorf("core: atom %s has no attribute %q", a.name, attr)
 	}
 }
 

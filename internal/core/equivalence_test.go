@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/relational"
+	"repro/internal/wcoj"
+)
+
+// tupleSet renders tuples (projected onto cols) as a sorted string set.
+func tupleSet(tuples []relational.Tuple, cols []int) []string {
+	out := make([]string, 0, len(tuples))
+	seen := make(map[string]bool, len(tuples))
+	for _, t := range tuples {
+		key := make([]relational.Value, len(cols))
+		for i, c := range cols {
+			key[i] = t[c]
+		}
+		s := fmt.Sprint(key)
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// materializeAtom enumerates an atom's tuples into a physical table, so the
+// binary-join baseline can consume virtual XML relations.
+func materializeAtom(t *testing.T, a wcoj.Atom) *relational.Table {
+	t.Helper()
+	tb := relational.NewTable(a.Name(), relational.MustSchema(a.Attrs()...))
+	if _, err := wcoj.GenericJoinStream([]wcoj.Atom{a}, a.Attrs(), func(tu relational.Tuple) bool {
+		if err := tb.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// TestExecutorEquivalence joins random multi-model instances — physical
+// tables plus the twig's virtual Tag/Edge atoms — through all four engines:
+// the streaming Generic Join, its materializing wrapper, the parallel
+// executor, and the generalized Leapfrog Triejoin (the XML atoms running
+// under Leapfrog-style seeking). A conventional binary hash-join plan over
+// the materialized atom relations is the cross-model oracle. All five must
+// produce the identical tuple set.
+func TestExecutorEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 30; trial++ {
+		inst, err := datagen.RandomMultiModel(rng, datagen.RandomConfig{Tables: 1 + rng.Intn(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := mustQuery(t, inst)
+		atoms := buildAtoms(q.twigs, q.Tables, false)
+		order := ChooseOrder(q, OrderRelationalFirst)
+
+		mat, err := wcoj.GenericJoin(atoms, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed []relational.Tuple
+		if _, err := wcoj.GenericJoinStream(atoms, order, func(tu relational.Tuple) bool {
+			streamed = append(streamed, tu.Clone())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		par, err := wcoj.GenericJoinParallel(atoms, order, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var leapfrogged []relational.Tuple
+		lfStats, err := wcoj.LeapfrogJoin(atoms, order, func(tu relational.Tuple) bool {
+			leapfrogged = append(leapfrogged, tu.Clone())
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lfStats.Output != len(leapfrogged) {
+			t.Fatalf("trial %d: leapfrog stats output %d vs %d", trial, lfStats.Output, len(leapfrogged))
+		}
+
+		all := make([]int, len(order))
+		for i := range all {
+			all[i] = i
+		}
+		want := tupleSet(mat.Tuples, all)
+		for name, got := range map[string][]relational.Tuple{
+			"stream":   streamed,
+			"parallel": par.Tuples,
+			"leapfrog": leapfrogged,
+		} {
+			if !reflect.DeepEqual(tupleSet(got, all), want) {
+				t.Fatalf("trial %d twig %s: %s disagrees: %d tuples vs %d",
+					trial, inst.Pattern, name, len(got), len(mat.Tuples))
+			}
+		}
+
+		// Binary hash-join baseline over the materialized atom relations.
+		tables := make([]*relational.Table, len(atoms))
+		for i, a := range atoms {
+			tables[i] = materializeAtom(t, a)
+		}
+		joined, _, err := wcoj.ChainHashJoin("oracle", tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proj, err := joined.Project("oracle", order...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proj.Dedup()
+		var oracle []relational.Tuple
+		proj.Rows(func(tu relational.Tuple) bool {
+			oracle = append(oracle, tu.Clone())
+			return true
+		})
+		if !reflect.DeepEqual(tupleSet(oracle, all), want) {
+			t.Fatalf("trial %d twig %s: binary baseline %d tuples vs wcoj %d",
+				trial, inst.Pattern, len(oracle), len(mat.Tuples))
+		}
+	}
+}

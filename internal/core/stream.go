@@ -48,7 +48,10 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 			}
 		}
 		stats.Output++
-		return emit(t)
+		if !emit(t) {
+			return false
+		}
+		return opts.Limit <= 0 || stats.Output < opts.Limit
 	})
 	if err != nil {
 		return nil, err

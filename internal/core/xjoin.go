@@ -48,6 +48,12 @@ type Options struct {
 	// 0 or 1 runs serially, negative uses GOMAXPROCS. Output and
 	// statistics are identical to the serial run.
 	Parallelism int
+	// Limit, when positive, stops the join after that many validated
+	// answers — the early-termination the streaming executor enables
+	// (existence checks are Limit=1). The parallel executor materializes
+	// stages and only truncates the final result; use the serial path when
+	// early termination matters.
+	Limit int
 }
 
 // XJoin evaluates the query with Algorithm 1: a worst-case optimal
@@ -74,20 +80,57 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	var gj *wcoj.GenericJoinResult
-	var err error
-	switch {
-	case opts.Parallelism < 0:
-		gj, err = wcoj.GenericJoinParallel(atoms, order, 0)
-	case opts.Parallelism > 1:
-		gj, err = wcoj.GenericJoinParallel(atoms, order, opts.Parallelism)
-	default:
-		gj, err = wcoj.GenericJoin(atoms, order)
+	if opts.Parallelism < 0 || opts.Parallelism > 1 {
+		return xjoinParallel(q, opts, atoms, order, algo)
 	}
+
+	// Serial path: stream candidate tuples out of the iterator-based
+	// executor and apply Algorithm 1's final filter ("Filter R by
+	// validating structure of Sx") per tuple, so no unvalidated stage is
+	// ever materialized and Limit can stop the join early.
+	var validators []*validator
+	if len(q.twigs) > 0 && !opts.SkipValidation {
+		validators = make([]*validator, len(q.twigs))
+		for i, tw := range q.twigs {
+			validators[i] = newValidator(tw.ix, tw.pattern, order)
+		}
+	}
+	res := &Result{Stats: Stats{Algorithm: algo}}
+	gjStats, err := wcoj.GenericJoinStream(atoms, order, func(t relational.Tuple) bool {
+		for _, v := range validators {
+			if !v.hasWitness(t) {
+				res.Stats.ValidationRemoved++
+				return true
+			}
+		}
+		res.Tuples = append(res.Tuples, t.Clone())
+		return opts.Limit <= 0 || len(res.Tuples) < opts.Limit
+	})
 	if err != nil {
 		return nil, err
 	}
+	res.Attrs = gjStats.Order
+	res.Stats.Order = gjStats.Order
+	res.Stats.StageSizes = gjStats.StageSizes
+	res.Stats.PeakIntermediate = gjStats.PeakIntermediate
+	res.Stats.Output = len(res.Tuples)
+	for _, s := range gjStats.StageSizes {
+		res.Stats.TotalIntermediate += s
+	}
+	return res, nil
+}
 
+// xjoinParallel is XJoin over the breadth-first parallel executor, which
+// must materialize candidate stages before the final validation pass.
+func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, algo string) (*Result, error) {
+	workers := opts.Parallelism
+	if workers < 0 {
+		workers = 0
+	}
+	gj, err := wcoj.GenericJoinParallel(atoms, order, workers)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Attrs: gj.Attrs, Stats: Stats{
 		Algorithm:        algo,
 		Order:            gj.Stats.Order,
@@ -98,26 +141,26 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 	for _, s := range gj.Stats.StageSizes {
 		res.Stats.TotalIntermediate += s
 	}
-
-	// Final filter of Algorithm 1: "Filter R by validating structure of Sx".
 	if len(q.twigs) == 0 || opts.SkipValidation {
 		res.Tuples = gj.Tuples
-		res.Stats.Output = len(res.Tuples)
-		return res, nil
-	}
-	validators := make([]*validator, len(q.twigs))
-	for i, tw := range q.twigs {
-		validators[i] = newValidator(tw.ix, tw.pattern, res.Attrs)
-	}
-tuples:
-	for _, t := range gj.Tuples {
-		for _, v := range validators {
-			if !v.hasWitness(t) {
-				res.Stats.ValidationRemoved++
-				continue tuples
-			}
+	} else {
+		validators := make([]*validator, len(q.twigs))
+		for i, tw := range q.twigs {
+			validators[i] = newValidator(tw.ix, tw.pattern, res.Attrs)
 		}
-		res.Tuples = append(res.Tuples, t)
+	tuples:
+		for _, t := range gj.Tuples {
+			for _, v := range validators {
+				if !v.hasWitness(t) {
+					res.Stats.ValidationRemoved++
+					continue tuples
+				}
+			}
+			res.Tuples = append(res.Tuples, t)
+		}
+	}
+	if opts.Limit > 0 && len(res.Tuples) > opts.Limit {
+		res.Tuples = res.Tuples[:opts.Limit]
 	}
 	res.Stats.Output = len(res.Tuples)
 	return res, nil

@@ -6,43 +6,22 @@ import (
 	"repro/internal/relational"
 )
 
-// Binding exposes the values bound so far during an attribute-at-a-time
-// join.
-type Binding interface {
-	// Get returns the value bound to attr, if any.
-	Get(attr string) (relational.Value, bool)
-}
-
-// Atom is one relation participating in a Generic Join. Implementations
-// exist for physical tables (TableAtom) and, in the core package, for the
-// paper's virtual XML parent-child relations — the whole point of the
-// interface is that the executor cannot tell them apart.
-type Atom interface {
-	// Name identifies the atom in diagnostics and statistics.
-	Name() string
-	// Attrs returns the atom's attributes.
-	Attrs() []string
-	// Candidates returns the sorted distinct values attr may take, given
-	// the values b binds for this atom's other attributes (attributes not
-	// bound are existentially quantified). attr is always one of Attrs().
-	// A nil result means the empty set.
-	Candidates(attr string, b Binding) *relational.ValueSet
-}
-
-// GenericJoinStats records the per-stage behaviour of a materializing
-// Generic Join — the quantities Lemma 3.5 bounds.
+// GenericJoinStats records the per-stage behaviour of an attribute-at-a-time
+// join — the quantities Lemma 3.5 bounds.
 type GenericJoinStats struct {
 	// Order is the attribute expansion order used.
 	Order []string
-	// StageSizes[i] is |T_i|: the number of partial tuples after expanding
-	// the i-th attribute.
+	// StageSizes[i] is |T_i|: the number of partial tuples explored at the
+	// i-th attribute (for a completed run, the materialized stage size).
 	StageSizes []int
 	// PeakIntermediate is max over StageSizes.
 	PeakIntermediate int
-	// Output is the final tuple count (equals the last stage size).
+	// Output is the final tuple count.
 	Output int
-	// Intersections counts candidate-set intersections performed.
+	// Intersections counts candidate-cursor intersections performed.
 	Intersections int
+	// Seeks counts iterator Seek calls issued while leapfrogging.
+	Seeks int
 }
 
 // GenericJoinResult is the materialized join output: tuples over the
@@ -53,46 +32,21 @@ type GenericJoinResult struct {
 	Stats  GenericJoinStats
 }
 
-// GenericJoin evaluates the natural join of atoms by expanding one
-// attribute at a time in the given order, materializing every stage — a
-// faithful rendering of the paper's Algorithm 1 main loop: at each stage
-// the candidate values for the next attribute are the intersection, across
-// all atoms mentioning it, of the values consistent with the bindings so
-// far ("Get expanding result E from common value of p in S; Filter E by
-// satisfying relation between p and A in S; Expend R by E").
-//
-// Every attribute of every atom must appear in order, and every attribute
-// of order must occur in at least one atom.
+// GenericJoin is the materializing wrapper over GenericJoinStream: it runs
+// the streaming executor and collects every emitted tuple. Callers that can
+// consume tuples one at a time should use GenericJoinStream directly and
+// skip the result allocation entirely.
 func GenericJoin(atoms []Atom, order []string) (*GenericJoinResult, error) {
-	pos := make(map[string]int, len(order))
-	for i, a := range order {
-		if _, dup := pos[a]; dup {
-			return nil, dupAttrErr(a)
-		}
-		pos[a] = i
-	}
-	byAttr, err := atomsByAttr(atoms, order, pos)
+	res := &GenericJoinResult{}
+	stats, err := GenericJoinStream(atoms, order, func(t relational.Tuple) bool {
+		res.Tuples = append(res.Tuples, append(relational.Tuple(nil), t...))
+		return true
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	res := &GenericJoinResult{Attrs: append([]string(nil), order...)}
-	res.Stats.Order = res.Attrs
-	partial := []relational.Tuple{{}} // one empty tuple
-	for i := range order {
-		partial = expandStage(partial, byAttr[i], order[i], i, pos, &res.Stats)
-		res.Stats.StageSizes = append(res.Stats.StageSizes, len(partial))
-		if len(partial) > res.Stats.PeakIntermediate {
-			res.Stats.PeakIntermediate = len(partial)
-		}
-		if len(partial) == 0 {
-			break
-		}
-	}
-	if len(res.Stats.StageSizes) == len(order) {
-		res.Tuples = partial
-	}
-	res.Stats.Output = len(res.Tuples)
+	res.Attrs = stats.Order
+	res.Stats = *stats
 	return res, nil
 }
 
@@ -139,23 +93,37 @@ func (b *prefixBinding) Get(attr string) (relational.Value, bool) {
 	return b.tuple[i], true
 }
 
-// candidateIntersection intersects the candidate sets each atom proposes
-// for attr under binding b, leapfrogging across the sorted sets.
-func candidateIntersection(atoms []Atom, attr string, b Binding, stats *GenericJoinStats) []relational.Value {
-	sets := make([]*relational.ValueSet, 0, len(atoms))
+// collectCandidates appends to dst the intersection of the candidate
+// cursors each atom opens for attr under binding b — the breadth-first
+// executors' expansion step. It mirrors the streaming executor's
+// accounting exactly: an empty cursor short-circuits without counting an
+// intersection.
+func collectCandidates(atoms []Atom, attr string, b Binding, stats *GenericJoinStats, dst []relational.Value, scratch []AtomIterator) ([]relational.Value, []AtomIterator, error) {
+	open := scratch[:0]
 	for _, at := range atoms {
-		s := at.Candidates(attr, b)
-		if s == nil || s.Len() == 0 {
-			return nil
+		it, err := at.Open(attr, b)
+		if err != nil {
+			closeAll(open)
+			return dst, open[:0], err
 		}
-		sets = append(sets, s)
+		if it.AtEnd() {
+			it.Close()
+			closeAll(open)
+			return dst, open[:0], nil
+		}
+		open = append(open, it)
 	}
 	stats.Intersections++
-	return IntersectValueSets(sets)
+	leapfrogEach(open, &stats.Seeks, func(v relational.Value) bool {
+		dst = append(dst, v)
+		return true
+	})
+	closeAll(open)
+	return dst, open[:0], nil
 }
 
 // IntersectValueSets intersects sorted distinct value sets with a k-way
-// leapfrog over binary searches.
+// leapfrog over their cursors.
 func IntersectValueSets(sets []*relational.ValueSet) []relational.Value {
 	switch len(sets) {
 	case 0:
@@ -163,25 +131,15 @@ func IntersectValueSets(sets []*relational.ValueSet) []relational.Value {
 	case 1:
 		return sets[0].Values()
 	}
-	// Start from the smallest set to bound the output.
-	min := sets[0]
-	for _, s := range sets[1:] {
-		if s.Len() < min.Len() {
-			min = s
-		}
+	its := make([]AtomIterator, len(sets))
+	for i, s := range sets {
+		its[i] = OpenValueSet(s)
 	}
 	var out []relational.Value
-outer:
-	for _, v := range min.Values() {
-		for _, s := range sets {
-			if s == min {
-				continue
-			}
-			if !s.Contains(v) {
-				continue outer
-			}
-		}
+	leapfrogEach(its, nil, func(v relational.Value) bool {
 		out = append(out, v)
-	}
+		return true
+	})
+	closeAll(its)
 	return out
 }

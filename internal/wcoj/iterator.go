@@ -1,0 +1,207 @@
+// Package wcoj implements worst-case optimal join machinery over both
+// relational and virtual (XML-backed) relations, unified behind one
+// cursor contract:
+//
+//   - Atom is one relation participating in a join. An implementation only
+//     has to produce, for any (attribute, binding of its other attributes)
+//     pair, a sorted cursor over the candidate values — AtomIterator, with
+//     the Leapfrog operations Key/Next/Seek/Close. Physical tables
+//     (TableAtom, backed by lazily built sorted-column indexes), constant
+//     sets (SetAtom), sorted-array tries (TrieAtom) and the core package's
+//     virtual XML parent-child relations all implement it, and the
+//     executors cannot tell them apart.
+//
+//   - Every executor is a driver over the same iterators: the streaming
+//     attribute-at-a-time GenericJoinStream (the paper's Algorithm 1 main
+//     loop, depth-first, emitting through a callback), its materializing
+//     wrapper GenericJoin, the stage-parallel GenericJoinParallel, and
+//     LeapfrogJoin — Veldhuizen's Leapfrog Triejoin (the paper's reference
+//     [9]) generalized from tries to any Atom.
+//
+//   - At each attribute the candidate sets are intersected by leapfrogging
+//     the open cursors (seeking each laggard to the current maximum), so no
+//     per-call candidate set is ever materialized.
+//
+// The package also keeps the conventional binary joins (hash, sort-merge,
+// nested-loop) used by the baseline's relational query Q1.
+package wcoj
+
+import (
+	"sync"
+
+	"repro/internal/relational"
+)
+
+// Binding exposes the values bound so far during an attribute-at-a-time
+// join.
+type Binding interface {
+	// Get returns the value bound to attr, if any.
+	Get(attr string) (relational.Value, bool)
+}
+
+// Atom is one relation participating in a worst-case optimal join.
+// Implementations exist for physical tables (TableAtom), tries (TrieAtom),
+// constant sets (SetAtom) and, in the core package, for the paper's virtual
+// XML parent-child relations — the whole point of the interface is that the
+// executors cannot tell them apart.
+type Atom interface {
+	// Name identifies the atom in diagnostics and statistics.
+	Name() string
+	// Attrs returns the atom's attributes.
+	Attrs() []string
+	// Open returns a cursor over the sorted distinct values attr may take,
+	// given the values b binds for this atom's other attributes (attributes
+	// not bound are existentially quantified). attr is always one of
+	// Attrs(). Cursors must be independent: the executors keep one cursor
+	// per atom open at every recursion depth and atoms are shared across
+	// the parallel executor's goroutines, so an implementation must not
+	// reuse live cursor state across Open calls (pool cursors and recycle
+	// them in Close instead, as the implementations here do).
+	Open(attr string, b Binding) (AtomIterator, error)
+}
+
+// AtomIterator is a sorted cursor over the candidate values one atom
+// proposes for one attribute under a fixed binding — the seek/next contract
+// of Leapfrog Triejoin. Values are distinct and strictly increasing.
+type AtomIterator interface {
+	// AtEnd reports whether the cursor is exhausted.
+	AtEnd() bool
+	// Key returns the value at the cursor; it must not be called AtEnd.
+	Key() relational.Value
+	// Next advances to the next larger value (it may reach the end).
+	Next()
+	// Seek positions the cursor at the least value >= v, which may be the
+	// current value; it may leave the cursor AtEnd. v never decreases over
+	// the life of the cursor.
+	Seek(v relational.Value)
+	// Close releases the cursor; implementations recycle them. The cursor
+	// must not be used after Close.
+	Close()
+}
+
+// valuesIter is the shared slice-backed AtomIterator: a cursor over an
+// ascending []Value (a ValueSet's backing array or one run of a TableAtom
+// column index). Instances are pooled so steady-state Open/Close performs
+// no allocation.
+type valuesIter struct {
+	vals []relational.Value
+	pos  int
+}
+
+var valuesIterPool = sync.Pool{New: func() any { return new(valuesIter) }}
+
+// openValues returns a pooled cursor over vals, which must be sorted and
+// distinct (nil means the empty set).
+func openValues(vals []relational.Value) *valuesIter {
+	it := valuesIterPool.Get().(*valuesIter)
+	it.vals = vals
+	it.pos = 0
+	return it
+}
+
+// OpenValueSet returns a cursor over a ValueSet, for Atom implementations
+// outside this package whose candidates are already materialized sets. A
+// nil set is the empty set.
+func OpenValueSet(vs *relational.ValueSet) AtomIterator {
+	if vs == nil {
+		return openValues(nil)
+	}
+	return openValues(vs.Values())
+}
+
+func (it *valuesIter) AtEnd() bool           { return it.pos >= len(it.vals) }
+func (it *valuesIter) Key() relational.Value { return it.vals[it.pos] }
+func (it *valuesIter) Next()                 { it.pos++ }
+
+func (it *valuesIter) Seek(v relational.Value) {
+	// Galloping search from the current position: cheap for the short hops
+	// leapfrogging mostly takes, still O(log n) for long ones.
+	lo, hi := it.pos, len(it.vals)
+	if lo < hi && it.vals[lo] >= v {
+		return
+	}
+	step := 1
+	for lo+step < hi && it.vals[lo+step] < v {
+		lo += step
+		step <<= 1
+	}
+	if lo+step < hi {
+		hi = lo + step + 1
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if it.vals[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.pos = lo
+}
+
+func (it *valuesIter) Close() {
+	it.vals = nil
+	valuesIterPool.Put(it)
+}
+
+// closeAll closes every iterator in its.
+func closeAll(its []AtomIterator) {
+	for _, it := range its {
+		it.Close()
+	}
+}
+
+// leapfrogEach runs the Leapfrog intersection over open cursors, invoking f
+// for every value present in all of them, in increasing order. It reports
+// false if f stopped the enumeration. seeks, when non-nil, counts the Seek
+// calls issued.
+func leapfrogEach(its []AtomIterator, seeks *int, f func(relational.Value) bool) bool {
+	if len(its) == 0 {
+		return true
+	}
+	for _, it := range its {
+		if it.AtEnd() {
+			return true
+		}
+	}
+	max := its[0].Key()
+	for _, it := range its[1:] {
+		if k := it.Key(); k > max {
+			max = k
+		}
+	}
+	for {
+		// Drag every laggard up to max; a pass with no overshoot means all
+		// cursors agree on max.
+		aligned := true
+		for _, it := range its {
+			if it.Key() < max {
+				it.Seek(max)
+				if seeks != nil {
+					*seeks++
+				}
+				if it.AtEnd() {
+					return true
+				}
+				if k := it.Key(); k > max {
+					max = k
+					aligned = false
+				}
+			}
+		}
+		if !aligned {
+			continue
+		}
+		if !f(max) {
+			return false
+		}
+		lead := its[0]
+		lead.Next()
+		if lead.AtEnd() {
+			return true
+		}
+		if k := lead.Key(); k > max {
+			max = k
+		}
+	}
+}

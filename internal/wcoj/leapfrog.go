@@ -7,18 +7,34 @@ import (
 	"repro/internal/relational"
 )
 
-// LeapfrogStats counts the work a Leapfrog Triejoin performed.
+// LeapfrogStats counts the work a Leapfrog-style join performed.
 type LeapfrogStats struct {
 	Seeks  int
 	Output int
 }
 
-// LeapfrogTriejoin joins the given tables with Veldhuizen's Leapfrog
-// Triejoin under the global attribute order gao. Every table attribute must
-// appear in gao; the result schema is gao itself (tables not mentioning an
-// attribute do not constrain it, so gao must be covered: every attribute of
-// gao must occur in at least one table). Each result tuple is passed to
-// emit; returning false stops the join early.
+// LeapfrogJoin joins any atoms — physical tables, tries, or the core
+// package's virtual XML relations — with Veldhuizen's Leapfrog Triejoin
+// generalized to the AtomIterator contract: at each attribute of the global
+// order gao the participating atoms' cursors leapfrog to their common
+// values, depth-first. Every atom attribute must appear in gao and every
+// gao attribute must occur in at least one atom. Each result tuple is
+// passed to emit (as a transient tuple); returning false stops the join
+// early.
+func LeapfrogJoin(atoms []Atom, gao []string, emit func(relational.Tuple) bool) (*LeapfrogStats, error) {
+	gst, err := GenericJoinStream(atoms, gao, emit)
+	if err != nil {
+		return nil, err
+	}
+	return &LeapfrogStats{Seeks: gst.Seeks, Output: gst.Output}, nil
+}
+
+// LeapfrogTriejoin joins the given tables under the global attribute order
+// gao, building one sorted-array trie per table (attributes ordered by gao
+// position, so every Open sees a prefix binding) and driving LeapfrogJoin
+// over the resulting TrieAtoms. Like every streaming executor here, emit
+// receives a transient tuple that is overwritten after emit returns; clone
+// it to retain it.
 func LeapfrogTriejoin(tables []*relational.Table, gao []string, emit func(relational.Tuple) bool) (*LeapfrogStats, error) {
 	if len(tables) == 0 {
 		return nil, fmt.Errorf("wcoj: no tables")
@@ -26,20 +42,11 @@ func LeapfrogTriejoin(tables []*relational.Table, gao []string, emit func(relati
 	pos := make(map[string]int, len(gao))
 	for i, a := range gao {
 		if _, dup := pos[a]; dup {
-			return nil, fmt.Errorf("wcoj: duplicate attribute %q in order", a)
+			return nil, dupAttrErr(a)
 		}
 		pos[a] = i
 	}
-
-	// Build one trie per table with its attributes sorted by gao position,
-	// and record at which join level each trie participates.
-	type rel struct {
-		it     *TrieIterator
-		levels map[int]bool // gao levels this relation participates in
-		depth  int
-	}
-	rels := make([]*rel, len(tables))
-	covered := make([]bool, len(gao))
+	atoms := make([]Atom, len(tables))
 	for i, t := range tables {
 		attrs := append([]string(nil), t.Schema().Attrs()...)
 		for _, a := range attrs {
@@ -52,93 +59,7 @@ func LeapfrogTriejoin(tables []*relational.Table, gao []string, emit func(relati
 		if err != nil {
 			return nil, err
 		}
-		r := &rel{it: tr.NewIterator(), levels: make(map[int]bool, len(attrs))}
-		for _, a := range attrs {
-			r.levels[pos[a]] = true
-			covered[pos[a]] = true
-		}
-		rels[i] = r
+		atoms[i] = NewTrieAtom(t.Name(), tr)
 	}
-	for i, ok := range covered {
-		if !ok {
-			return nil, fmt.Errorf("wcoj: attribute %q not covered by any table", gao[i])
-		}
-	}
-
-	stats := &LeapfrogStats{}
-	binding := make(relational.Tuple, len(gao))
-	var join func(level int) bool
-	join = func(level int) bool {
-		if level == len(gao) {
-			stats.Output++
-			return emit(append(relational.Tuple(nil), binding...))
-		}
-		// Open the participating iterators one level down.
-		var iters []*TrieIterator
-		for _, r := range rels {
-			if !r.levels[level] {
-				continue
-			}
-			if !r.it.Open() {
-				// Empty subtree: unwind the ones already opened.
-				for _, it := range iters {
-					it.Up()
-				}
-				return true
-			}
-			iters = append(iters, r.it)
-		}
-		cont := leapfrog(iters, stats, func(v relational.Value) bool {
-			binding[level] = v
-			return join(level + 1)
-		})
-		for _, it := range iters {
-			it.Up()
-		}
-		return cont
-	}
-	join(0)
-	return stats, nil
-}
-
-// leapfrog runs the Leapfrog intersection over iterators all positioned at
-// the start of the same level, invoking f for every common value. It
-// returns false if f stopped the enumeration.
-func leapfrog(iters []*TrieIterator, stats *LeapfrogStats, f func(relational.Value) bool) bool {
-	if len(iters) == 0 {
-		return true
-	}
-	for _, it := range iters {
-		if it.AtEnd() {
-			return true
-		}
-	}
-	// Sort by current key so iters[p] is the smallest, (p-1+k)%k the largest.
-	sort.Slice(iters, func(i, j int) bool { return iters[i].Key() < iters[j].Key() })
-	k := len(iters)
-	p := 0
-	max := iters[k-1].Key()
-	for {
-		it := iters[p]
-		least := it.Key()
-		if least == max {
-			// All iterators agree on this value.
-			if !f(least) {
-				return false
-			}
-			it.Next()
-			if it.AtEnd() {
-				return true
-			}
-			max = it.Key()
-		} else {
-			it.Seek(max)
-			stats.Seeks++
-			if it.AtEnd() {
-				return true
-			}
-			max = it.Key()
-		}
-		p = (p + 1) % k
-	}
+	return LeapfrogJoin(atoms, gao, emit)
 }

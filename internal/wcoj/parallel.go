@@ -12,11 +12,13 @@ import (
 // saves on small stages.
 const parallelThreshold = 256
 
-// GenericJoinParallel is GenericJoin with stage expansion fanned out over
-// workers goroutines (workers <= 1, or GOMAXPROCS when workers == 0,
-// degrades to the serial algorithm). Results and per-stage statistics are
-// identical to the serial executor: each worker expands a contiguous chunk
-// of the stage and the chunks are concatenated in order.
+// GenericJoinParallel evaluates the join breadth-first — materializing
+// every stage, which is what makes the work splittable — with stage
+// expansion fanned out over workers goroutines (workers <= 1, or GOMAXPROCS
+// when workers == 0, degrades to the streaming serial executor). Each
+// worker drives the same AtomIterator cursors over a contiguous chunk of
+// the stage and the chunks are concatenated in order, so results and
+// per-stage statistics are identical to the serial executor.
 func GenericJoinParallel(atoms []Atom, order []string, workers int) (*GenericJoinResult, error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -42,9 +44,12 @@ func GenericJoinParallel(atoms []Atom, order []string, workers int) (*GenericJoi
 	for i := range order {
 		var next []relational.Tuple
 		if len(partial) < parallelThreshold {
-			next = expandStage(partial, byAttr[i], order[i], i, pos, &res.Stats)
+			next, err = expandStage(partial, byAttr[i], order[i], i, pos, &res.Stats)
 		} else {
-			next = expandStageParallel(partial, byAttr[i], order[i], i, pos, &res.Stats, workers)
+			next, err = expandStageParallel(partial, byAttr[i], order[i], i, pos, &res.Stats, workers)
+		}
+		if err != nil {
+			return nil, err
 		}
 		partial = next
 		res.Stats.StageSizes = append(res.Stats.StageSizes, len(partial))
@@ -55,7 +60,12 @@ func GenericJoinParallel(atoms []Atom, order []string, workers int) (*GenericJoi
 			break
 		}
 	}
-	if len(res.Stats.StageSizes) == len(order) {
+	// Pad to full length when a stage emptied, matching the streaming
+	// executor's zero-filled accounting.
+	for len(res.Stats.StageSizes) < len(order) {
+		res.Stats.StageSizes = append(res.Stats.StageSizes, 0)
+	}
+	if len(partial) > 0 || len(order) == 0 {
 		res.Tuples = partial
 	}
 	res.Stats.Output = len(res.Tuples)
@@ -64,30 +74,38 @@ func GenericJoinParallel(atoms []Atom, order []string, workers int) (*GenericJoi
 
 // expandStage expands one attribute serially (shared with the parallel
 // path for small stages).
-func expandStage(partial []relational.Tuple, atoms []Atom, attr string, depth int, pos map[string]int, stats *GenericJoinStats) []relational.Tuple {
+func expandStage(partial []relational.Tuple, atoms []Atom, attr string, depth int, pos map[string]int, stats *GenericJoinStats) ([]relational.Tuple, error) {
 	var next []relational.Tuple
+	var vals []relational.Value
+	scratch := make([]AtomIterator, 0, len(atoms))
 	b := &prefixBinding{pos: pos}
+	var err error
 	for _, t := range partial {
 		b.tuple = t
-		for _, v := range candidateIntersection(atoms, attr, b, stats) {
+		vals, scratch, err = collectCandidates(atoms, attr, b, stats, vals[:0], scratch)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
 			nt := make(relational.Tuple, depth+1)
 			copy(nt, t)
 			nt[depth] = v
 			next = append(next, nt)
 		}
 	}
-	return next
+	return next, nil
 }
 
 // expandStageParallel splits the stage into per-worker chunks; chunk
 // results are concatenated in order so the output sequence matches the
 // serial executor exactly.
-func expandStageParallel(partial []relational.Tuple, atoms []Atom, attr string, depth int, pos map[string]int, stats *GenericJoinStats, workers int) []relational.Tuple {
+func expandStageParallel(partial []relational.Tuple, atoms []Atom, attr string, depth int, pos map[string]int, stats *GenericJoinStats, workers int) ([]relational.Tuple, error) {
 	if workers > len(partial) {
 		workers = len(partial)
 	}
 	chunks := make([][]relational.Tuple, workers)
-	counts := make([]int, workers)
+	locals := make([]GenericJoinStats, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	per := (len(partial) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -102,31 +120,22 @@ func expandStageParallel(partial []relational.Tuple, atoms []Atom, attr string, 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			local := GenericJoinStats{}
-			b := &prefixBinding{pos: pos}
-			var out []relational.Tuple
-			for _, t := range partial[lo:hi] {
-				b.tuple = t
-				for _, v := range candidateIntersection(atoms, attr, b, &local) {
-					nt := make(relational.Tuple, depth+1)
-					copy(nt, t)
-					nt[depth] = v
-					out = append(out, nt)
-				}
-			}
-			chunks[w] = out
-			counts[w] = local.Intersections
+			chunks[w], errs[w] = expandStage(partial[lo:hi], atoms, attr, depth, pos, &locals[w])
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	total := 0
 	for w := range chunks {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
 		total += len(chunks[w])
-		stats.Intersections += counts[w]
+		stats.Intersections += locals[w].Intersections
+		stats.Seeks += locals[w].Seeks
 	}
 	next := make([]relational.Tuple, 0, total)
 	for _, c := range chunks {
 		next = append(next, c...)
 	}
-	return next
+	return next, nil
 }

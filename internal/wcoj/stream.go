@@ -4,14 +4,19 @@ import (
 	"repro/internal/relational"
 )
 
-// GenericJoinStream evaluates the join depth-first, emitting result tuples
-// in the same lexicographic order the materializing executor produces,
-// without holding any stage in memory — the right tool when the output
-// itself is worst-case sized (the n⁵ twig results of Figure 3's baseline
-// side, for instance). emit receives a transient tuple; returning false
-// stops the enumeration early. The returned StageSizes count the partial
-// tuples explored per depth, which for a completed run equal the
-// materializing executor's stage sizes.
+// GenericJoinStream evaluates the natural join of atoms by expanding one
+// attribute at a time in the given order — the paper's Algorithm 1 main
+// loop — depth-first, without materializing any stage: at each depth the
+// candidate values are the leapfrogged intersection of the cursors every
+// atom mentioning the attribute opens under the bindings so far. Result
+// tuples are emitted in lexicographic order of the attribute order; emit
+// receives a transient tuple and returning false stops the enumeration
+// early.
+//
+// Every attribute of every atom must appear in order, and every attribute
+// of order must occur in at least one atom. The returned StageSizes count
+// the partial tuples explored per depth, which for a completed run equal
+// the materializing executor's stage sizes.
 func GenericJoinStream(atoms []Atom, order []string, emit func(relational.Tuple) bool) (*GenericJoinStats, error) {
 	pos := make(map[string]int, len(order))
 	for i, a := range order {
@@ -27,9 +32,15 @@ func GenericJoinStream(atoms []Atom, order []string, emit func(relational.Tuple)
 
 	stats := &GenericJoinStats{Order: append([]string(nil), order...)}
 	stats.StageSizes = make([]int, len(order))
+	// Per-depth scratch for open cursors, reused across the whole run.
+	its := make([][]AtomIterator, len(order))
+	for i := range its {
+		its[i] = make([]AtomIterator, 0, len(byAttr[i]))
+	}
 	binding := make(relational.Tuple, 0, len(order))
 	b := &prefixBinding{pos: pos}
 
+	var openErr error
 	var rec func(depth int) bool
 	rec = func(depth int) bool {
 		if depth == len(order) {
@@ -37,19 +48,37 @@ func GenericJoinStream(atoms []Atom, order []string, emit func(relational.Tuple)
 			return emit(binding)
 		}
 		b.tuple = binding
-		vals := candidateIntersection(byAttr[depth], order[depth], b, stats)
-		stats.StageSizes[depth] += len(vals)
-		for _, v := range vals {
-			binding = append(binding, v)
-			cont := rec(depth + 1)
-			binding = binding[:len(binding)-1]
-			if !cont {
+		open := its[depth][:0]
+		for _, at := range byAttr[depth] {
+			it, err := at.Open(order[depth], b)
+			if err != nil {
+				openErr = err
+				closeAll(open)
 				return false
 			}
+			if it.AtEnd() {
+				// Empty candidate set: no intersection to perform.
+				it.Close()
+				closeAll(open)
+				return true
+			}
+			open = append(open, it)
 		}
-		return true
+		stats.Intersections++
+		cont := leapfrogEach(open, &stats.Seeks, func(v relational.Value) bool {
+			stats.StageSizes[depth]++
+			binding = append(binding, v)
+			c := rec(depth + 1)
+			binding = binding[:len(binding)-1]
+			return c
+		})
+		closeAll(open)
+		return cont
 	}
 	rec(0)
+	if openErr != nil {
+		return nil, openErr
+	}
 	for _, s := range stats.StageSizes {
 		if s > stats.PeakIntermediate {
 			stats.PeakIntermediate = s

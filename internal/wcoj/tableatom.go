@@ -1,6 +1,7 @@
 package wcoj
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -9,15 +10,43 @@ import (
 
 // TableAtom adapts a physical relational table to the Atom interface. For
 // each (target attribute, set of bound attributes) shape it lazily builds a
-// hash index from bound-prefix keys to the sorted distinct target values —
-// the hash-trie formulation of Generic Join. Index building is guarded by a
-// mutex so the parallel executor's workers can share one atom.
+// sorted-column index: bound-prefix keys are hashed with the engine-wide
+// FNV-1a helpers (relational.HashKey's scheme) into groups, and each
+// group's sorted distinct target values live as one run inside a single
+// flat array. Open positions a pooled cursor over the matching run, so the
+// hot path performs no per-call allocation — the hash-trie formulation of
+// Generic Join with integer keys instead of encoded strings. Index building
+// is guarded by a mutex so the parallel executor's workers can share one
+// atom.
 type TableAtom struct {
 	table *relational.Table
 	attrs []string
 	mu    sync.Mutex
-	// indexes is keyed by target column then bound-column bitmask.
-	indexes map[int]map[uint32]map[string]*relational.ValueSet
+	// indexes is keyed by target column and bound-column bitmask.
+	indexes map[indexShape]*colIndex
+}
+
+// indexShape identifies one lazily built index: the target column and the
+// bitmask of bound columns (bit i = column i of the table).
+type indexShape struct {
+	target int
+	mask   uint64
+}
+
+// colIndex maps bound-prefix keys to runs of sorted distinct values of one
+// target column. All runs share one backing array; group g's values are
+// vals[off[g]:off[g+1]].
+type colIndex struct {
+	buckets map[uint64][]int32 // FNV-1a key hash -> group ids (collision chain)
+	keys    []relational.Value // group bound keys, stride = stride
+	stride  int
+	vals    []relational.Value
+	off     []int32
+}
+
+// run returns group g's sorted distinct target values.
+func (ix *colIndex) run(g int32) []relational.Value {
+	return ix.vals[ix.off[g]:ix.off[g+1]]
 }
 
 // NewTableAtom wraps t.
@@ -25,7 +54,7 @@ func NewTableAtom(t *relational.Table) *TableAtom {
 	return &TableAtom{
 		table:   t,
 		attrs:   t.Schema().Attrs(),
-		indexes: make(map[int]map[uint32]map[string]*relational.ValueSet),
+		indexes: make(map[indexShape]*colIndex),
 	}
 }
 
@@ -38,69 +67,134 @@ func (a *TableAtom) Attrs() []string { return a.attrs }
 // Table returns the wrapped table.
 func (a *TableAtom) Table() *relational.Table { return a.table }
 
-// Candidates returns the sorted distinct values of attr among rows matching
-// the bound attributes.
-func (a *TableAtom) Candidates(attr string, b Binding) *relational.ValueSet {
+// Open returns a cursor over the sorted distinct values of attr among rows
+// matching the bound attributes.
+func (a *TableAtom) Open(attr string, b Binding) (AtomIterator, error) {
 	target, ok := a.table.Schema().Pos(attr)
 	if !ok {
-		return nil
+		return nil, fmt.Errorf("wcoj: atom %s has no attribute %q", a.Name(), attr)
 	}
-	var mask uint32
-	var boundCols []int
-	var key []relational.Value
+	if len(a.attrs) > 64 {
+		// The bound-column bitmask identifies index shapes by column bit;
+		// past 64 columns shapes would collide (the seed silently truncated
+		// at 32), so refuse loudly.
+		return nil, fmt.Errorf("wcoj: atom %s has %d columns; TableAtom supports at most 64", a.Name(), len(a.attrs))
+	}
+	// Hash the bound values in column order without materializing the key.
+	var mask uint64
+	h := relational.HashSeed
 	for i, name := range a.attrs {
 		if i == target {
 			continue
 		}
 		if v, bound := b.Get(name); bound {
 			mask |= 1 << uint(i)
-			boundCols = append(boundCols, i)
-			key = append(key, v)
+			h = relational.HashValue(h, v)
 		}
 	}
-	idx := a.index(target, mask, boundCols)
-	return idx[encodeKey(key)]
+	ix := a.index(target, mask)
+	for _, g := range ix.buckets[h] {
+		if ix.groupMatches(g, a.attrs, target, mask, b) {
+			return openValues(ix.run(g)), nil
+		}
+	}
+	return openValues(nil), nil
 }
 
-// index returns (building on first use) the map from bound-prefix key to
-// the sorted distinct values of column target.
-func (a *TableAtom) index(target int, mask uint32, boundCols []int) map[string]*relational.ValueSet {
+// groupMatches verifies (against hash collisions) that group g's stored key
+// equals the bound values, walking bound columns in column order.
+func (ix *colIndex) groupMatches(g int32, attrs []string, target int, mask uint64, b Binding) bool {
+	if ix.stride == 0 {
+		return true
+	}
+	key := ix.keys[int(g)*ix.stride : (int(g)+1)*ix.stride]
+	j := 0
+	for i, name := range attrs {
+		if i == target || mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		v, _ := b.Get(name)
+		if key[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// index returns (building on first use) the sorted-column index for the
+// given target column and bound-column mask.
+func (a *TableAtom) index(target int, mask uint64) *colIndex {
+	shape := indexShape{target: target, mask: mask}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	byMask, ok := a.indexes[target]
-	if !ok {
-		byMask = make(map[uint32]map[string]*relational.ValueSet)
-		a.indexes[target] = byMask
+	if ix, ok := a.indexes[shape]; ok {
+		return ix
 	}
-	if idx, ok := byMask[mask]; ok {
-		return idx
+	var boundCols []int
+	for i := range a.attrs {
+		if i != target && mask&(1<<uint(i)) != 0 {
+			boundCols = append(boundCols, i)
+		}
 	}
-	groups := make(map[string][]relational.Value)
-	n := a.table.Len()
+	ix := buildColIndex(a.table, target, boundCols)
+	a.indexes[shape] = ix
+	return ix
+}
+
+// buildColIndex groups the table's rows by the bound columns' values and
+// sorts/dedups each group's target values into one flat array.
+func buildColIndex(t *relational.Table, target int, boundCols []int) *colIndex {
+	ix := &colIndex{
+		buckets: make(map[uint64][]int32),
+		stride:  len(boundCols),
+	}
+	n := t.Len()
+	groupVals := make([][]relational.Value, 0, 16)
 	key := make([]relational.Value, len(boundCols))
 	for r := 0; r < n; r++ {
 		for i, c := range boundCols {
-			key[i] = a.table.Value(r, c)
+			key[i] = t.Value(r, c)
 		}
-		k := encodeKey(key)
-		groups[k] = append(groups[k], a.table.Value(r, target))
+		h := relational.HashKey(key)
+		g := int32(-1)
+		for _, cand := range ix.buckets[h] {
+			if equalKey(ix.keys[int(cand)*ix.stride:(int(cand)+1)*ix.stride], key) {
+				g = cand
+				break
+			}
+		}
+		if g < 0 {
+			g = int32(len(groupVals))
+			ix.buckets[h] = append(ix.buckets[h], g)
+			ix.keys = append(ix.keys, key...)
+			groupVals = append(groupVals, nil)
+		}
+		groupVals[g] = append(groupVals[g], t.Value(r, target))
 	}
-	idx := make(map[string]*relational.ValueSet, len(groups))
-	for k, vals := range groups {
-		idx[k] = relational.NewValueSet(vals)
+	ix.off = make([]int32, 1, len(groupVals)+1)
+	for _, vals := range groupVals {
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		w := 0
+		for i, v := range vals {
+			if i == 0 || v != vals[w-1] {
+				vals[w] = v
+				w++
+			}
+		}
+		ix.vals = append(ix.vals, vals[:w]...)
+		ix.off = append(ix.off, int32(len(ix.vals)))
 	}
-	byMask[mask] = idx
-	return idx
+	return ix
 }
 
-func encodeKey(vals []relational.Value) string {
-	b := make([]byte, 0, len(vals)*8)
-	for _, v := range vals {
-		u := uint64(v)
-		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+func equalKey(a, b []relational.Value) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
-	return string(b)
+	return true
 }
 
 // SetAtom is a constant unary atom over a fixed value set; useful for
@@ -123,12 +217,12 @@ func (s *SetAtom) Name() string { return s.name }
 // Attrs implements Atom.
 func (s *SetAtom) Attrs() []string { return []string{s.attr} }
 
-// Candidates implements Atom.
-func (s *SetAtom) Candidates(attr string, _ Binding) *relational.ValueSet {
+// Open implements Atom.
+func (s *SetAtom) Open(attr string, _ Binding) (AtomIterator, error) {
 	if attr != s.attr {
-		return nil
+		return nil, fmt.Errorf("wcoj: atom %s has no attribute %q", s.name, attr)
 	}
-	return s.set
+	return OpenValueSet(s.set), nil
 }
 
 // SortTuples orders tuples lexicographically (for comparisons in tests and

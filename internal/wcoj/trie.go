@@ -1,13 +1,8 @@
-// Package wcoj implements worst-case optimal join machinery over relational
-// data: sorted-array tries with Leapfrog-style iterators, the Leapfrog
-// Triejoin of Veldhuizen (the paper's reference [9]), a materializing
-// attribute-at-a-time Generic Join whose per-stage intermediates are exactly
-// what the paper's Algorithm 1 ("XJoin") tracks, and conventional binary
-// hash-join plans used by the baseline's relational query Q1.
 package wcoj
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/relational"
 )
@@ -56,10 +51,39 @@ func (tr *Trie) Len() int {
 // value returns the value at row r, level l.
 func (tr *Trie) value(r, l int) relational.Value { return tr.data[r*tr.arity+l] }
 
-// TrieIterator walks a Trie with the Leapfrog Triejoin interface: Open
-// descends into the first child of the current node, Up returns to the
-// parent, Next and Seek move among siblings at the current level in sorted
-// order. The iterator is positioned "above the root" initially (level -1).
+// seekRow returns the first row in [lo, hi) whose value at level l is >= v.
+func (tr *Trie) seekRow(lo, hi, l int, v relational.Value) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tr.value(mid, l) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// runEnd returns the first row in [lo, hi) whose value at level l exceeds
+// the value at row lo.
+func (tr *Trie) runEnd(lo, hi, l int) int {
+	v := tr.value(lo, l)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tr.value(mid, l) <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TrieIterator walks a Trie with the classic Leapfrog Triejoin trie
+// interface: Open descends into the first child of the current node, Up
+// returns to the parent, Next and Seek move among siblings at the current
+// level in sorted order. The iterator is positioned "above the root"
+// initially (level -1).
 type TrieIterator struct {
 	trie *Trie
 	// level is the current depth: -1 at the virtual root, 0..arity-1 inside.
@@ -90,7 +114,7 @@ func (it *TrieIterator) Open() bool {
 	if it.level < 0 {
 		lo, hi = 0, it.trie.Len()
 	} else {
-		lo, hi = it.pos[it.level], it.runEnd(it.level)
+		lo, hi = it.pos[it.level], it.trie.runEnd(it.pos[it.level], it.hi[it.level], it.level)
 	}
 	if lo >= hi {
 		return false
@@ -122,38 +146,96 @@ func (it *TrieIterator) Key() relational.Value {
 
 // Next advances to the next distinct value at the current level.
 func (it *TrieIterator) Next() {
-	it.pos[it.level] = it.runEnd(it.level)
+	it.pos[it.level] = it.trie.runEnd(it.pos[it.level], it.hi[it.level], it.level)
 }
 
 // Seek positions the iterator at the least value >= v at the current level;
 // it may leave the iterator AtEnd.
 func (it *TrieIterator) Seek(v relational.Value) {
 	l := it.level
-	lo, hi := it.pos[l], it.hi[l]
-	// Binary search over rows for the first row with value >= v at level l.
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if it.trie.value(mid, l) < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	it.pos[l] = lo
+	it.pos[l] = it.trie.seekRow(it.pos[l], it.hi[l], l, v)
 }
 
-// runEnd returns the first row past the current value's run at level l.
-func (it *TrieIterator) runEnd(l int) int {
-	lo, hi := it.pos[l], it.hi[l]
-	v := it.trie.value(lo, l)
-	// Binary search for the first row with value > v.
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if it.trie.value(mid, l) <= v {
-			lo = mid + 1
-		} else {
-			hi = mid
+// TrieAtom adapts a Trie to the Atom interface. Open requires the binding
+// to cover exactly the trie attributes preceding the target (a prefix
+// binding), which holds under any executor whose expansion order embeds the
+// trie's attribute order — the Leapfrog Triejoin setting. Opening descends
+// the trie by binary-searching each bound prefix value, then hands out a
+// pooled range cursor over the target level.
+type TrieAtom struct {
+	name string
+	trie *Trie
+}
+
+// NewTrieAtom wraps tr as an atom named name.
+func NewTrieAtom(name string, tr *Trie) *TrieAtom {
+	return &TrieAtom{name: name, trie: tr}
+}
+
+// Name implements Atom.
+func (a *TrieAtom) Name() string { return a.name }
+
+// Attrs implements Atom.
+func (a *TrieAtom) Attrs() []string { return a.trie.attrs }
+
+// Open implements Atom.
+func (a *TrieAtom) Open(attr string, b Binding) (AtomIterator, error) {
+	tr := a.trie
+	depth := -1
+	for i, x := range tr.attrs {
+		if x == attr {
+			depth = i
+			break
 		}
 	}
-	return lo
+	if depth < 0 {
+		return nil, fmt.Errorf("wcoj: atom %s has no attribute %q", a.name, attr)
+	}
+	lo, hi := 0, tr.Len()
+	for l := 0; l < depth; l++ {
+		v, bound := b.Get(tr.attrs[l])
+		if !bound {
+			return nil, fmt.Errorf("wcoj: atom %s: attribute %q opened before prefix attribute %q is bound",
+				a.name, attr, tr.attrs[l])
+		}
+		lo = tr.seekRow(lo, hi, l, v)
+		if lo >= hi || tr.value(lo, l) != v {
+			return openTrieRange(tr, depth, 0, 0), nil
+		}
+		hi = tr.runEnd(lo, hi, l)
+	}
+	return openTrieRange(tr, depth, lo, hi), nil
+}
+
+// trieRangeIter is a pooled AtomIterator over one level of a trie row
+// range: the distinct values at level within rows [pos, hi).
+type trieRangeIter struct {
+	trie  *Trie
+	level int
+	pos   int
+	hi    int
+}
+
+var trieRangeIterPool = sync.Pool{New: func() any { return new(trieRangeIter) }}
+
+func openTrieRange(tr *Trie, level, lo, hi int) *trieRangeIter {
+	it := trieRangeIterPool.Get().(*trieRangeIter)
+	it.trie, it.level, it.pos, it.hi = tr, level, lo, hi
+	return it
+}
+
+func (it *trieRangeIter) AtEnd() bool           { return it.pos >= it.hi }
+func (it *trieRangeIter) Key() relational.Value { return it.trie.value(it.pos, it.level) }
+
+func (it *trieRangeIter) Next() {
+	it.pos = it.trie.runEnd(it.pos, it.hi, it.level)
+}
+
+func (it *trieRangeIter) Seek(v relational.Value) {
+	it.pos = it.trie.seekRow(it.pos, it.hi, it.level, v)
+}
+
+func (it *trieRangeIter) Close() {
+	it.trie = nil
+	trieRangeIterPool.Put(it)
 }

@@ -1,0 +1,62 @@
+package xmjoin
+
+import "testing"
+
+// TestLimitAndExists exercises the early-termination path the streaming
+// executor enables: LIMIT-style truncation and existence checks.
+func TestLimitAndExists(t *testing.T) {
+	db := figure1DB(t)
+	q, err := db.Query("/invoices/orderLine[orderID][ISBN]/price", "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := q.ExecXJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 2 {
+		t.Fatalf("unlimited result = %d rows want 2", full.Len())
+	}
+
+	limited, err := q.WithLimit(1).ExecXJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.Len() != 1 {
+		t.Fatalf("limited result = %d rows want 1", limited.Len())
+	}
+
+	ok, err := q.Exists()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Exists = false on a query with answers")
+	}
+
+	// A table whose order IDs match no document value makes the join empty.
+	if err := db.AddTableRows("E", []string{"orderID", "region"}, [][]string{{"99999", "north"}}); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := db.Query("/invoices/orderLine[orderID][ISBN]/price", "E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = empty.Exists()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Exists = true on an empty query")
+	}
+
+	// The parallel executor truncates rather than terminating early; the
+	// answer set must match.
+	parLimited, err := q.WithLimit(1).WithParallelism(4).ExecXJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parLimited.Len() != 1 {
+		t.Fatalf("parallel limited result = %d rows want 1", parLimited.Len())
+	}
+}

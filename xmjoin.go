@@ -334,6 +334,28 @@ func (q *Query) WithParallelism(n int) *Query {
 	return q
 }
 
+// WithLimit stops evaluation after n validated answers (0 = no limit). On
+// the serial executors the join terminates early; the parallel executor
+// only truncates its materialized result.
+func (q *Query) WithLimit(n int) *Query {
+	q.opts.Limit = n
+	return q
+}
+
+// Exists reports whether the query has at least one answer, stopping the
+// streaming join at the first validated tuple.
+func (q *Query) Exists() (bool, error) {
+	found := false
+	_, err := core.XJoinStream(q.q, q.opts, func(relational.Tuple) bool {
+		found = true
+		return false
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
 // ExecXJoin evaluates the query with the worst-case optimal multi-model
 // join (Algorithm 1).
 func (q *Query) ExecXJoin() (*Result, error) {
