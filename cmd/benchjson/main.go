@@ -1,0 +1,154 @@
+// Command benchjson runs a package's Go benchmarks and writes the parsed
+// results as JSON, so CI can archive one machine-readable perf snapshot
+// per PR (BENCH_PR2.json and successors) and the trajectory stays
+// diffable across the repo's history.
+//
+//	benchjson -pkg ./internal/wcoj -cpu 1,4 -out BENCH_PR2.json
+//
+// It shells out to `go test -run=NONE -bench ... -benchmem -cpu ...` and
+// parses the standard benchmark output lines:
+//
+//	BenchmarkGenericJoinParallel-4   4274   272157 ns/op   4003 B/op   93 allocs/op
+//
+// The trailing -N is GOMAXPROCS (absent when 1). Host metadata (CPU
+// count, Go version) is embedded because wall-clock comparisons across
+// PRs only mean something on comparable hardware — in particular,
+// parallel-executor speedups need NumCPU >= the -cpu values measured.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/cli"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the file layout.
+type Report struct {
+	Package    string   `json:"package"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	CPUList    []int    `json:"cpu_list"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	pkg := flag.String("pkg", "./internal/wcoj", "package to benchmark")
+	bench := flag.String("bench", ".", "benchmark name pattern")
+	cpus := flag.String("cpu", "1,4", "comma-separated GOMAXPROCS values")
+	benchtime := flag.String("benchtime", "", "per-benchmark time or iteration count (go test -benchtime)")
+	out := flag.String("out", "BENCH.json", "output JSON path")
+	flag.Parse()
+
+	cpuList, err := cli.ParseIntList(*cpus)
+	if err != nil {
+		return err
+	}
+
+	args := []string{"test", "-run", "NONE", "-bench", *bench, "-benchmem", "-cpu", *cpus}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+
+	rep := Report{
+		Package:   *pkg,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		CPUList:   cpuList,
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		r, ok := parseLine(line)
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines parsed from go test output")
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	return nil
+}
+
+// parseLine parses one "Benchmark... N ns/op ..." line; ok is false for
+// anything else (headers, PASS, etc.).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	procs := 1
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = n
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, GOMAXPROCS: procs, Iterations: iters}
+	// Remaining fields come in "value unit" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				r.NsPerOp = f
+			}
+		case "B/op":
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				r.BytesPerOp = n
+			}
+		case "allocs/op":
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				r.AllocsPerOp = n
+			}
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

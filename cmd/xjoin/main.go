@@ -4,7 +4,8 @@
 // Usage:
 //
 //	xjoin -xml doc.xml -table R=orders.csv -twig '/invoices/orderLine[orderID]/price' \
-//	      [-algo xjoin|xjoin+|baseline] [-project userID,ISBN] [-bounds] [-stats]
+//	      [-algo xjoin|xjoin+|baseline] [-project userID,ISBN] [-bounds] [-stats] \
+//	      [-parallel N] [-limit N] [-exists]
 //
 // Each -table flag (repeatable) loads NAME=FILE.csv; the CSV header names
 // the columns. Attributes with equal names across tables and twig tags
@@ -44,7 +45,9 @@ func run() error {
 	algo := flag.String("algo", "xjoin", "algorithm: xjoin, xjoin+, or baseline")
 	strategy := flag.String("strategy", "relational-first",
 		"attribute order strategy: relational-first, document, greedy, minbound")
-	parallel := flag.Int("parallel", 0, "XJoin stage-expansion workers (0/1 serial, -1 GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "XJoin morsel-parallel workers (0/1 serial, -1 GOMAXPROCS)")
+	limitFlag := flag.String("limit", "", "stop after N validated answers (early termination, composes with -parallel)")
+	exists := flag.Bool("exists", false, "print true/false for answer existence and exit (stops at the first answer)")
 	stream := flag.Bool("stream", false, "stream answers instead of materializing (xjoin only)")
 	explain := flag.Bool("explain", false, "print the plan before executing")
 	projectList := flag.String("project", "", "comma-separated output attributes (default: all)")
@@ -88,6 +91,29 @@ func run() error {
 		return fmt.Errorf("unknown -strategy %q", *strategy)
 	}
 	q.WithParallelism(*parallel)
+	limit, err := cli.ParseLimit(*limitFlag)
+	if err != nil {
+		return err
+	}
+	q.WithLimit(limit)
+
+	if *exists {
+		switch *algo {
+		case "xjoin":
+		case "xjoin+":
+			q.WithPartialAD(true)
+		case "baseline":
+			return fmt.Errorf("-exists requires -algo xjoin or xjoin+")
+		default:
+			return fmt.Errorf("unknown -algo %q", *algo)
+		}
+		ok, err := q.Exists()
+		if err != nil {
+			return err
+		}
+		fmt.Println(ok)
+		return nil
+	}
 
 	if *explain {
 		plan, err := q.Explain()
@@ -139,6 +165,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if limit > 0 && res.Len() > limit {
+		// The baseline cannot terminate early (Options.Limit only reaches
+		// the streaming executors), so honor -limit by truncation.
+		kept := 0
+		res = res.Filter(func([]string) bool {
+			kept++
+			return kept <= limit
+		})
+	}
 
 	if *projectList != "" {
 		res, err = res.Project(strings.Split(*projectList, ",")...)
@@ -154,6 +189,9 @@ func run() error {
 			s.Algorithm, s.PeakIntermediate, s.TotalIntermediate, s.ValidationRemoved)
 		if len(s.StageSizes) > 0 {
 			fmt.Printf("stage sizes: %v\n", s.StageSizes)
+		}
+		if s.TableIndexes > 0 {
+			fmt.Printf("table indexes: %d (~%d bytes)\n", s.TableIndexes, s.TableIndexBytes)
 		}
 		if s.Algorithm == "baseline" {
 			fmt.Printf("q1=%d q2=%d\n", s.Q1Size, s.Q2Size)

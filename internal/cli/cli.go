@@ -35,6 +35,22 @@ func ParseTableSpec(spec string) (name, path string, err error) {
 	return name, path, nil
 }
 
+// ParseLimit parses a LIMIT-style flag value: a nonnegative integer, with
+// "" and "0" meaning no limit.
+func ParseLimit(s string) (int, error) {
+	if strings.TrimSpace(s) == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("cli: bad limit %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("cli: limit %q must be nonnegative", s)
+	}
+	return n, nil
+}
+
 // ParseIntList parses a comma-separated list of positive integers.
 func ParseIntList(s string) ([]int, error) {
 	var out []int

@@ -49,3 +49,19 @@ func TestParseIntList(t *testing.T) {
 		}
 	}
 }
+
+func TestParseLimit(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"", 0, true}, {"0", 0, true}, {" 7 ", 7, true},
+		{"-1", 0, false}, {"x", 0, false},
+	} {
+		got, err := ParseLimit(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseLimit(%q) = %d, %v", tc.in, got, err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/datagen"
@@ -80,6 +81,24 @@ func TestExecutorEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// The morsel driver across worker counts (1 exercises the full
+		// driver/queue machinery), over the same shared atom instances —
+		// including the virtual XML Tag/Edge atoms.
+		for _, workers := range []int{1, 2, 8} {
+			res, err := wcoj.GenericJoinParallelOpts(atoms, order, wcoj.ParallelOpts{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Tuples, mat.Tuples) {
+				t.Fatalf("trial %d workers=%d: morsel output differs from serial (%d vs %d)",
+					trial, workers, len(res.Tuples), len(mat.Tuples))
+			}
+			if res.Stats.Intersections != mat.Stats.Intersections ||
+				!reflect.DeepEqual(res.Stats.StageSizes, mat.Stats.StageSizes) {
+				t.Fatalf("trial %d workers=%d: morsel stats %+v vs serial %+v",
+					trial, workers, res.Stats, mat.Stats)
+			}
+		}
 		var leapfrogged []relational.Tuple
 		lfStats, err := wcoj.LeapfrogJoin(atoms, order, func(tu relational.Tuple) bool {
 			leapfrogged = append(leapfrogged, tu.Clone())
@@ -132,4 +151,118 @@ func TestExecutorEquivalence(t *testing.T) {
 				trial, inst.Pattern, len(oracle), len(mat.Tuples))
 		}
 	}
+}
+
+// TestMorselXJoinLimitEquivalence runs the full XJoin (validation
+// included) morsel-parallel across worker counts against the serial
+// oracle, with and without Limit, on random multi-model instances. An
+// unlimited run must match the serial result exactly; a limited run must
+// return exactly min(Limit, |answers|) tuples, each from the full answer.
+func TestMorselXJoinLimitEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 15; trial++ {
+		inst, err := datagen.RandomMultiModel(rng, datagen.RandomConfig{Tables: 1 + rng.Intn(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := mustQuery(t, inst)
+		serial, err := XJoin(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := make(map[string]bool, len(serial.Tuples))
+		for _, tu := range serial.Tuples {
+			full[fmt.Sprint(tu)] = true
+		}
+		for _, workers := range []int{1, 2, 8} {
+			par, err := XJoin(q, Options{Parallelism: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(par.Tuples, serial.Tuples) {
+				t.Fatalf("trial %d workers=%d: parallel XJoin differs (%d vs %d tuples)",
+					trial, workers, len(par.Tuples), len(serial.Tuples))
+			}
+			if par.Stats.ValidationRemoved != serial.Stats.ValidationRemoved {
+				t.Fatalf("trial %d workers=%d: removed %d vs %d",
+					trial, workers, par.Stats.ValidationRemoved, serial.Stats.ValidationRemoved)
+			}
+			for _, limit := range []int{1, 3, len(serial.Tuples) + 5} {
+				lim, err := XJoin(q, Options{Parallelism: workers, Limit: limit})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := limit
+				if want > len(serial.Tuples) {
+					want = len(serial.Tuples)
+				}
+				if len(lim.Tuples) != want {
+					t.Fatalf("trial %d workers=%d limit=%d: %d tuples want %d",
+						trial, workers, limit, len(lim.Tuples), want)
+				}
+				for _, tu := range lim.Tuples {
+					if !full[fmt.Sprint(tu)] {
+						t.Fatalf("trial %d workers=%d limit=%d: %v not in full answer",
+							trial, workers, limit, tu)
+					}
+				}
+			}
+		}
+		// Streamed parallel existence: true iff the query has answers.
+		found := false
+		if _, err := XJoinStream(q, Options{Parallelism: 4}, func(relational.Tuple) bool {
+			found = true
+			return false
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if found != (len(serial.Tuples) > 0) {
+			t.Fatalf("trial %d: parallel exists=%v but %d answers", trial, found, len(serial.Tuples))
+		}
+	}
+}
+
+// TestMorselSharedXMLAtomsRace hammers the virtual XML atoms (Tag/Edge,
+// plus AD under PartialAD) under -race: several morsel-parallel XJoins run
+// concurrently over the same query — sharing one set of document indexes —
+// while a serial run streams over them too. The XML atoms are read-only
+// after construction, so every Open must be race-free.
+func TestMorselSharedXMLAtomsRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	inst, err := datagen.RandomMultiModel(rng, datagen.RandomConfig{NodeBudget: 150, Tables: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustQuery(t, inst)
+	serial, err := XJoin(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := Options{Parallelism: 4, PartialAD: i%2 == 1}
+			if i == 3 {
+				opts.Limit = 1
+			}
+			res, err := XJoin(q, opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if opts.Limit == 0 && len(res.Tuples) != len(serial.Tuples) {
+				t.Errorf("concurrent run %d: %d tuples want %d", i, len(res.Tuples), len(serial.Tuples))
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := XJoinStream(q, Options{}, func(relational.Tuple) bool { return true }); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
 }

@@ -188,6 +188,14 @@ type Stats struct {
 	ValidationRemoved int
 	// Q1Size and Q2Size are the baseline's per-model result sizes.
 	Q1Size, Q2Size int
+	// TableIndexes and TableIndexBytes report the sorted-column indexes
+	// the run's table atoms held after execution: shape count and
+	// approximate heap bytes. Table atoms build these lazily per
+	// (target, bound-set) shape and cache them for the atom's lifetime,
+	// so long-lived serving processes should watch these counters (and
+	// use wcoj.TableAtom's DropIndexes/Precompute to control them).
+	TableIndexes    int
+	TableIndexBytes int64
 }
 
 // project returns the positions of attrs within from, erroring on misses.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/relational"
 	"repro/internal/wcoj"
@@ -14,6 +15,13 @@ import (
 // order XJoin would report (Stats.Order); returning false stops the join.
 // The returned stats carry the explored per-stage sizes and validation
 // counts of the completed portion.
+//
+// With Options.Parallelism the morsel-driven parallel executor drives the
+// stream: workers validate tuples concurrently, emit calls are serialized
+// (emit itself is never called concurrently) but arrive in
+// scheduling-dependent order, and both Options.Limit and an emit returning
+// false — the Exists path — short-circuit every worker through the
+// executor's shared stop flag.
 func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Stats, error) {
 	algo := "xjoin-stream"
 	atoms := buildAtoms(q.twigs, q.Tables, opts.PartialAD)
@@ -40,19 +48,25 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 		}
 	}
 
-	gjStats, err := wcoj.GenericJoinStream(atoms, order, func(t relational.Tuple) bool {
-		for _, v := range validators {
-			if !v.hasWitness(t) {
-				stats.ValidationRemoved++
-				return true
+	var gjStats *wcoj.GenericJoinStats
+	var err error
+	if opts.Parallelism < 0 || opts.Parallelism > 1 {
+		gjStats, err = xjoinStreamParallel(opts, atoms, order, validators, stats, emit)
+	} else {
+		gjStats, err = wcoj.GenericJoinStream(atoms, order, func(t relational.Tuple) bool {
+			for _, v := range validators {
+				if !v.hasWitness(t) {
+					stats.ValidationRemoved++
+					return true
+				}
 			}
-		}
-		stats.Output++
-		if !emit(t) {
-			return false
-		}
-		return opts.Limit <= 0 || stats.Output < opts.Limit
-	})
+			stats.Output++
+			if !emit(t) {
+				return false
+			}
+			return opts.Limit <= 0 || stats.Output < opts.Limit
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -62,5 +76,55 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 	for _, s := range gjStats.StageSizes {
 		stats.TotalIntermediate += s
 	}
+	addIndexStats(atoms, stats)
 	return stats, nil
+}
+
+// xjoinStreamParallel streams validated answers out of the morsel-driven
+// executor. Validation runs concurrently in the workers; delivery to emit
+// is serialized under a mutex, which also guards the Output counter that
+// enforces Limit, so at most min(Limit, |answers|) tuples are emitted and
+// the first false from emit cancels every worker.
+func xjoinStreamParallel(opts Options, atoms []wcoj.Atom, order []string, validators []*validator, stats *Stats, emit func(relational.Tuple) bool) (*wcoj.GenericJoinStats, error) {
+	pworkers := opts.Parallelism
+	if pworkers < 0 {
+		pworkers = 0
+	}
+	workers := wcoj.ResolveWorkers(pworkers)
+	removed := make([]int, workers)
+	var mu sync.Mutex
+	done := false
+	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers},
+		func(w int) func(int, relational.Tuple) bool {
+			return func(_ int, t relational.Tuple) bool {
+				for _, v := range validators {
+					if !v.hasWitness(t) {
+						removed[w]++
+						return true
+					}
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if done {
+					return false
+				}
+				stats.Output++
+				if !emit(t) {
+					done = true
+					return false
+				}
+				if opts.Limit > 0 && stats.Output >= opts.Limit {
+					done = true
+					return false
+				}
+				return true
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range removed {
+		stats.ValidationRemoved += r
+	}
+	return gjStats, nil
 }

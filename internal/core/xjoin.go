@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/relational"
 	"repro/internal/wcoj"
@@ -44,15 +45,20 @@ type Options struct {
 	// for queries whose twig has no A-D edges and no branching (tests use
 	// it to demonstrate why validation is needed).
 	SkipValidation bool
-	// Parallelism fans stage expansion out over this many goroutines:
-	// 0 or 1 runs serially, negative uses GOMAXPROCS. Output and
-	// statistics are identical to the serial run.
+	// Parallelism runs the join morsel-driven over this many workers:
+	// 0 or 1 runs serially, negative uses GOMAXPROCS. Workers stream the
+	// depth-first executor over partitions of the first attribute's
+	// cursor range and validate answers as they appear, so no stage is
+	// ever materialized. An unlimited parallel XJoin reproduces the
+	// serial output and statistics exactly.
 	Parallelism int
 	// Limit, when positive, stops the join after that many validated
-	// answers — the early-termination the streaming executor enables
-	// (existence checks are Limit=1). The parallel executor materializes
-	// stages and only truncates the final result; use the serial path when
-	// early termination matters.
+	// answers — early termination (existence checks are Limit=1). It
+	// composes with Parallelism: workers claim emission slots from a
+	// shared atomic counter and every worker short-circuits once the
+	// limit is reached, so a limited parallel run returns exactly
+	// min(Limit, |answers|) tuples (a scheduling-dependent subset of the
+	// full answer) without enumerating the rest.
 	Limit int
 }
 
@@ -117,53 +123,90 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 	for _, s := range gjStats.StageSizes {
 		res.Stats.TotalIntermediate += s
 	}
+	addIndexStats(atoms, &res.Stats)
 	return res, nil
 }
 
-// xjoinParallel is XJoin over the breadth-first parallel executor, which
-// must materialize candidate stages before the final validation pass.
+// xjoinParallel is XJoin over the morsel-driven parallel executor: each
+// worker streams the depth-first expansion over its morsels of
+// first-attribute keys and applies the structural validation per tuple, so
+// — unlike the former breadth-first path — no unvalidated stage is ever
+// materialized and Limit terminates all workers early through a shared
+// atomic counter. Validated tuples are collected per morsel and
+// reassembled in morsel order, which for an unlimited run is exactly the
+// serial executor's output sequence.
 func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, algo string) (*Result, error) {
-	workers := opts.Parallelism
-	if workers < 0 {
-		workers = 0
+	pworkers := opts.Parallelism
+	if pworkers < 0 {
+		pworkers = 0
 	}
-	gj, err := wcoj.GenericJoinParallel(atoms, order, workers)
+	workers := wcoj.ResolveWorkers(pworkers)
+	// Validators are shared across workers: hasWitness keeps no state
+	// between calls and only reads the immutable document indexes.
+	var validators []*validator
+	if len(q.twigs) > 0 && !opts.SkipValidation {
+		validators = make([]*validator, len(q.twigs))
+		for i, tw := range q.twigs {
+			validators[i] = newValidator(tw.ix, tw.pattern, order)
+		}
+	}
+	col := wcoj.NewMorselCollector(workers)
+	removed := make([]int, workers)
+	var accepted atomic.Int64
+	limit := int64(opts.Limit)
+	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers},
+		func(w int) func(int, relational.Tuple) bool {
+			return func(m int, t relational.Tuple) bool {
+				for _, v := range validators {
+					if !v.hasWitness(t) {
+						removed[w]++
+						return true
+					}
+				}
+				if limit > 0 {
+					// Claim a slot; over-claims are discarded so exactly
+					// min(Limit, |answers|) validated tuples survive.
+					n := accepted.Add(1)
+					if n > limit {
+						return false
+					}
+					col.Add(w, m, t)
+					return n < limit
+				}
+				col.Add(w, m, t)
+				return true
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Attrs: gj.Attrs, Stats: Stats{
+	res := &Result{Attrs: gjStats.Order, Tuples: col.Tuples(), Stats: Stats{
 		Algorithm:        algo,
-		Order:            gj.Stats.Order,
-		StageSizes:       gj.Stats.StageSizes,
-		PeakIntermediate: gj.Stats.PeakIntermediate,
-		Output:           gj.Stats.Output,
+		Order:            gjStats.Order,
+		StageSizes:       gjStats.StageSizes,
+		PeakIntermediate: gjStats.PeakIntermediate,
 	}}
-	for _, s := range gj.Stats.StageSizes {
+	for _, r := range removed {
+		res.Stats.ValidationRemoved += r
+	}
+	for _, s := range gjStats.StageSizes {
 		res.Stats.TotalIntermediate += s
 	}
-	if len(q.twigs) == 0 || opts.SkipValidation {
-		res.Tuples = gj.Tuples
-	} else {
-		validators := make([]*validator, len(q.twigs))
-		for i, tw := range q.twigs {
-			validators[i] = newValidator(tw.ix, tw.pattern, res.Attrs)
-		}
-	tuples:
-		for _, t := range gj.Tuples {
-			for _, v := range validators {
-				if !v.hasWitness(t) {
-					res.Stats.ValidationRemoved++
-					continue tuples
-				}
-			}
-			res.Tuples = append(res.Tuples, t)
-		}
-	}
-	if opts.Limit > 0 && len(res.Tuples) > opts.Limit {
-		res.Tuples = res.Tuples[:opts.Limit]
-	}
 	res.Stats.Output = len(res.Tuples)
+	addIndexStats(atoms, &res.Stats)
 	return res, nil
+}
+
+// addIndexStats folds the table atoms' index observability counters into
+// the run's statistics.
+func addIndexStats(atoms []wcoj.Atom, stats *Stats) {
+	for _, a := range atoms {
+		if ta, ok := a.(*wcoj.TableAtom); ok {
+			info := ta.IndexInfo()
+			stats.TableIndexes += info.Indexes
+			stats.TableIndexBytes += info.ApproxBytes
+		}
+	}
 }
 
 // ChooseOrder computes the attribute priority PA for the given strategy.

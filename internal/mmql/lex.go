@@ -10,7 +10,10 @@
 // FROM mixes relational tables (by name) and any number of TWIG patterns;
 // attributes with equal names join. WHERE supports conjunctive equality
 // selections. VIA picks the algorithm (xjoin, xjoin+, baseline; default
-// xjoin).
+// xjoin). LIMIT N stops the join after N answers (pushed into the engine
+// whenever safe, so the join terminates early — in parallel too), and an
+// EXISTS prefix (EXISTS SELECT ...) turns the statement into an existence
+// check that stops at the first validated answer.
 package mmql
 
 import (
@@ -23,6 +26,7 @@ type tokenKind int
 const (
 	tokIdent tokenKind = iota
 	tokString
+	tokNumber
 	tokComma
 	tokStar
 	tokEq
@@ -94,6 +98,12 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 			toks = append(toks, token{tokString, sb.String(), start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
 		case isIdentStart(c):
 			start := i
 			for i < len(src) && isIdentPart(src[i]) {

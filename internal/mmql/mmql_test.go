@@ -347,3 +347,85 @@ func TestRunAcrossDocuments(t *testing.T) {
 		t.Error("unknown document accepted")
 	}
 }
+
+func TestParseLimitAndExists(t *testing.T) {
+	st, err := Parse(`SELECT * FROM R VIA xjoin LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Limit != 5 || st.Exists {
+		t.Errorf("limit parse: %+v", st)
+	}
+	st, err = Parse(`EXISTS SELECT * FROM R, TWIG '//a[b]'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Exists || st.Limit != 0 {
+		t.Errorf("exists parse: %+v", st)
+	}
+	for _, bad := range []string{
+		`SELECT * FROM R LIMIT 0`,
+		`SELECT * FROM R LIMIT x`,
+		`SELECT * FROM R LIMIT`,
+		`EXISTS SELECT * FROM R LIMIT 2`,
+		`EXISTS SELECT * FROM R VIA baseline`,
+		`EXISTS SELECT COUNT(*) FROM R`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	db := testDB(t)
+	full, err := RunString(db, `SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) != 2 {
+		t.Fatalf("full rows = %d", len(full.Rows))
+	}
+	// Engine-pushed limit (SELECT *, no residual filters).
+	one, err := RunString(db, `SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price' LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Rows) != 1 {
+		t.Fatalf("limited rows = %d", len(one.Rows))
+	}
+	// Post-hoc limit with a projection list: distinct rows must not be lost.
+	users, err := RunString(db, `SELECT userID FROM R, TWIG '/invoices/orderLine[orderID]/price' LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users.Rows) != 2 {
+		t.Fatalf("projected limited rows = %v", users.Rows)
+	}
+}
+
+func TestRunExists(t *testing.T) {
+	db := testDB(t)
+	res, err := RunString(db, `EXISTS SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attrs[0] != "exists" || res.Rows[0][0] != "true" {
+		t.Fatalf("exists = %v", res.Rows)
+	}
+	// A residual (non-pushable) filter still answers correctly.
+	res, err = RunString(db, `EXISTS SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price' WHERE userID = 'nobody'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "false" {
+		t.Fatalf("exists with filter = %v", res.Rows)
+	}
+	res, err = RunString(db, `EXISTS SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price' WHERE price = '9999'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "false" {
+		t.Fatalf("exists pushed-filter = %v", res.Rows)
+	}
+}

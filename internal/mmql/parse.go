@@ -2,6 +2,7 @@ package mmql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -19,6 +20,12 @@ type Statement struct {
 	GroupBy []string
 	// Algo is "xjoin", "xjoin+" or "baseline" ("" defaults to xjoin).
 	Algo string
+	// Limit caps the number of answers (0 = unlimited). When it can be
+	// pushed into the engine the join terminates early.
+	Limit int
+	// Exists marks an EXISTS-prefixed statement: report whether the query
+	// has at least one answer instead of enumerating them.
+	Exists bool
 }
 
 // HasAggregates reports whether any select item is an aggregate.
@@ -84,6 +91,9 @@ func (p *parser) expectKeyword(kw string) error {
 
 func (p *parser) statement() (*Statement, error) {
 	st := &Statement{}
+	if p.keyword("exists") {
+		st.Exists = true
+	}
 	if err := p.expectKeyword("select"); err != nil {
 		return nil, err
 	}
@@ -166,11 +176,32 @@ func (p *parser) statement() (*Statement, error) {
 			return nil, fmt.Errorf("mmql: unknown algorithm %q (want xjoin, xjoinplus or baseline)", algo)
 		}
 	}
+	if p.keyword("limit") {
+		if p.cur().kind != tokNumber {
+			return nil, fmt.Errorf("mmql: LIMIT needs a number, found %s", p.cur())
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("mmql: LIMIT must be a positive integer")
+		}
+		st.Limit = n
+	}
 	if p.cur().kind != tokEOF {
 		return nil, fmt.Errorf("mmql: unexpected trailing %s", p.cur())
 	}
 	if len(st.Tables) == 0 && len(st.Twigs) == 0 {
 		return nil, fmt.Errorf("mmql: FROM names no sources")
+	}
+	if st.Exists {
+		if st.Algo == "baseline" {
+			return nil, fmt.Errorf("mmql: EXISTS requires a streaming algorithm (xjoin or xjoinplus)")
+		}
+		if st.HasAggregates() || len(st.GroupBy) > 0 {
+			return nil, fmt.Errorf("mmql: EXISTS cannot combine with aggregates or GROUP BY")
+		}
+		if st.Limit > 0 {
+			return nil, fmt.Errorf("mmql: EXISTS cannot combine with LIMIT")
+		}
 	}
 	if len(st.GroupBy) > 0 && st.Items == nil {
 		return nil, fmt.Errorf("mmql: GROUP BY requires an explicit select list")

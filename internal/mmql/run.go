@@ -13,6 +13,13 @@ import (
 // multi-model query is evaluated with the requested algorithm, any
 // remaining selections are applied to the result, and the SELECT list is
 // projected or aggregated.
+//
+// EXISTS statements stream the join and stop at the first validated
+// answer. LIMIT truncates the output rows; for a SELECT * with no
+// post-join filters or aggregates it is additionally pushed into the
+// engine, so the join itself terminates after LIMIT answers (projection
+// with an explicit item list deduplicates, where an engine-side stop could
+// silently drop distinct output rows — those cases limit post-hoc).
 func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
 	twigs, remaining, err := pushdownFilters(st)
 	if err != nil {
@@ -22,12 +29,25 @@ func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	if st.Algo == "xjoin+" {
+		q.WithPartialAD(true)
+	}
+
+	if st.Exists {
+		return runExists(q, remaining)
+	}
+
+	// LIMIT pushdown: safe exactly when the engine's answer tuples map
+	// 1:1 to output rows (SELECT * keeps the engine's set semantics) and
+	// nothing downstream can discard rows.
+	if st.Limit > 0 && st.Items == nil && len(remaining) == 0 {
+		q.WithLimit(st.Limit)
+	}
+
 	var res *xmjoin.Result
 	switch st.Algo {
-	case "", "xjoin":
+	case "", "xjoin", "xjoin+":
 		res, err = q.ExecXJoin()
-	case "xjoin+":
-		res, err = q.WithPartialAD(true).ExecXJoin()
 	case "baseline":
 		res, err = q.ExecBaseline()
 	default:
@@ -50,10 +70,61 @@ func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
 		rows[i] = append([]string(nil), res.Row(i)...)
 	}
 
+	var out *Output
 	if st.HasAggregates() || len(st.GroupBy) > 0 {
-		return aggregate(attrs, rows, st.Items, st.GroupBy)
+		out, err = aggregate(attrs, rows, st.Items, st.GroupBy)
+	} else {
+		out, err = projectOutput(attrs, rows, st.Items)
 	}
-	return projectOutput(attrs, rows, st.Items)
+	if err != nil {
+		return nil, err
+	}
+	if st.Limit > 0 && len(out.Rows) > st.Limit {
+		out.Rows = out.Rows[:st.Limit]
+	}
+	return out, nil
+}
+
+// runExists answers an EXISTS statement, always streaming: without
+// residual post-join filters it stops at the first validated answer; with
+// them it streams on, applying the filters per row, and stops at the
+// first row that survives — never materializing the result either way.
+func runExists(q *xmjoin.Query, remaining []Filter) (*Output, error) {
+	var found bool
+	if len(remaining) == 0 {
+		ok, err := q.Exists()
+		if err != nil {
+			return nil, err
+		}
+		found = ok
+	} else {
+		order := q.PlanOrder()
+		cols := make([]int, len(remaining))
+		for i, f := range remaining {
+			cols[i] = -1
+			for j, a := range order {
+				if a == f.Attr {
+					cols[i] = j
+					break
+				}
+			}
+			if cols[i] < 0 {
+				return nil, fmt.Errorf("mmql: WHERE references unknown attribute %q", f.Attr)
+			}
+		}
+		if _, err := q.ExecXJoinStream(func(row []string) bool {
+			for i, f := range remaining {
+				if row[cols[i]] != f.Value {
+					return true // filtered out; keep streaming
+				}
+			}
+			found = true
+			return false
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &Output{Attrs: []string{"exists"}, Rows: [][]string{{fmt.Sprint(found)}}}, nil
 }
 
 // RunString parses and executes src.

@@ -159,9 +159,11 @@ const helpText = `commands:
   .save DIR / .open DIR     persist / reopen the database
   .help / .quit
 queries (everything else):
-  SELECT items|* FROM src[, src...] [WHERE a = 'v' [AND ...]]
-         [GROUP BY a[, b...]] [VIA algo]
+  [EXISTS] SELECT items|* FROM src[, src...] [WHERE a = 'v' [AND ...]]
+           [GROUP BY a[, b...]] [VIA algo] [LIMIT n]
   items:   attributes and aggregates COUNT(*|a), SUM(a), MIN(a), MAX(a)
   sources: table names and TWIG '<pattern>' [IN 'docname']
   algos:   xjoin (default), xjoinplus, baseline
+  LIMIT n  stops after n answers (SELECT * terminates the join early)
+  EXISTS   reports true/false, stopping at the first answer
 `

@@ -155,3 +155,31 @@ func TestShellNamedDocuments(t *testing.T) {
 		t.Errorf("cross-document shell query failed:\n%s", out.String())
 	}
 }
+
+func TestShellLimitAndExists(t *testing.T) {
+	xmlPath, csvPath := writeFixtures(t)
+	var out strings.Builder
+	sh := New(&out)
+	steps := []string{
+		".load xml " + xmlPath,
+		".load table R " + csvPath,
+		`SELECT * FROM R, TWIG '//orderLine[orderID]/price' LIMIT 1`,
+		`EXISTS SELECT * FROM R, TWIG '//orderLine[orderID]/price'`,
+		`EXISTS SELECT * FROM R, TWIG '//orderLine[orderID]/price' WHERE price = '999'`,
+	}
+	for _, line := range steps {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	o := out.String()
+	if !strings.Contains(o, "(1 rows)") {
+		t.Errorf("limited query did not report one row:\n%s", o)
+	}
+	if !strings.Contains(o, "true") || !strings.Contains(o, "false") {
+		t.Errorf("exists answers missing:\n%s", o)
+	}
+	if !strings.Contains(o, "exists") {
+		t.Errorf("exists header missing:\n%s", o)
+	}
+}

@@ -24,6 +24,41 @@ type GenericJoinStats struct {
 	Seeks int
 }
 
+// Merge folds the counters of other — a partition of the same join's work,
+// e.g. one parallel worker's local statistics — into s. Every numeric field
+// is merged here and nowhere else (TestStatsMergeCoversAllFields enforces
+// that new fields get a merge rule): StageSizes add elementwise, the scalar
+// counters add, and PeakIntermediate is recomputed as the maximum merged
+// stage size, matching the serial executor's definition. Order is taken
+// from whichever side has it.
+func (s *GenericJoinStats) Merge(other *GenericJoinStats) {
+	if s.Order == nil {
+		s.Order = other.Order
+	}
+	if len(other.StageSizes) > len(s.StageSizes) {
+		grown := make([]int, len(other.StageSizes))
+		copy(grown, s.StageSizes)
+		s.StageSizes = grown
+	}
+	for i, n := range other.StageSizes {
+		s.StageSizes[i] += n
+	}
+	s.Output += other.Output
+	s.Intersections += other.Intersections
+	s.Seeks += other.Seeks
+	s.recomputePeak()
+}
+
+// recomputePeak refreshes PeakIntermediate from StageSizes.
+func (s *GenericJoinStats) recomputePeak() {
+	s.PeakIntermediate = 0
+	for _, n := range s.StageSizes {
+		if n > s.PeakIntermediate {
+			s.PeakIntermediate = n
+		}
+	}
+}
+
 // GenericJoinResult is the materialized join output: tuples over the
 // attribute order used (Stats.Order).
 type GenericJoinResult struct {
@@ -91,35 +126,6 @@ func (b *prefixBinding) Get(attr string) (relational.Value, bool) {
 		return relational.Null, false
 	}
 	return b.tuple[i], true
-}
-
-// collectCandidates appends to dst the intersection of the candidate
-// cursors each atom opens for attr under binding b — the breadth-first
-// executors' expansion step. It mirrors the streaming executor's
-// accounting exactly: an empty cursor short-circuits without counting an
-// intersection.
-func collectCandidates(atoms []Atom, attr string, b Binding, stats *GenericJoinStats, dst []relational.Value, scratch []AtomIterator) ([]relational.Value, []AtomIterator, error) {
-	open := scratch[:0]
-	for _, at := range atoms {
-		it, err := at.Open(attr, b)
-		if err != nil {
-			closeAll(open)
-			return dst, open[:0], err
-		}
-		if it.AtEnd() {
-			it.Close()
-			closeAll(open)
-			return dst, open[:0], nil
-		}
-		open = append(open, it)
-	}
-	stats.Intersections++
-	leapfrogEach(open, &stats.Seeks, func(v relational.Value) bool {
-		dst = append(dst, v)
-		return true
-	})
-	closeAll(open)
-	return dst, open[:0], nil
 }
 
 // IntersectValueSets intersects sorted distinct value sets with a k-way

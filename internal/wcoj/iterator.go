@@ -14,13 +14,41 @@
 //   - Every executor is a driver over the same iterators: the streaming
 //     attribute-at-a-time GenericJoinStream (the paper's Algorithm 1 main
 //     loop, depth-first, emitting through a callback), its materializing
-//     wrapper GenericJoin, the stage-parallel GenericJoinParallel, and
-//     LeapfrogJoin — Veldhuizen's Leapfrog Triejoin (the paper's reference
-//     [9]) generalized from tries to any Atom.
+//     wrapper GenericJoin, the morsel-driven GenericJoinParallel/
+//     GenericJoinParallelStream, and LeapfrogJoin — Veldhuizen's Leapfrog
+//     Triejoin (the paper's reference [9]) generalized from tries to any
+//     Atom.
 //
 //   - At each attribute the candidate sets are intersected by leapfrogging
 //     the open cursors (seeking each laggard to the current maximum), so no
 //     per-call candidate set is ever materialized.
+//
+// # Executor matrix
+//
+// Which driver to pick:
+//
+//   - GenericJoinStream — the default. Depth-first, O(depth) memory, emits
+//     through a callback in lexicographic order, terminates early when the
+//     callback declines. Use whenever one core is enough or the consumer
+//     is inherently serial.
+//
+//   - GenericJoin — GenericJoinStream plus result collection. Use only
+//     when the caller genuinely needs the materialized tuple slice.
+//
+//   - GenericJoinParallelStream / GenericJoinParallelMorsels — the
+//     morsel-driven parallel driver: the first attribute's intersection is
+//     cut into morsels and each worker streams the depth-first loop over
+//     its share, with O(workers × depth) memory and a shared atomic limit
+//     for global early termination. Use for large joins on multicore;
+//     tuple arrival order is scheduling-dependent.
+//
+//   - GenericJoinParallel — the morsel driver plus in-order collection
+//     (output and statistics identical to GenericJoin). Use when parallel
+//     speed and deterministic materialized output both matter.
+//
+//   - LeapfrogJoin / LeapfrogTriejoin — the same join as unary leapfrog
+//     intersections driven trie-style; kept for comparison and for
+//     workloads with prebuilt TrieAtoms.
 //
 // The package also keeps the conventional binary joins (hash, sort-merge,
 // nested-loop) used by the baseline's relational query Q1.

@@ -2,30 +2,77 @@ package wcoj
 
 import (
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relational"
 )
 
-// parallelThreshold is the stage size below which the parallel executor
-// falls back to serial expansion: goroutine fan-out costs more than it
-// saves on small stages.
-const parallelThreshold = 256
+// This file implements the morsel-driven parallel executor (after Leis et
+// al., "Morsel-Driven Parallelism: A NUMA-Aware Query Evaluation Framework
+// for the Many-Core Age", SIGMOD 2014, applied to Generic Join): a driver
+// leapfrogs the first attribute's intersection once and packs the keys
+// into morsels — small contiguous runs of first-attribute values — on a
+// work queue, and each worker runs the streaming depth-first executor
+// (streamRun) over its morsels with worker-local cursors, binding buffers
+// and statistics. Per-worker memory stays O(depth); no stage is ever
+// materialized. A shared atomic emitted-counter and stop flag let
+// Limit/Exists short-circuit across all workers.
 
-// GenericJoinParallel evaluates the join breadth-first — materializing
-// every stage, which is what makes the work splittable — with stage
-// expansion fanned out over workers goroutines (workers <= 1, or GOMAXPROCS
-// when workers == 0, degrades to the streaming serial executor). Each
-// worker drives the same AtomIterator cursors over a contiguous chunk of
-// the stage and the chunks are concatenated in order, so results and
-// per-stage statistics are identical to the serial executor.
-func GenericJoinParallel(atoms []Atom, order []string, workers int) (*GenericJoinResult, error) {
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
+// ParallelOpts tunes the morsel-driven parallel executor.
+type ParallelOpts struct {
+	// Workers is the number of worker goroutines; <= 0 uses GOMAXPROCS.
+	Workers int
+	// MorselSize is the number of first-attribute keys per morsel. <= 0
+	// selects the adaptive default: morsels start at one key (so small
+	// key spaces still fan out across all workers) and grow geometrically
+	// as the run proves long, amortizing queue overhead. The schedule is
+	// deterministic for a fixed worker count.
+	MorselSize int
+	// Limit, when positive, stops the whole executor after that many
+	// tuples have been delivered globally: workers claim emission slots
+	// from one atomic counter, so exactly min(Limit, |result|) tuples
+	// reach the sinks regardless of scheduling.
+	Limit int
+}
+
+// maxMorselSize caps the adaptive morsel growth; beyond this, queue
+// overhead is already negligible and smaller morsels balance better.
+const maxMorselSize = 256
+
+// ResolveWorkers maps a ParallelOpts.Workers value to the actual worker
+// count the executor will use, so callers can size per-worker state.
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
 	}
-	if workers <= 1 {
-		return GenericJoin(atoms, order)
-	}
+	return n
+}
+
+// morsel is one unit of scheduled work: a run of consecutive
+// first-attribute keys, identified by its position in key order so
+// collectors can reassemble deterministic output.
+type morsel struct {
+	idx  int
+	keys []relational.Value
+}
+
+// GenericJoinParallelMorsels is the general morsel-driven entry point.
+// mkSink is invoked once per worker (worker ids 0..Workers-1, resolved via
+// ResolveWorkers); the returned sink receives, for every result tuple the
+// worker finds, the index of the morsel it belongs to and the transient
+// tuple (valid only during the call). Each worker's sink is called
+// sequentially, and a morsel is processed by exactly one worker, so sinks
+// may keep per-morsel state without locking; sinks of different workers
+// run concurrently. A sink returning false cancels the whole run. Results
+// within one morsel arrive in serial (lexicographic) order, and morsel
+// indexes increase with first-attribute key order, so concatenating
+// per-morsel output by index reproduces the serial executor's sequence.
+//
+// The returned statistics are the merged driver + worker counters; for a
+// run to completion they equal the serial executor's exactly.
+func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts, mkSink func(worker int) func(morsel int, t relational.Tuple) bool) (*GenericJoinStats, error) {
 	pos := make(map[string]int, len(order))
 	for i, a := range order {
 		if _, dup := pos[a]; dup {
@@ -37,105 +84,257 @@ func GenericJoinParallel(atoms []Atom, order []string, workers int) (*GenericJoi
 	if err != nil {
 		return nil, err
 	}
+	if len(order) == 0 {
+		// Degenerate nullary join: one empty tuple, no parallelism to
+		// extract. Run it through the serial loop against sink 0.
+		sink := mkSink(0)
+		return GenericJoinStream(atoms, order, func(t relational.Tuple) bool {
+			return sink(0, t)
+		})
+	}
 
-	res := &GenericJoinResult{Attrs: append([]string(nil), order...)}
-	res.Stats.Order = res.Attrs
-	partial := []relational.Tuple{{}}
-	for i := range order {
-		var next []relational.Tuple
-		if len(partial) < parallelThreshold {
-			next, err = expandStage(partial, byAttr[i], order[i], i, pos, &res.Stats)
-		} else {
-			next, err = expandStageParallel(partial, byAttr[i], order[i], i, pos, &res.Stats, workers)
+	workers := ResolveWorkers(opts.Workers)
+	var (
+		stop    atomic.Bool
+		emitted atomic.Int64
+		errMu   sync.Mutex
+		runErr  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
 		}
-		if err != nil {
-			return nil, err
-		}
-		partial = next
-		res.Stats.StageSizes = append(res.Stats.StageSizes, len(partial))
-		if len(partial) > res.Stats.PeakIntermediate {
-			res.Stats.PeakIntermediate = len(partial)
-		}
-		if len(partial) == 0 {
-			break
-		}
+		errMu.Unlock()
+		stop.Store(true)
 	}
-	// Pad to full length when a stage emptied, matching the streaming
-	// executor's zero-filled accounting.
-	for len(res.Stats.StageSizes) < len(order) {
-		res.Stats.StageSizes = append(res.Stats.StageSizes, 0)
-	}
-	if len(partial) > 0 || len(order) == 0 {
-		res.Tuples = partial
-	}
-	res.Stats.Output = len(res.Tuples)
-	return res, nil
-}
 
-// expandStage expands one attribute serially (shared with the parallel
-// path for small stages).
-func expandStage(partial []relational.Tuple, atoms []Atom, attr string, depth int, pos map[string]int, stats *GenericJoinStats) ([]relational.Tuple, error) {
-	var next []relational.Tuple
-	var vals []relational.Value
-	scratch := make([]AtomIterator, 0, len(atoms))
-	b := &prefixBinding{pos: pos}
-	var err error
-	for _, t := range partial {
-		b.tuple = t
-		vals, scratch, err = collectCandidates(atoms, attr, b, stats, vals[:0], scratch)
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range vals {
-			nt := make(relational.Tuple, depth+1)
-			copy(nt, t)
-			nt[depth] = v
-			next = append(next, nt)
-		}
-	}
-	return next, nil
-}
-
-// expandStageParallel splits the stage into per-worker chunks; chunk
-// results are concatenated in order so the output sequence matches the
-// serial executor exactly.
-func expandStageParallel(partial []relational.Tuple, atoms []Atom, attr string, depth int, pos map[string]int, stats *GenericJoinStats, workers int) ([]relational.Tuple, error) {
-	if workers > len(partial) {
-		workers = len(partial)
-	}
-	chunks := make([][]relational.Tuple, workers)
-	locals := make([]GenericJoinStats, workers)
-	errs := make([]error, workers)
+	// The driver performs exactly the serial executor's depth-0 work —
+	// one intersection over the first attribute's cursors — but instead
+	// of recursing under each key it packs keys into morsels.
+	driverStats := &GenericJoinStats{Order: append([]string(nil), order...)}
+	driverStats.StageSizes = make([]int, len(order))
+	ch := make(chan morsel, 2*workers)
 	var wg sync.WaitGroup
-	per := (len(partial) + workers - 1) / workers
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(ch)
+		b := &prefixBinding{pos: pos}
+		var open []AtomIterator
+		for _, at := range byAttr[0] {
+			it, err := at.Open(order[0], b)
+			if err != nil {
+				fail(err)
+				closeAll(open)
+				return
+			}
+			if it.AtEnd() {
+				it.Close()
+				closeAll(open)
+				return
+			}
+			open = append(open, it)
+		}
+		driverStats.Intersections++
+		size := opts.MorselSize
+		adaptive := size <= 0
+		if adaptive {
+			size = 1
+		}
+		idx := 0
+		var keys []relational.Value
+		flush := func() {
+			if len(keys) == 0 {
+				return
+			}
+			ch <- morsel{idx: idx, keys: keys}
+			idx++
+			keys = nil
+			if adaptive && idx%(4*workers) == 0 && size < maxMorselSize {
+				size *= 2
+			}
+		}
+		leapfrogEach(open, &driverStats.Seeks, func(v relational.Value) bool {
+			if stop.Load() {
+				return false
+			}
+			driverStats.StageSizes[0]++
+			if keys == nil {
+				keys = make([]relational.Value, 0, size)
+			}
+			keys = append(keys, v)
+			if len(keys) >= size {
+				flush()
+			}
+			return true
+		})
+		flush()
+		closeAll(open)
+	}()
+
+	workerStats := make([]GenericJoinStats, workers)
 	for w := 0; w < workers; w++ {
-		lo := w * per
-		hi := lo + per
-		if hi > len(partial) {
-			hi = len(partial)
-		}
-		if lo >= hi {
-			continue
-		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
-			chunks[w], errs[w] = expandStage(partial[lo:hi], atoms, attr, depth, pos, &locals[w])
-		}(w, lo, hi)
+			stats := &workerStats[w]
+			stats.StageSizes = make([]int, len(order))
+			sink := mkSink(w)
+			cur := -1 // morsel being processed, for the emit closure
+			r := newStreamRun(order, byAttr, pos, stats, func(t relational.Tuple) bool {
+				if opts.Limit > 0 {
+					n := emitted.Add(1)
+					if n > int64(opts.Limit) {
+						stop.Store(true)
+						return false
+					}
+					stats.Output++
+					if !sink(cur, t) {
+						stop.Store(true)
+						return false
+					}
+					if n == int64(opts.Limit) {
+						stop.Store(true)
+						return false
+					}
+					return true
+				}
+				stats.Output++
+				if !sink(cur, t) {
+					stop.Store(true)
+					return false
+				}
+				return true
+			})
+			r.stop = &stop
+			for m := range ch {
+				// Keep draining after a stop so the driver never blocks.
+				if stop.Load() {
+					continue
+				}
+				cur = m.idx
+				for _, v := range m.keys {
+					if stop.Load() {
+						break
+					}
+					r.binding = append(r.binding[:0], v)
+					r.rec(1)
+					if r.openErr != nil {
+						fail(r.openErr)
+						break
+					}
+				}
+			}
+		}(w)
 	}
 	wg.Wait()
-	total := 0
-	for w := range chunks {
-		if errs[w] != nil {
-			return nil, errs[w]
+	if runErr != nil {
+		return nil, runErr
+	}
+	for w := range workerStats {
+		driverStats.Merge(&workerStats[w])
+	}
+	return driverStats, nil
+}
+
+// GenericJoinParallelStream evaluates the join with the morsel-driven
+// parallel executor, streaming every result tuple to yield without
+// materializing any stage. yield is called concurrently from the worker
+// goroutines (serialize externally if needed) with a transient tuple;
+// returning false cancels the whole run. Tuple order is
+// scheduling-dependent; use GenericJoinParallel for deterministic output.
+// workers <= 0 uses GOMAXPROCS.
+func GenericJoinParallelStream(atoms []Atom, order []string, workers int, yield func(relational.Tuple) bool) (*GenericJoinStats, error) {
+	return GenericJoinParallelStreamOpts(atoms, order, ParallelOpts{Workers: workers}, yield)
+}
+
+// GenericJoinParallelStreamOpts is GenericJoinParallelStream with full
+// control over morsel size and the global emission limit.
+func GenericJoinParallelStreamOpts(atoms []Atom, order []string, opts ParallelOpts, yield func(relational.Tuple) bool) (*GenericJoinStats, error) {
+	return GenericJoinParallelMorsels(atoms, order, opts, func(int) func(int, relational.Tuple) bool {
+		return func(_ int, t relational.Tuple) bool { return yield(t) }
+	})
+}
+
+// GenericJoinParallel evaluates the join with the morsel-driven parallel
+// executor and collects the result, reassembled in morsel order so tuples
+// and statistics are identical to the serial executor's (workers == 0 uses
+// GOMAXPROCS; workers <= 1 degrades to the serial streaming executor).
+// Unlike the former breadth-first implementation this never materializes
+// an intermediate stage — peak memory is the output plus O(workers·depth).
+func GenericJoinParallel(atoms []Atom, order []string, workers int) (*GenericJoinResult, error) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return GenericJoin(atoms, order)
+	}
+	return GenericJoinParallelOpts(atoms, order, ParallelOpts{Workers: workers})
+}
+
+// GenericJoinParallelOpts is GenericJoinParallel with full options. With a
+// Limit the output is exactly min(Limit, |result|) tuples — a
+// scheduling-dependent subset of the full answer, still in morsel order.
+func GenericJoinParallelOpts(atoms []Atom, order []string, opts ParallelOpts) (*GenericJoinResult, error) {
+	col := NewMorselCollector(ResolveWorkers(opts.Workers))
+	stats, err := GenericJoinParallelMorsels(atoms, order, opts, func(w int) func(int, relational.Tuple) bool {
+		return func(m int, t relational.Tuple) bool {
+			col.Add(w, m, t)
+			return true
 		}
-		total += len(chunks[w])
-		stats.Intersections += locals[w].Intersections
-		stats.Seeks += locals[w].Seeks
+	})
+	if err != nil {
+		return nil, err
 	}
-	next := make([]relational.Tuple, 0, total)
-	for _, c := range chunks {
-		next = append(next, c...)
+	return &GenericJoinResult{Attrs: stats.Order, Tuples: col.Tuples(), Stats: *stats}, nil
+}
+
+// MorselCollector reassembles the tuples of a GenericJoinParallelMorsels
+// run into the serial executor's order: each worker accumulates cloned
+// tuples per morsel, and Tuples concatenates the chunks by morsel index.
+// Callers that filter (validation, limits) decide per tuple whether to
+// Add. Add is safe for concurrent use by *different* workers — state is
+// worker-local — and relies on each worker's morsel indexes arriving in
+// runs; Tuples must only be called after the run finishes.
+type MorselCollector struct {
+	perWorker [][]morselChunk
+}
+
+// morselChunk is one morsel's collected tuples, tagged for reassembly.
+type morselChunk struct {
+	idx    int
+	tuples []relational.Tuple
+}
+
+// NewMorselCollector sizes a collector for the resolved worker count.
+func NewMorselCollector(workers int) *MorselCollector {
+	return &MorselCollector{perWorker: make([][]morselChunk, workers)}
+}
+
+// Add records a clone of t as output of the given morsel, from the given
+// worker.
+func (c *MorselCollector) Add(worker, morsel int, t relational.Tuple) {
+	chunks := c.perWorker[worker]
+	if len(chunks) == 0 || chunks[len(chunks)-1].idx != morsel {
+		chunks = append(chunks, morselChunk{idx: morsel})
+		c.perWorker[worker] = chunks
 	}
-	return next, nil
+	last := &chunks[len(chunks)-1]
+	last.tuples = append(last.tuples, t.Clone())
+}
+
+// Tuples returns every collected tuple in morsel order (nil when nothing
+// was collected, matching the serial executors' empty result).
+func (c *MorselCollector) Tuples() []relational.Tuple {
+	var all []morselChunk
+	for _, chunks := range c.perWorker {
+		all = append(all, chunks...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].idx < all[j].idx })
+	var out []relational.Tuple
+	for _, ch := range all {
+		out = append(out, ch.tuples...)
+	}
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/relational"
@@ -108,5 +109,241 @@ func TestParallelWorkerCountEdgeCases(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial.Tuples, par.Tuples) {
 		t.Fatalf("parallel output differs: %d vs %d", len(par.Tuples), len(serial.Tuples))
+	}
+}
+
+// TestMorselOptsMatchSerial runs the morsel executor across worker counts
+// (including 1, which still exercises the full driver/queue machinery via
+// GenericJoinParallelOpts) and fixed morsel sizes; collected output and
+// merged statistics must equal the serial executor exactly.
+func TestMorselOptsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		ts := triangleTables(t, rng, 40+rng.Intn(120), 3+rng.Intn(10))
+		mk := func() []Atom {
+			return []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+		}
+		order := []string{"a", "b", "c"}
+		serial, err := GenericJoin(mk(), order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []ParallelOpts{
+			{Workers: 1}, {Workers: 2}, {Workers: 8},
+			{Workers: 2, MorselSize: 1}, {Workers: 4, MorselSize: 3}, {Workers: 8, MorselSize: 256},
+		} {
+			par, err := GenericJoinParallelOpts(mk(), order, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(par.Tuples, serial.Tuples) {
+				t.Fatalf("trial %d %+v: %d tuples vs serial %d (or order differs)",
+					trial, opts, len(par.Tuples), len(serial.Tuples))
+			}
+			if !reflect.DeepEqual(par.Stats.StageSizes, serial.Stats.StageSizes) ||
+				par.Stats.Intersections != serial.Stats.Intersections ||
+				par.Stats.Seeks != serial.Stats.Seeks ||
+				par.Stats.Output != serial.Stats.Output ||
+				par.Stats.PeakIntermediate != serial.Stats.PeakIntermediate {
+				t.Fatalf("trial %d %+v: stats %+v vs serial %+v", trial, opts, par.Stats, serial.Stats)
+			}
+		}
+	}
+}
+
+// TestMorselStreamMatchesSerial checks the unordered streaming entry point
+// against the serial executor as a set.
+func TestMorselStreamMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ts := triangleTables(t, rng, 300, 12)
+	atoms := []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+	order := []string{"a", "b", "c"}
+	serial, err := GenericJoin(atoms, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[[3]relational.Value]bool, len(serial.Tuples))
+	for _, tu := range serial.Tuples {
+		want[[3]relational.Value{tu[0], tu[1], tu[2]}] = true
+	}
+	var mu sync.Mutex
+	got := make(map[[3]relational.Value]bool)
+	stats, err := GenericJoinParallelStream(atoms, order, 8, func(tu relational.Tuple) bool {
+		mu.Lock()
+		got[[3]relational.Value{tu[0], tu[1], tu[2]}] = true
+		mu.Unlock()
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed set differs: %d vs %d", len(got), len(want))
+	}
+	if stats.Output != len(serial.Tuples) || stats.Intersections != serial.Stats.Intersections {
+		t.Fatalf("stream stats %+v vs serial %+v", stats, serial.Stats)
+	}
+}
+
+// TestMorselLimit: with a global limit the executor must deliver exactly
+// min(limit, |result|) tuples, each of which belongs to the full answer.
+func TestMorselLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ts := triangleTables(t, rng, 300, 10)
+	atoms := []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+	order := []string{"a", "b", "c"}
+	serial, err := GenericJoin(atoms, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make(map[[3]relational.Value]bool, len(serial.Tuples))
+	for _, tu := range serial.Tuples {
+		full[[3]relational.Value{tu[0], tu[1], tu[2]}] = true
+	}
+	n := len(serial.Tuples)
+	if n < 10 {
+		t.Fatalf("instance too small: %d tuples", n)
+	}
+	for _, limit := range []int{1, 5, n, n + 100} {
+		for _, workers := range []int{1, 2, 8} {
+			res, err := GenericJoinParallelOpts(atoms, order, ParallelOpts{Workers: workers, Limit: limit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := limit
+			if want > n {
+				want = n
+			}
+			if len(res.Tuples) != want {
+				t.Fatalf("limit=%d workers=%d: %d tuples want %d", limit, workers, len(res.Tuples), want)
+			}
+			if res.Stats.Output != want {
+				t.Fatalf("limit=%d workers=%d: Output=%d want %d", limit, workers, res.Stats.Output, want)
+			}
+			for _, tu := range res.Tuples {
+				if !full[[3]relational.Value{tu[0], tu[1], tu[2]}] {
+					t.Fatalf("limit=%d workers=%d: tuple %v not in full answer", limit, workers, tu)
+				}
+			}
+		}
+	}
+}
+
+// TestMorselLimitShortCircuits: Limit=1 must terminate without doing more
+// than a sliver of the full run's intersection work — the property the old
+// breadth-first executor could not provide.
+func TestMorselLimitShortCircuits(t *testing.T) {
+	k := 48 // k^3 = 110592 results, ~k^2 intersections on a full run
+	ts := benchTriangle(k)
+	atoms := []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+	order := []string{"a", "b", "c"}
+	fullStats, err := GenericJoinStream(atoms, order, func(relational.Tuple) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenericJoinParallelOpts(atoms, order, ParallelOpts{Workers: 4, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 {
+		t.Fatalf("limit=1: %d tuples", len(res.Tuples))
+	}
+	// Each worker can at most finish the partial tuple it was exploring
+	// when the limit hit; allow generous slack (a few keys per worker)
+	// while still proving the run did not enumerate the k^2 space.
+	if max := fullStats.Intersections / 10; res.Stats.Intersections > max {
+		t.Fatalf("limit=1 did %d intersections (full run: %d, want <= %d)",
+			res.Stats.Intersections, fullStats.Intersections, max)
+	}
+	if res.Stats.Output != 1 {
+		t.Fatalf("limit=1 Output=%d", res.Stats.Output)
+	}
+}
+
+// TestMorselEmptyAndDegenerate covers the edge shapes: empty intersection,
+// single attribute, and the nullary join.
+func TestMorselEmptyAndDegenerate(t *testing.T) {
+	// Empty top-level intersection: R.a = {1}, T.a = {2}.
+	r := table(t, "R", []string{"a", "b"}, []int64{1, 10})
+	s := table(t, "S", []string{"b", "c"}, []int64{10, 5})
+	tt := table(t, "T", []string{"a", "c"}, []int64{2, 5})
+	res, err := GenericJoinParallelOpts(
+		[]Atom{NewTableAtom(r), NewTableAtom(s), NewTableAtom(tt)},
+		[]string{"a", "b", "c"}, ParallelOpts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Fatalf("empty join returned %d tuples", len(res.Tuples))
+	}
+	// Single attribute.
+	u := table(t, "U", []string{"a"}, []int64{1}, []int64{2}, []int64{3})
+	res, err = GenericJoinParallelOpts([]Atom{NewTableAtom(u)}, []string{"a"}, ParallelOpts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 3 {
+		t.Fatalf("unary join = %d tuples", len(res.Tuples))
+	}
+	// Errors still surface.
+	if _, err := GenericJoinParallelStream([]Atom{NewTableAtom(u)}, []string{"a", "a"}, 4, func(relational.Tuple) bool { return true }); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+}
+
+// TestMorselSharedAtomsRace hammers the concurrency-sensitive surface
+// under -race: several morsel-parallel joins run at once over the same
+// atom instances, forcing concurrent lazy index builds and pooled cursor
+// traffic, while limits cancel some runs mid-flight.
+func TestMorselSharedAtomsRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ts := triangleTables(t, rng, 500, 14)
+	atoms := []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+	orders := [][]string{{"a", "b", "c"}, {"b", "c", "a"}, {"c", "a", "b"}}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := ParallelOpts{Workers: 4}
+			if i%2 == 0 {
+				opts.Limit = 7
+			}
+			if _, err := GenericJoinParallelStreamOpts(atoms, orders[i%len(orders)], opts,
+				func(relational.Tuple) bool { return true }); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestStatsMergeCoversAllFields pins GenericJoinStats.Merge to the struct:
+// every numeric counter must be folded in, so adding a field without a
+// merge rule fails here instead of silently dropping parallel workers'
+// counts (the bug the old expandStageParallel had with everything but
+// Intersections and Seeks).
+func TestStatsMergeCoversAllFields(t *testing.T) {
+	known := map[string]bool{
+		"Order":            true, // taken from either side
+		"StageSizes":       true, // elementwise sum
+		"PeakIntermediate": true, // recomputed from merged StageSizes
+		"Output":           true,
+		"Intersections":    true,
+		"Seeks":            true,
+	}
+	rt := reflect.TypeOf(GenericJoinStats{})
+	for i := 0; i < rt.NumField(); i++ {
+		if !known[rt.Field(i).Name] {
+			t.Errorf("GenericJoinStats gained field %q: add a rule to Merge and to this test", rt.Field(i).Name)
+		}
+	}
+	a := GenericJoinStats{StageSizes: []int{5, 2}, Output: 3, Intersections: 4, Seeks: 9}
+	b := GenericJoinStats{Order: []string{"x", "y"}, StageSizes: []int{1, 7}, Output: 2, Intersections: 1, Seeks: 6}
+	a.Merge(&b)
+	if !reflect.DeepEqual(a.StageSizes, []int{6, 9}) || a.Output != 5 ||
+		a.Intersections != 5 || a.Seeks != 15 || a.PeakIntermediate != 9 ||
+		!reflect.DeepEqual(a.Order, []string{"x", "y"}) {
+		t.Fatalf("merged = %+v", a)
 	}
 }

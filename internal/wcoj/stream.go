@@ -1,8 +1,93 @@
 package wcoj
 
 import (
+	"sync/atomic"
+
 	"repro/internal/relational"
 )
+
+// streamRun is the depth-first attribute-at-a-time expansion loop — the
+// paper's Algorithm 1 main loop — factored out so the serial executor
+// (GenericJoinStream) and every morsel-parallel worker drive the same code
+// over their own private state. A run owns its iterator scratch, binding
+// buffer and statistics; only the atoms (whose Open must be safe for
+// concurrent use) and the optional stop flag are shared.
+type streamRun struct {
+	order  []string
+	byAttr [][]Atom
+	stats  *GenericJoinStats
+	// its is per-depth scratch for open cursors, reused across the run.
+	its     [][]AtomIterator
+	binding relational.Tuple
+	b       *prefixBinding
+	// emit receives each full binding; it is responsible for Output
+	// accounting (the morsel workers only count tuples that win the
+	// global limit race).
+	emit    func(relational.Tuple) bool
+	openErr error
+	// stop, when non-nil, is the executor-wide cancellation flag: another
+	// worker exhausted the shared limit, failed, or had its sink return
+	// false. Checked once per partial tuple.
+	stop *atomic.Bool
+}
+
+// newStreamRun builds a run over the grouped atoms. pos maps attributes to
+// order positions (shared, read-only).
+func newStreamRun(order []string, byAttr [][]Atom, pos map[string]int, stats *GenericJoinStats, emit func(relational.Tuple) bool) *streamRun {
+	r := &streamRun{
+		order:   order,
+		byAttr:  byAttr,
+		stats:   stats,
+		its:     make([][]AtomIterator, len(order)),
+		binding: make(relational.Tuple, 0, len(order)),
+		b:       &prefixBinding{pos: pos},
+		emit:    emit,
+	}
+	for i := range r.its {
+		r.its[i] = make([]AtomIterator, 0, len(byAttr[i]))
+	}
+	return r
+}
+
+// rec expands the attribute at depth under the bindings accumulated so far
+// (r.binding holds depth values). It reports false when the enumeration
+// stopped early — emit declined, the run was cancelled, or an Open failed
+// (r.openErr).
+func (r *streamRun) rec(depth int) bool {
+	if depth == len(r.order) {
+		return r.emit(r.binding)
+	}
+	if r.stop != nil && r.stop.Load() {
+		return false
+	}
+	r.b.tuple = r.binding
+	open := r.its[depth][:0]
+	for _, at := range r.byAttr[depth] {
+		it, err := at.Open(r.order[depth], r.b)
+		if err != nil {
+			r.openErr = err
+			closeAll(open)
+			return false
+		}
+		if it.AtEnd() {
+			// Empty candidate set: no intersection to perform.
+			it.Close()
+			closeAll(open)
+			return true
+		}
+		open = append(open, it)
+	}
+	r.stats.Intersections++
+	cont := leapfrogEach(open, &r.stats.Seeks, func(v relational.Value) bool {
+		r.stats.StageSizes[depth]++
+		r.binding = append(r.binding, v)
+		c := r.rec(depth + 1)
+		r.binding = r.binding[:len(r.binding)-1]
+		return c
+	})
+	closeAll(open)
+	return cont
+}
 
 // GenericJoinStream evaluates the natural join of atoms by expanding one
 // attribute at a time in the given order — the paper's Algorithm 1 main
@@ -32,57 +117,14 @@ func GenericJoinStream(atoms []Atom, order []string, emit func(relational.Tuple)
 
 	stats := &GenericJoinStats{Order: append([]string(nil), order...)}
 	stats.StageSizes = make([]int, len(order))
-	// Per-depth scratch for open cursors, reused across the whole run.
-	its := make([][]AtomIterator, len(order))
-	for i := range its {
-		its[i] = make([]AtomIterator, 0, len(byAttr[i]))
+	r := newStreamRun(order, byAttr, pos, stats, func(t relational.Tuple) bool {
+		stats.Output++
+		return emit(t)
+	})
+	r.rec(0)
+	if r.openErr != nil {
+		return nil, r.openErr
 	}
-	binding := make(relational.Tuple, 0, len(order))
-	b := &prefixBinding{pos: pos}
-
-	var openErr error
-	var rec func(depth int) bool
-	rec = func(depth int) bool {
-		if depth == len(order) {
-			stats.Output++
-			return emit(binding)
-		}
-		b.tuple = binding
-		open := its[depth][:0]
-		for _, at := range byAttr[depth] {
-			it, err := at.Open(order[depth], b)
-			if err != nil {
-				openErr = err
-				closeAll(open)
-				return false
-			}
-			if it.AtEnd() {
-				// Empty candidate set: no intersection to perform.
-				it.Close()
-				closeAll(open)
-				return true
-			}
-			open = append(open, it)
-		}
-		stats.Intersections++
-		cont := leapfrogEach(open, &stats.Seeks, func(v relational.Value) bool {
-			stats.StageSizes[depth]++
-			binding = append(binding, v)
-			c := rec(depth + 1)
-			binding = binding[:len(binding)-1]
-			return c
-		})
-		closeAll(open)
-		return cont
-	}
-	rec(0)
-	if openErr != nil {
-		return nil, openErr
-	}
-	for _, s := range stats.StageSizes {
-		if s > stats.PeakIntermediate {
-			stats.PeakIntermediate = s
-		}
-	}
+	stats.recomputePeak()
 	return stats, nil
 }

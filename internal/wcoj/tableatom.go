@@ -122,6 +122,93 @@ func (ix *colIndex) groupMatches(g int32, attrs []string, target int, mask uint6
 	return true
 }
 
+// TableIndexInfo describes the sorted-column indexes a TableAtom has built
+// so far — the observability hook for long-lived serving processes, whose
+// lazily built indexes would otherwise accumulate invisibly.
+type TableIndexInfo struct {
+	// Indexes is the number of (target, bound-set) shapes built.
+	Indexes int
+	// Groups is the total number of bound-prefix key groups across them.
+	Groups int
+	// ApproxBytes estimates the heap held by the indexes: the flat value
+	// and key arrays, offsets, and hash buckets. It is an estimate (map
+	// overhead is approximated), intended for capacity planning and
+	// eviction decisions, not exact accounting.
+	ApproxBytes int64
+}
+
+// IndexInfo reports the lazily built indexes currently cached on the atom.
+// Safe to call concurrently with Open.
+func (a *TableAtom) IndexInfo() TableIndexInfo {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	info := TableIndexInfo{Indexes: len(a.indexes)}
+	for _, ix := range a.indexes {
+		info.Groups += len(ix.off) - 1
+		info.ApproxBytes += ix.approxBytes()
+	}
+	return info
+}
+
+// approxBytes estimates one index's heap footprint.
+func (ix *colIndex) approxBytes() int64 {
+	const (
+		valueSize = 8 // relational.Value
+		int32Size = 4
+		// Per-bucket map overhead: key, slice header, and amortized
+		// bucket bookkeeping — a rough constant.
+		bucketOverhead = 48
+	)
+	b := int64(len(ix.vals))*valueSize +
+		int64(len(ix.keys))*valueSize +
+		int64(len(ix.off))*int32Size +
+		int64(len(ix.buckets))*bucketOverhead
+	for _, chain := range ix.buckets {
+		b += int64(len(chain)) * int32Size
+	}
+	return b
+}
+
+// DropIndexes discards every cached index, releasing their memory; later
+// Opens rebuild on demand. The control knob for long-lived processes whose
+// query mix shifted (the cache is otherwise kept forever). It must not be
+// called while a join over this atom is running: executors hold cursors
+// into the index arrays.
+func (a *TableAtom) DropIndexes() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.indexes = make(map[indexShape]*colIndex)
+}
+
+// Precompute builds the index for enumerating target with the given
+// attributes bound, ahead of the first query that needs it — the warm-up
+// hint for serving processes that know their workload's shapes. It errors
+// on unknown attributes or target listed among bound.
+func (a *TableAtom) Precompute(target string, bound ...string) error {
+	tc, ok := a.table.Schema().Pos(target)
+	if !ok {
+		return fmt.Errorf("wcoj: atom %s has no attribute %q", a.Name(), target)
+	}
+	if len(a.attrs) > 64 {
+		// Same refuse-loudly guard as Open: past 64 columns the
+		// bound-column bitmask would collide shapes.
+		return fmt.Errorf("wcoj: atom %s has %d columns; TableAtom supports at most 64", a.Name(), len(a.attrs))
+	}
+	var mask uint64
+	for _, name := range bound {
+		c, ok := a.table.Schema().Pos(name)
+		if !ok {
+			return fmt.Errorf("wcoj: atom %s has no attribute %q", a.Name(), name)
+		}
+		if c == tc {
+			return fmt.Errorf("wcoj: precompute target %q also listed as bound", target)
+		}
+		mask |= 1 << uint(c)
+	}
+	a.index(tc, mask)
+	return nil
+}
+
 // index returns (building on first use) the sorted-column index for the
 // given target column and bound-column mask.
 func (a *TableAtom) index(target int, mask uint64) *colIndex {

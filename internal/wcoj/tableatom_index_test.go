@@ -1,0 +1,101 @@
+package wcoj
+
+import (
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// TestTableAtomIndexLifecycle exercises the observability and control
+// surface for the lazily built sorted-column indexes: Precompute warms a
+// shape, IndexInfo reports it, DropIndexes releases everything, and the
+// atom keeps answering correctly after a drop.
+func TestTableAtomIndexLifecycle(t *testing.T) {
+	tb := table(t, "R", []string{"a", "b"},
+		[]int64{1, 10}, []int64{1, 20}, []int64{2, 10}, []int64{3, 30})
+	a := NewTableAtom(tb)
+
+	if info := a.IndexInfo(); info.Indexes != 0 || info.ApproxBytes != 0 {
+		t.Fatalf("fresh atom has indexes: %+v", info)
+	}
+
+	if err := a.Precompute("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	info := a.IndexInfo()
+	if info.Indexes != 1 {
+		t.Fatalf("after precompute: %+v", info)
+	}
+	if info.Groups != 3 { // one group per distinct a-value
+		t.Errorf("groups = %d want 3", info.Groups)
+	}
+	if info.ApproxBytes <= 0 {
+		t.Errorf("approx bytes = %d", info.ApproxBytes)
+	}
+
+	// Precomputing the same shape again is a no-op.
+	if err := a.Precompute("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.IndexInfo().Indexes; got != 1 {
+		t.Errorf("duplicate precompute built a new index: %d", got)
+	}
+
+	// A query on the precomputed shape reuses it (count stays 1) and
+	// returns the right run.
+	read := func() []relational.Value {
+		t.Helper()
+		it, err := a.Open("b", bindingOf(t, map[string]relational.Value{"a": 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		var got []relational.Value
+		for !it.AtEnd() {
+			got = append(got, it.Key())
+			it.Next()
+		}
+		return got
+	}
+	if got := read(); len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("b|a=1 = %v", got)
+	}
+	if got := a.IndexInfo().Indexes; got != 1 {
+		t.Errorf("open built a redundant index: %d", got)
+	}
+
+	a.DropIndexes()
+	if info := a.IndexInfo(); info.Indexes != 0 || info.ApproxBytes != 0 {
+		t.Fatalf("after drop: %+v", info)
+	}
+	if got := read(); len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("post-drop rebuild = %v", got)
+	}
+	if got := a.IndexInfo().Indexes; got != 1 {
+		t.Errorf("post-drop query did not rebuild: %d", got)
+	}
+
+	// Bad precompute shapes error loudly.
+	if err := a.Precompute("nope"); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := a.Precompute("b", "ghost"); err == nil {
+		t.Error("unknown bound attribute accepted")
+	}
+	if err := a.Precompute("b", "b"); err == nil {
+		t.Error("target listed as bound accepted")
+	}
+}
+
+// bindingOf adapts a map to the Binding interface for tests.
+type mapBinding map[string]relational.Value
+
+func (m mapBinding) Get(attr string) (relational.Value, bool) {
+	v, ok := m[attr]
+	return v, ok
+}
+
+func bindingOf(t *testing.T, m map[string]relational.Value) Binding {
+	t.Helper()
+	return mapBinding(m)
+}

@@ -50,13 +50,22 @@ func TestLimitAndExists(t *testing.T) {
 		t.Fatal("Exists = true on an empty query")
 	}
 
-	// The parallel executor truncates rather than terminating early; the
-	// answer set must match.
+	// The parallel executor shares one emission budget across workers and
+	// terminates early too.
 	parLimited, err := q.WithLimit(1).WithParallelism(4).ExecXJoin()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if parLimited.Len() != 1 {
 		t.Fatalf("parallel limited result = %d rows want 1", parLimited.Len())
+	}
+
+	// Parallel existence checks ride the same short-circuit.
+	ok, err = q.WithLimit(0).WithParallelism(4).Exists()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("parallel Exists = false on a query with answers")
 	}
 }

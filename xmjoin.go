@@ -326,24 +326,29 @@ func (q *Query) WithPartialAD(on bool) *Query {
 	return q
 }
 
-// WithParallelism fans XJoin's stage expansion out over n goroutines
-// (negative = GOMAXPROCS; 0 or 1 = serial). Answers and statistics are
-// identical to a serial run.
+// WithParallelism evaluates XJoin morsel-driven over n worker goroutines
+// (negative = GOMAXPROCS; 0 or 1 = serial): workers stream the depth-first
+// join over partitions of the first attribute's range, so memory stays at
+// O(workers × depth) beyond the result itself. An unlimited parallel run
+// returns the same answers and statistics as a serial one.
 func (q *Query) WithParallelism(n int) *Query {
 	q.opts.Parallelism = n
 	return q
 }
 
-// WithLimit stops evaluation after n validated answers (0 = no limit). On
-// the serial executors the join terminates early; the parallel executor
-// only truncates its materialized result.
+// WithLimit stops evaluation after n validated answers (0 = no limit).
+// Every executor terminates early, including the parallel one: its workers
+// share an atomic emission budget, so a limited parallel run stops without
+// enumerating the remaining answers (the n answers returned are then a
+// scheduling-dependent subset of the full result).
 func (q *Query) WithLimit(n int) *Query {
 	q.opts.Limit = n
 	return q
 }
 
 // Exists reports whether the query has at least one answer, stopping the
-// streaming join at the first validated tuple.
+// streaming join at the first validated tuple — across all workers, when
+// combined with WithParallelism.
 func (q *Query) Exists() (bool, error) {
 	found := false
 	_, err := core.XJoinStream(q.q, q.opts, func(relational.Tuple) bool {
@@ -384,6 +389,16 @@ func (q *Query) Bounds() (*Bounds, error) {
 		return nil, err
 	}
 	return &Bounds{b: b}, nil
+}
+
+// PlanOrder returns the attribute expansion order the query will evaluate
+// with — the explicit WithOrder if set, otherwise the strategy's choice.
+// This is the column order of the rows ExecXJoinStream emits.
+func (q *Query) PlanOrder() []string {
+	if q.opts.Order != nil {
+		return append([]string(nil), q.opts.Order...)
+	}
+	return core.ChooseOrder(q.q, q.opts.Strategy)
 }
 
 // StageBounds returns the per-stage worst-case bound for the expansion
