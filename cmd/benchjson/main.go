@@ -1,9 +1,14 @@
-// Command benchjson runs a package's Go benchmarks and writes the parsed
-// results as JSON, so CI can archive one machine-readable perf snapshot
-// per PR (BENCH_PR2.json and successors) and the trajectory stays
-// diffable across the repo's history.
+// Command benchjson runs one or more packages' Go benchmarks and writes
+// the parsed results as JSON, so CI can archive one machine-readable perf
+// snapshot per PR (BENCH_PR2.json, BENCH_PR3.json, ...) and the
+// trajectory stays diffable across the repo's history.
 //
 //	benchjson -pkg ./internal/wcoj -cpu 1,4 -out BENCH_PR2.json
+//	benchjson -pkg ./internal/core -bench 'BenchmarkAD|BenchmarkStructix' \
+//	          -cpu 1 -out BENCH_PR3.json
+//
+// -pkg accepts a comma-separated list; each result line records the
+// package it came from.
 //
 // It shells out to `go test -run=NONE -bench ... -benchmem -cpu ...` and
 // parses the standard benchmark output lines:
@@ -33,6 +38,7 @@ import (
 // Result is one benchmark line.
 type Result struct {
 	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -40,9 +46,10 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// Report is the file layout.
+// Report is the file layout. Packages lists every benchmarked package;
+// each Result also records its own.
 type Report struct {
-	Package    string   `json:"package"`
+	Packages   []string `json:"packages"`
 	GoVersion  string   `json:"go_version"`
 	NumCPU     int      `json:"num_cpu"`
 	CPUList    []int    `json:"cpu_list"`
@@ -57,7 +64,7 @@ func main() {
 }
 
 func run() error {
-	pkg := flag.String("pkg", "./internal/wcoj", "package to benchmark")
+	pkg := flag.String("pkg", "./internal/wcoj", "comma-separated package(s) to benchmark")
 	bench := flag.String("bench", ".", "benchmark name pattern")
 	cpus := flag.String("cpu", "1,4", "comma-separated GOMAXPROCS values")
 	benchtime := flag.String("benchtime", "", "per-benchmark time or iteration count (go test -benchtime)")
@@ -69,29 +76,35 @@ func run() error {
 		return err
 	}
 
-	args := []string{"test", "-run", "NONE", "-bench", *bench, "-benchmem", "-cpu", *cpus}
-	if *benchtime != "" {
-		args = append(args, "-benchtime", *benchtime)
-	}
-	args = append(args, *pkg)
-	cmd := exec.Command("go", args...)
-	var buf bytes.Buffer
-	cmd.Stdout = &buf
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
-	}
-
 	rep := Report{
-		Package:   *pkg,
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		CPUList:   cpuList,
 	}
-	for _, line := range strings.Split(buf.String(), "\n") {
-		r, ok := parseLine(line)
-		if ok {
-			rep.Benchmarks = append(rep.Benchmarks, r)
+	for _, p := range strings.Split(*pkg, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		rep.Packages = append(rep.Packages, p)
+		args := []string{"test", "-run", "NONE", "-bench", *bench, "-benchmem", "-cpu", *cpus}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		args = append(args, p)
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+		}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			r, ok := parseLine(line)
+			if ok {
+				r.Package = p
+				rep.Benchmarks = append(rep.Benchmarks, r)
+			}
 		}
 	}
 	if len(rep.Benchmarks) == 0 {

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	xjoin -xml doc.xml -table R=orders.csv -twig '/invoices/orderLine[orderID]/price' \
-//	      [-algo xjoin|xjoin+|baseline] [-project userID,ISBN] [-bounds] [-stats] \
+//	      [-algo xjoin|xjoin+|baseline] [-ad lazy|posthoc|materialized] \
+//	      [-project userID,ISBN] [-bounds] [-stats] \
 //	      [-parallel N] [-limit N] [-exists]
 //
 // Each -table flag (repeatable) loads NAME=FILE.csv; the CSV header names
@@ -43,6 +44,8 @@ func run() error {
 	xmlPath := flag.String("xml", "", "XML document to load")
 	twigExpr := flag.String("twig", "", "twig pattern (XPath subset); empty for pure relational queries")
 	algo := flag.String("algo", "xjoin", "algorithm: xjoin, xjoin+, or baseline")
+	adMode := flag.String("ad", "",
+		"A-D edge handling for xjoin/xjoin+: lazy (default; region-interval index), posthoc, materialized")
 	strategy := flag.String("strategy", "relational-first",
 		"attribute order strategy: relational-first, document, greedy, minbound")
 	parallel := flag.Int("parallel", 0, "XJoin morsel-parallel workers (0/1 serial, -1 GOMAXPROCS)")
@@ -89,6 +92,17 @@ func run() error {
 		q.WithStrategy(xmjoin.MinBound)
 	default:
 		return fmt.Errorf("unknown -strategy %q", *strategy)
+	}
+	switch *adMode {
+	case "":
+	case "lazy":
+		q.WithAD(xmjoin.ADLazy)
+	case "posthoc":
+		q.WithAD(xmjoin.ADPostHoc)
+	case "materialized":
+		q.WithAD(xmjoin.ADMaterialized)
+	default:
+		return fmt.Errorf("unknown -ad %q (want lazy, posthoc or materialized)", *adMode)
 	}
 	q.WithParallelism(*parallel)
 	limit, err := cli.ParseLimit(*limitFlag)
@@ -187,11 +201,17 @@ func run() error {
 		s := res.Stats()
 		fmt.Printf("algorithm=%s peak_intermediate=%d total_intermediate=%d validation_removed=%d\n",
 			s.Algorithm, s.PeakIntermediate, s.TotalIntermediate, s.ValidationRemoved)
+		if s.ADMode != "" {
+			fmt.Printf("ad mode: %s\n", s.ADMode)
+		}
 		if len(s.StageSizes) > 0 {
 			fmt.Printf("stage sizes: %v\n", s.StageSizes)
 		}
 		if s.TableIndexes > 0 {
 			fmt.Printf("table indexes: %d (~%d bytes)\n", s.TableIndexes, s.TableIndexBytes)
+		}
+		if s.StructIndexes > 0 {
+			fmt.Printf("struct indexes: %d (~%d bytes)\n", s.StructIndexes, s.StructIndexBytes)
 		}
 		if s.Algorithm == "baseline" {
 			fmt.Printf("q1=%d q2=%d\n", s.Q1Size, s.Q2Size)

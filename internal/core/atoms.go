@@ -18,6 +18,7 @@ import (
 	"repro/internal/twig"
 	"repro/internal/wcoj"
 	"repro/internal/xmldb"
+	"repro/internal/xmldb/structix"
 )
 
 // EdgeAtom is the virtual relation of one parent-child twig edge: the set
@@ -138,11 +139,13 @@ func (a *TagAtom) Open(attr string, _ wcoj.Binding) (wcoj.AtomIterator, error) {
 }
 
 // ADAtom is the value-level ancestor-descendant relation of one cut twig
-// edge, materialized lazily by walking ancestor chains. The default XJoin
-// validates A-D edges only on final results (as Algorithm 1 does); enabling
-// ADAtoms implements the paper's future-work extension — "filtering
-// infeasible intermediate results and partially validating the twig
-// structure during the joining" — at the cost of building this index.
+// edge, fully materialized by walking ancestor chains — quadratic pairs in
+// the worst case. It implements the paper's future-work extension
+// ("filtering infeasible intermediate results and partially validating the
+// twig structure during the joining") the expensive way; the default
+// execution now uses structix.RegionADAtom, which answers the same relation
+// lazily from the region-interval index, and this atom is kept behind
+// Options.AD == ADMaterialized as the equivalence/benchmark oracle.
 type ADAtom struct {
 	name    string
 	ancTag  string
@@ -236,12 +239,29 @@ func toValueSet(s map[relational.Value]struct{}) *relational.ValueSet {
 	return relational.NewValueSet(out)
 }
 
+// atomConfig selects the physical shape of the virtual XML atoms: how cut
+// A-D edges participate (ad must be resolved — ADLazy, ADPostHoc or
+// ADMaterialized) and whether P-C edges use the lazy region atoms instead
+// of the materialized edge indexes. The planner and bound computations use
+// atomConfig{ad: ADPostHoc, lazyPC: true}: A-D atoms never tighten the AGM
+// bound (their cardinality is not bounded by a tag count), lazy and
+// edge-index P-C atoms report identical sizes, and the lazy ones only pay
+// a pair-count pass — so bounds stay mode-independent and planning never
+// builds edge indexes the execution might not want.
+type atomConfig struct {
+	ad     ADMode
+	lazyPC bool
+}
+
 // buildAtoms assembles the executor's atom set for a query: one TableAtom
 // per relational table and, for every twig, one TagAtom per twig node, one
-// EdgeAtom per P-C twig edge, and — when partialAD is set — one ADAtom per
-// cut A-D edge. Atoms repeated across twigs (same tag, same edge) are
-// deduplicated by name; redundant copies would not change the join.
-func buildAtoms(twigs []twigPart, tables []*relational.Table, partialAD bool) []wcoj.Atom {
+// P-C atom per child edge (edge-index backed, or structix's lazy
+// RegionPCAtom under cfg.lazyPC), and one A-D atom per cut descendant edge
+// — structix's lazy RegionADAtom by default, the materialized ADAtom
+// oracle under ADMaterialized, none under ADPostHoc. Atoms repeated across
+// twigs (same tag, same edge) are deduplicated by name; redundant copies
+// would not change the join.
+func buildAtoms(twigs []twigPart, tables []*relational.Table, cfg atomConfig) []wcoj.Atom {
 	var atoms []wcoj.Atom
 	for _, t := range tables {
 		atoms = append(atoms, wcoj.NewTableAtom(t))
@@ -266,10 +286,19 @@ func buildAtoms(twigs []twigPart, tables []*relational.Table, partialAD bool) []
 			rootOnly := q.Parent == nil && p.Rooted()
 			add(ix, NewTagAtom(ix, q.Tag, rootOnly, q.ValueFilter))
 			if q.Parent != nil && q.Axis == twig.Child {
-				add(ix, NewEdgeAtom(ix, q.Parent.Tag, q.Tag))
+				if cfg.lazyPC {
+					add(ix, structix.NewRegionPCAtom(tw.six, q.Parent.Tag, q.Tag))
+				} else {
+					add(ix, NewEdgeAtom(ix, q.Parent.Tag, q.Tag))
+				}
 			}
-			if partialAD && q.Parent != nil && q.Axis == twig.Descendant {
-				add(ix, NewADAtom(ix, q.Parent.Tag, q.Tag))
+			if q.Parent != nil && q.Axis == twig.Descendant {
+				switch cfg.ad {
+				case ADLazy:
+					add(ix, structix.NewRegionADAtom(tw.six, q.Parent.Tag, q.Tag))
+				case ADMaterialized:
+					add(ix, NewADAtom(ix, q.Parent.Tag, q.Tag))
+				}
 			}
 		}
 	}
@@ -308,12 +337,25 @@ type renamed struct {
 
 func (r renamed) Name() string { return r.name }
 
-// atomSize reports an XML atom's cardinality, unwrapping renames.
+// unwrapAtom strips rename wrappers off an atom.
+func unwrapAtom(a wcoj.Atom) wcoj.Atom {
+	for {
+		r, ok := a.(renamed)
+		if !ok {
+			return a
+		}
+		a = r.Atom
+	}
+}
+
+// atomSize reports an XML atom's cardinality, unwrapping renames. A-D
+// atoms (lazy or materialized) report none: their value-pair count is not
+// bounded by a tag's node count, so the bound computations ignore them.
 func atomSize(a wcoj.Atom) (int, bool) {
-	switch at := a.(type) {
-	case renamed:
-		return atomSize(at.Atom)
+	switch at := unwrapAtom(a).(type) {
 	case *EdgeAtom:
+		return at.Size(), true
+	case *structix.RegionPCAtom:
 		return at.Size(), true
 	case *TagAtom:
 		return at.Size(), true

@@ -117,10 +117,14 @@ func TestXJoinEqualsBaselineRandom(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, opt := range []Options{
-			{},
+			{}, // default: lazy in-join A-D filtering
 			{Strategy: OrderDocument},
 			{Strategy: OrderGreedy},
 			{PartialAD: true},
+			{AD: ADPostHoc},
+			{AD: ADMaterialized},
+			{LazyPC: true},
+			{AD: ADLazy, LazyPC: true},
 		} {
 			xr, err := XJoin(q, opt)
 			if err != nil {
@@ -470,7 +474,9 @@ func TestPureRelationalXJoin(t *testing.T) {
 
 func TestXJoinPlusReducesIntermediates(t *testing.T) {
 	// On the worst-case twig document, a twig-only query with partial A-D
-	// validation must not increase any stage size.
+	// validation (lazy or materialized) must not increase any stage size
+	// over the paper's plain Algorithm 1, and all three modes must agree on
+	// the answers.
 	inst, err := datagen.Example34(4)
 	if err != nil {
 		t.Fatal(err)
@@ -479,22 +485,54 @@ func TestXJoinPlusReducesIntermediates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := XJoin(q, Options{})
+	plain, err := XJoin(q, Options{AD: ADPostHoc})
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, mode := range []ADMode{ADDefault, ADLazy, ADMaterialized} {
+		plus, err := XJoin(q, Options{AD: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualResults(plain, plus) {
+			t.Fatalf("AD mode %v changed the answers", mode)
+		}
+		if plus.Stats.PeakIntermediate > plain.Stats.PeakIntermediate {
+			t.Errorf("AD mode %v peak %d > post-hoc peak %d",
+				mode, plus.Stats.PeakIntermediate, plain.Stats.PeakIntermediate)
+		}
+	}
+	// Label semantics: the default keeps the historical "xjoin" label and
+	// reports the effective mode in ADMode; explicit requests are "xjoin+".
+	def, err := XJoin(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Stats.Algorithm != "xjoin" || def.Stats.ADMode != "lazy" {
+		t.Errorf("default run labeled %q/%q, want xjoin/lazy", def.Stats.Algorithm, def.Stats.ADMode)
+	}
+	if def.Stats.StructIndexes == 0 || def.Stats.StructIndexBytes == 0 {
+		t.Error("default run reports no structural index state")
 	}
 	plus, err := XJoin(q, Options{PartialAD: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !EqualResults(plain, plus) {
-		t.Fatal("xjoin+ changed the answers")
+	if plus.Stats.Algorithm != "xjoin+" || plus.Stats.ADMode != "lazy" {
+		t.Errorf("PartialAD run labeled %q/%q, want xjoin+/lazy", plus.Stats.Algorithm, plus.Stats.ADMode)
 	}
-	if plus.Stats.PeakIntermediate > plain.Stats.PeakIntermediate {
-		t.Errorf("xjoin+ peak %d > xjoin peak %d", plus.Stats.PeakIntermediate, plain.Stats.PeakIntermediate)
+	mat, err := XJoin(q, Options{AD: ADMaterialized})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if plus.Stats.Algorithm != "xjoin+" || plain.Stats.Algorithm != "xjoin" {
-		t.Error("algorithm labels wrong")
+	if mat.Stats.Algorithm != "xjoin+" || mat.Stats.ADMode != "materialized" {
+		t.Errorf("materialized run labeled %q/%q", mat.Stats.Algorithm, mat.Stats.ADMode)
+	}
+	if mat.Stats.StructIndexes != 0 {
+		t.Error("materialized run should hold no structural index")
+	}
+	if plain.Stats.Algorithm != "xjoin" || plain.Stats.ADMode != "posthoc" {
+		t.Errorf("post-hoc run labeled %q/%q", plain.Stats.Algorithm, plain.Stats.ADMode)
 	}
 }
 

@@ -63,7 +63,7 @@ func TestExecutorEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		q := mustQuery(t, inst)
-		atoms := buildAtoms(q.twigs, q.Tables, false)
+		atoms := buildAtoms(q.twigs, q.Tables, atomConfig{ad: ADPostHoc})
 		order := ChooseOrder(q, OrderRelationalFirst)
 
 		mat, err := wcoj.GenericJoin(atoms, order)
@@ -223,10 +223,12 @@ func TestMorselXJoinLimitEquivalence(t *testing.T) {
 }
 
 // TestMorselSharedXMLAtomsRace hammers the virtual XML atoms (Tag/Edge,
-// plus AD under PartialAD) under -race: several morsel-parallel XJoins run
-// concurrently over the same query — sharing one set of document indexes —
-// while a serial run streams over them too. The XML atoms are read-only
-// after construction, so every Open must be race-free.
+// the lazy structix region atoms, and the materialized AD oracle) under
+// -race: several morsel-parallel XJoins run concurrently over the same
+// query — sharing one set of document indexes AND one lazily built
+// structural index — while a serial run streams over them too. The XML
+// atoms are read-only after construction and the structix build is
+// lock-guarded, so every Open must be race-free.
 func TestMorselSharedXMLAtomsRace(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	inst, err := datagen.RandomMultiModel(rng, datagen.RandomConfig{NodeBudget: 150, Tables: 1})
@@ -238,15 +240,19 @@ func TestMorselSharedXMLAtomsRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	modes := []Options{
+		{Parallelism: 4},                              // lazy A-D (default)
+		{Parallelism: 4, AD: ADMaterialized},          // oracle atoms
+		{Parallelism: 4, AD: ADPostHoc, LazyPC: true}, // lazy P-C atoms
+		{Parallelism: 4, LazyPC: true, Limit: 1},      // lazy everything + limit race
+		{Parallelism: 4, AD: ADLazy},                  // second lazy run over the same structix
+	}
 	var wg sync.WaitGroup
-	for i := 0; i < 4; i++ {
+	for i := 0; i < len(modes); i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			opts := Options{Parallelism: 4, PartialAD: i%2 == 1}
-			if i == 3 {
-				opts.Limit = 1
-			}
+			opts := modes[i]
 			res, err := XJoin(q, opts)
 			if err != nil {
 				t.Error(err)

@@ -11,7 +11,7 @@ import (
 // Lemma 3.5, and the query's exponents. It runs the planner and the bound
 // LPs but not the join itself.
 func Explain(q *Query, opts Options) (string, error) {
-	atoms := buildAtoms(q.twigs, q.Tables, opts.PartialAD)
+	atoms := buildAtoms(q.twigs, q.Tables, opts.atomConfig())
 	sizes := atomSizes(q, atoms)
 	order := opts.Order
 	if order == nil {
@@ -34,9 +34,9 @@ func Explain(q *Query, opts Options) (string, error) {
 	}
 
 	var sb strings.Builder
-	algo := "xjoin"
-	if opts.PartialAD {
-		algo = "xjoin+"
+	algo := opts.algoLabel()
+	if label := q.adModeLabel(opts); label != "" {
+		algo += " (A-D: " + label + ")"
 	}
 	fmt.Fprintf(&sb, "plan: %s\n", algo)
 	fmt.Fprintf(&sb, "atoms (%d):\n", len(atoms))

@@ -13,7 +13,7 @@ import (
 // the bound-driven refinement of Lemma 3.5.
 func MinBoundOrder(q *Query) ([]string, error) {
 	attrs := q.Attrs()
-	atoms := buildAtoms(q.twigs, q.Tables, false)
+	atoms := buildAtoms(q.twigs, q.Tables, atomConfig{ad: ADPostHoc, lazyPC: true})
 	sizes := atomSizes(q, atoms)
 
 	chosen := make([]string, 0, len(attrs))

@@ -7,6 +7,7 @@ import (
 	"repro/internal/relational"
 	"repro/internal/twig"
 	"repro/internal/xmldb"
+	"repro/internal/xmldb/structix"
 )
 
 // TwigInput pairs one twig pattern with the XML document it matches
@@ -19,10 +20,15 @@ type TwigInput struct {
 	Pattern *twig.Pattern
 }
 
-// twigPart is a resolved twig input with its index set.
+// twigPart is a resolved twig input with its index sets: the value-level
+// indexes (tag values, edge indexes) and the lazy region-interval
+// structural index backing the lazy A-D / P-C atoms. Both are shared by
+// all twigs over the same document and cached on the query, so repeated
+// XJoin calls reuse whatever the structural index has already built.
 type twigPart struct {
 	pattern *twig.Pattern
 	ix      *xmldb.Indexes
+	six     *structix.Index
 }
 
 // Query is one multi-model join: any number of relational tables plus any
@@ -72,6 +78,7 @@ func NewQueryInputs(twigs []TwigInput, tables []*relational.Table) (*Query, erro
 	}
 	q := &Query{Tables: tables}
 	ixCache := make(map[*xmldb.Document]*xmldb.Indexes)
+	sixCache := make(map[*xmldb.Document]*structix.Index)
 	for i, in := range twigs {
 		if in.Pattern == nil {
 			return nil, fmt.Errorf("core: twig input %d has no pattern", i)
@@ -84,9 +91,36 @@ func NewQueryInputs(twigs []TwigInput, tables []*relational.Table) (*Query, erro
 			ix = xmldb.NewIndexes(in.Doc)
 			ixCache[in.Doc] = ix
 		}
-		q.twigs = append(q.twigs, twigPart{pattern: in.Pattern, ix: ix})
+		six, ok := sixCache[in.Doc]
+		if !ok {
+			six = structix.New(in.Doc)
+			sixCache[in.Doc] = six
+		}
+		q.twigs = append(q.twigs, twigPart{pattern: in.Pattern, ix: ix, six: six})
 	}
 	return q, nil
+}
+
+// hasADEdge reports whether any twig has a cut (descendant-axis) edge.
+func (q *Query) hasADEdge() bool {
+	for _, tw := range q.twigs {
+		for _, n := range tw.pattern.Nodes() {
+			if n.Parent != nil && n.Axis == twig.Descendant {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// adModeLabel reports the effective A-D handling for the statistics —
+// empty when the query has no cut A-D edge, so mode noise never appears on
+// purely P-C queries.
+func (q *Query) adModeLabel(opts Options) string {
+	if !q.hasADEdge() {
+		return ""
+	}
+	return opts.adMode().String()
 }
 
 // Patterns returns the query's twig patterns in input order.
@@ -196,6 +230,17 @@ type Stats struct {
 	// use wcoj.TableAtom's DropIndexes/Precompute to control them).
 	TableIndexes    int
 	TableIndexBytes int64
+	// ADMode records how cut A-D twig edges participated in the join:
+	// "lazy" (structix region atoms, the default), "materialized" (the
+	// quadratic oracle ADAtom) or "posthoc" (validation only). Empty for
+	// queries without A-D edges and for the baseline.
+	ADMode string
+	// StructIndexes and StructIndexBytes mirror TableIndexes for the
+	// region-interval structural indexes behind the lazy A-D / P-C atoms:
+	// the number of built per-tag runs plus cached edge projections, and
+	// their approximate heap bytes — O(document), never a pair set.
+	StructIndexes    int
+	StructIndexBytes int64
 }
 
 // project returns the positions of attrs within from, erroring on misses.

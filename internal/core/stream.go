@@ -24,7 +24,7 @@ import (
 // executor's shared stop flag.
 func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Stats, error) {
 	algo := "xjoin-stream"
-	atoms := buildAtoms(q.twigs, q.Tables, opts.PartialAD)
+	atoms := buildAtoms(q.twigs, q.Tables, opts.atomConfig())
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("core: query has no atoms")
 	}
@@ -40,7 +40,7 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 		return nil, err
 	}
 
-	stats := &Stats{Algorithm: algo}
+	stats := &Stats{Algorithm: algo, ADMode: q.adModeLabel(opts)}
 	var validators []*validator
 	if !opts.SkipValidation {
 		for _, tw := range q.twigs {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/relational"
 	"repro/internal/wcoj"
+	"repro/internal/xmldb/structix"
 )
 
 // OrderStrategy selects how the attribute expansion priority PA (Algorithm
@@ -30,6 +31,42 @@ const (
 	OrderMinBound
 )
 
+// ADMode selects how the twig's cut ancestor-descendant edges participate
+// in the join.
+type ADMode int
+
+const (
+	// ADDefault resolves to ADLazy: partial A-D filtering is the default
+	// execution mode now that the region-interval structural index
+	// (internal/xmldb/structix) makes the A-D atoms free to build —
+	// O(n) memory, lazy stab-query cursors, no pair materialization.
+	ADDefault ADMode = iota
+	// ADLazy filters intermediate results through structix.RegionADAtom.
+	ADLazy
+	// ADPostHoc is the paper's plain Algorithm 1: A-D edges are enforced
+	// only by the final structural validation.
+	ADPostHoc
+	// ADMaterialized filters through the original core.ADAtom, which
+	// materializes the full value-level A-D relation up front — quadratic
+	// in the worst case. Kept as the oracle the lazy path is tested and
+	// benchmarked against.
+	ADMaterialized
+)
+
+// String names the mode for statistics output.
+func (m ADMode) String() string {
+	switch m {
+	case ADLazy:
+		return "lazy"
+	case ADPostHoc:
+		return "posthoc"
+	case ADMaterialized:
+		return "materialized"
+	default:
+		return "lazy" // ADDefault resolves to lazy
+	}
+}
+
 // Options tunes an XJoin run.
 type Options struct {
 	// Order is the explicit attribute priority PA; when nil, Strategy
@@ -37,10 +74,22 @@ type Options struct {
 	Order []string
 	// Strategy selects the automatic ordering (default OrderRelationalFirst).
 	Strategy OrderStrategy
-	// PartialAD enables the paper's future-work extension: cut A-D edges
-	// participate as (materialized) atoms during expansion instead of being
-	// checked only by the final validation.
+	// AD selects how cut A-D twig edges are handled; the zero value
+	// resolves to ADLazy, so the paper's future-work extension ("filtering
+	// infeasible intermediate results ... during the joining") is on by
+	// default. Use ADPostHoc for the paper's plain Algorithm 1 and
+	// ADMaterialized for the quadratic oracle index.
+	AD ADMode
+	// PartialAD is the pre-ADMode switch for the same extension, kept for
+	// compatibility: setting it requests in-join A-D filtering (now lazy).
+	// It only affects the Stats.Algorithm label — filtering is already the
+	// default — and is overridden by an explicit AD mode.
 	PartialAD bool
+	// LazyPC swaps the materialized value-level edge indexes behind the
+	// P-C atoms for structix's lazy region atoms: per-binding child/parent
+	// hops instead of an up-front O(child-count) index build. Results are
+	// identical; prefer it when documents are large and queries selective.
+	LazyPC bool
 	// SkipValidation disables the final structural validation; only safe
 	// for queries whose twig has no A-D edges and no branching (tests use
 	// it to demonstrate why validation is needed).
@@ -62,15 +111,42 @@ type Options struct {
 	Limit int
 }
 
+// adMode resolves the effective A-D handling (ADDefault becomes ADLazy;
+// PartialAD requests the same lazy filtering the default already runs).
+func (o Options) adMode() ADMode {
+	switch o.AD {
+	case ADLazy, ADPostHoc, ADMaterialized:
+		return o.AD
+	}
+	return ADLazy
+}
+
+// atomConfig derives the executor atom-set configuration.
+func (o Options) atomConfig() atomConfig {
+	return atomConfig{ad: o.adMode(), lazyPC: o.LazyPC}
+}
+
+// algoLabel names the run for Stats.Algorithm. In-join A-D filtering is on
+// by default, so the label distinguishes what the caller *asked for*:
+// "xjoin+" only for an explicit filtering request (PartialAD or a non-
+// default AD mode other than ADPostHoc); default runs keep the historical
+// "xjoin" label and report the effective mode in Stats.ADMode instead.
+func (o Options) algoLabel() string {
+	if o.adMode() == ADPostHoc {
+		return "xjoin"
+	}
+	if o.PartialAD || o.AD != ADDefault {
+		return "xjoin+"
+	}
+	return "xjoin"
+}
+
 // XJoin evaluates the query with Algorithm 1: a worst-case optimal
 // attribute-at-a-time expansion over all atoms of both models, followed by
 // structural validation of the twig on the candidate answers.
 func XJoin(q *Query, opts Options) (*Result, error) {
-	algo := "xjoin"
-	if opts.PartialAD {
-		algo = "xjoin+"
-	}
-	atoms := buildAtoms(q.twigs, q.Tables, opts.PartialAD)
+	algo := opts.algoLabel()
+	atoms := buildAtoms(q.twigs, q.Tables, opts.atomConfig())
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("core: query has no atoms")
 	}
@@ -101,7 +177,7 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 			validators[i] = newValidator(tw.ix, tw.pattern, order)
 		}
 	}
-	res := &Result{Stats: Stats{Algorithm: algo}}
+	res := &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts)}}
 	gjStats, err := wcoj.GenericJoinStream(atoms, order, func(t relational.Tuple) bool {
 		for _, v := range validators {
 			if !v.hasWitness(t) {
@@ -182,6 +258,7 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	}
 	res := &Result{Attrs: gjStats.Order, Tuples: col.Tuples(), Stats: Stats{
 		Algorithm:        algo,
+		ADMode:           q.adModeLabel(opts),
 		Order:            gjStats.Order,
 		StageSizes:       gjStats.StageSizes,
 		PeakIntermediate: gjStats.PeakIntermediate,
@@ -197,15 +274,28 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	return res, nil
 }
 
-// addIndexStats folds the table atoms' index observability counters into
-// the run's statistics.
+// addIndexStats folds the table atoms' index observability counters and
+// the structural (region-interval) indexes behind any structix atoms into
+// the run's statistics. Several atoms of one document share one
+// structix.Index, so indexes are deduplicated by identity before summing.
 func addIndexStats(atoms []wcoj.Atom, stats *Stats) {
+	six := make(map[*structix.Index]bool)
 	for _, a := range atoms {
-		if ta, ok := a.(*wcoj.TableAtom); ok {
-			info := ta.IndexInfo()
+		switch at := unwrapAtom(a).(type) {
+		case *wcoj.TableAtom:
+			info := at.IndexInfo()
 			stats.TableIndexes += info.Indexes
 			stats.TableIndexBytes += info.ApproxBytes
+		case *structix.RegionADAtom:
+			six[at.Index()] = true
+		case *structix.RegionPCAtom:
+			six[at.Index()] = true
 		}
+	}
+	for ix := range six {
+		info := ix.Info()
+		stats.StructIndexes += info.TagRuns + info.EdgeProjections
+		stats.StructIndexBytes += info.ApproxBytes
 	}
 }
 

@@ -182,6 +182,66 @@ func ValidationAdversarial(n int) (*Instance, error) {
 	return &Instance{Dict: dict, Doc: doc, Pattern: twig.MustParse("//a[b][c]"), N: n}, nil
 }
 
+// DeepChain builds the quadratic-A-D adversary: one chain of depth
+// alternating "a" and "b" elements, every node carrying a distinct value.
+// Under the twig //a//b each b node at depth d has ~d/2 a-ancestors, so the
+// value-level A-D relation holds Θ(depth²) pairs: materializing it (the
+// ADMaterialized oracle) costs quadratic time and memory, while the
+// region-interval structural index stays O(depth) and answers the same
+// cursors lazily. This is the BENCH_PR3 workload.
+func DeepChain(depth int) (*Instance, error) {
+	if depth < 2 {
+		return nil, fmt.Errorf("datagen: chain depth must be at least 2, got %d", depth)
+	}
+	dict := relational.NewDict()
+	b := xmldb.NewBuilder(dict)
+	b.Open("root")
+	open := 1
+	for i := 0; i < depth; i++ {
+		tag := "a"
+		if i%2 == 1 {
+			tag = "b"
+		}
+		b.Open(tag).Text(val(tag, i))
+		open++
+	}
+	for ; open > 0; open-- {
+		b.Close()
+	}
+	doc, err := b.Done()
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Dict: dict, Doc: doc, Pattern: twig.MustParse("//a//b"), N: depth}, nil
+}
+
+// Bushy builds the benign wide-and-shallow counterpart of DeepChain: width
+// independent subtrees, each an "a" node (distinct value) wrapping a "c"
+// spacer and one "b" leaf (distinct value). The //a//b relation has exactly
+// width pairs, so lazy and materialized A-D handling should cost about the
+// same here — the no-regression half of the BENCH_PR3 comparison.
+func Bushy(width int) (*Instance, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("datagen: width must be positive, got %d", width)
+	}
+	dict := relational.NewDict()
+	b := xmldb.NewBuilder(dict)
+	b.Open("root")
+	for i := 0; i < width; i++ {
+		b.Open("a").Text(val("a", i)).
+			Open("c").
+			Leaf("b", val("b", i)).
+			Close().
+			Close()
+	}
+	b.Close()
+	doc, err := b.Done()
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Dict: dict, Doc: doc, Pattern: twig.MustParse("//a//b"), N: width}, nil
+}
+
 // RandomConfig parameterizes RandomMultiModel.
 type RandomConfig struct {
 	// NodeBudget bounds the document size (default 60).

@@ -110,16 +110,24 @@ func FormatFigure3(rows []Figure3Row) string {
 	return FormatTable(headers, cells)
 }
 
-// AblationRow compares XJoin configurations on one workload.
+// AblationRow compares XJoin configurations on one workload. StructIx and
+// StructBytes surface the region-interval structural index the run held
+// (zero for post-hoc / materialized configurations), so the executor
+// matrix shows what each A-D mode pays in index state.
 type AblationRow struct {
-	Name  string
-	Time  time.Duration
-	Peak  int
-	Total int
+	Name        string
+	Time        time.Duration
+	Peak        int
+	Total       int
+	StructIx    int
+	StructBytes int64
 }
 
-// RunOrderAblation compares attribute-order strategies on Example 3.4 at
-// scale n (the design choice DESIGN.md calls out: PA matters).
+// RunOrderAblation compares attribute-order strategies and A-D edge
+// handling modes on Example 3.4 at scale n (the design choices DESIGN.md
+// calls out: PA matters, and so does how the cut A-D edges participate —
+// lazily through the region index by default, post-hoc as in the paper's
+// plain Algorithm 1, or through the materialized quadratic oracle).
 func RunOrderAblation(n, reps int) ([]AblationRow, error) {
 	inst, err := datagen.Example34(n)
 	if err != nil {
@@ -136,7 +144,9 @@ func RunOrderAblation(n, reps int) ([]AblationRow, error) {
 		{"relational-first", core.Options{Strategy: core.OrderRelationalFirst}},
 		{"document-order", core.Options{Strategy: core.OrderDocument}},
 		{"greedy", core.Options{Strategy: core.OrderGreedy}},
-		{"xjoin+ (partial A-D)", core.Options{PartialAD: true}},
+		{"xjoin+ (lazy A-D, default)", core.Options{PartialAD: true}},
+		{"xjoin+ (materialized A-D)", core.Options{AD: core.ADMaterialized}},
+		{"xjoin (post-hoc A-D)", core.Options{AD: core.ADPostHoc}},
 	}
 	var rows []AblationRow
 	for _, c := range configs {
@@ -152,6 +162,7 @@ func RunOrderAblation(n, reps int) ([]AblationRow, error) {
 		rows = append(rows, AblationRow{
 			Name: c.name, Time: d,
 			Peak: res.Stats.PeakIntermediate, Total: res.Stats.TotalIntermediate,
+			StructIx: res.Stats.StructIndexes, StructBytes: res.Stats.StructIndexBytes,
 		})
 	}
 	return rows, nil
@@ -159,10 +170,11 @@ func RunOrderAblation(n, reps int) ([]AblationRow, error) {
 
 // FormatAblation renders an ablation comparison.
 func FormatAblation(rows []AblationRow) string {
-	headers := []string{"config", "time", "peak_intermediate", "total_intermediate"}
+	headers := []string{"config", "time", "peak_intermediate", "total_intermediate", "struct_ix", "struct_bytes"}
 	var cells [][]string
 	for _, r := range rows {
-		cells = append(cells, []string{r.Name, fmtDur(r.Time), fmt.Sprint(r.Peak), fmt.Sprint(r.Total)})
+		cells = append(cells, []string{r.Name, fmtDur(r.Time), fmt.Sprint(r.Peak), fmt.Sprint(r.Total),
+			fmt.Sprint(r.StructIx), fmt.Sprint(r.StructBytes)})
 	}
 	return FormatTable(headers, cells)
 }

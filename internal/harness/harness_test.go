@@ -42,13 +42,24 @@ func TestRunOrderAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
+	if len(rows) != 6 {
 		t.Fatalf("ablation rows = %d", len(rows))
 	}
 	out := FormatAblation(rows)
-	for _, want := range []string{"relational-first", "document-order", "greedy", "xjoin+"} {
+	for _, want := range []string{"relational-first", "document-order", "greedy",
+		"xjoin+ (lazy A-D", "materialized A-D", "post-hoc A-D", "struct_ix"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+	// The lazy A-D config must carry structural-index state; the post-hoc
+	// and materialized ones must not.
+	for _, r := range rows {
+		switch {
+		case strings.Contains(r.Name, "lazy A-D") && r.StructIx == 0:
+			t.Errorf("lazy config reports no structural index: %+v", r)
+		case strings.Contains(r.Name, "post-hoc") && r.StructIx != 0:
+			t.Errorf("post-hoc config reports a structural index: %+v", r)
 		}
 	}
 }

@@ -9,8 +9,11 @@
 //
 // FROM mixes relational tables (by name) and any number of TWIG patterns;
 // attributes with equal names join. WHERE supports conjunctive equality
-// selections. VIA picks the algorithm (xjoin, xjoin+, baseline; default
-// xjoin). LIMIT N stops the join after N answers (pushed into the engine
+// selections. VIA picks the algorithm (xjoin, xjoinplus, xjoinposthoc,
+// xjoinmat, baseline; default xjoin — which filters A-D edges through the
+// lazy region-interval index, xjoinposthoc restores the paper's plain
+// Algorithm 1 and xjoinmat the materialized A-D oracle).
+// LIMIT N stops the join after N answers (pushed into the engine
 // whenever safe, so the join terminates early — in parallel too), and an
 // EXISTS prefix (EXISTS SELECT ...) turns the statement into an existence
 // check that stops at the first validated answer.

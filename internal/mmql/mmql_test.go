@@ -173,6 +173,32 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestViaADModes: every xjoin VIA variant must agree on the answers; the
+// explicit post-hoc and materialized modes exercise the non-default A-D
+// paths through the full mmql pipeline (//-twig so an A-D edge exists).
+func TestViaADModes(t *testing.T) {
+	db := testDB(t)
+	base, err := RunString(db, `SELECT * FROM R, TWIG '//invoices//orderID'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Rows) == 0 {
+		t.Fatal("base query returned no rows")
+	}
+	for _, via := range []string{"xjoin", "xjoinplus", "xjoinposthoc", "xjoinmat", "baseline"} {
+		out, err := RunString(db, `SELECT * FROM R, TWIG '//invoices//orderID' VIA `+via)
+		if err != nil {
+			t.Fatalf("VIA %s: %v", via, err)
+		}
+		if !reflect.DeepEqual(out.Rows, base.Rows) {
+			t.Errorf("VIA %s rows %v, want %v", via, out.Rows, base.Rows)
+		}
+	}
+	if _, err := RunString(db, `SELECT * FROM R VIA nonsense`); err == nil {
+		t.Error("unknown VIA accepted")
+	}
+}
+
 func TestExplainStatement(t *testing.T) {
 	db := testDB(t)
 	st, err := Parse(`SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price' VIA xjoinplus`)

@@ -18,7 +18,8 @@ type Statement struct {
 	Filters []Filter
 	// GroupBy lists the grouping attributes (empty without GROUP BY).
 	GroupBy []string
-	// Algo is "xjoin", "xjoin+" or "baseline" ("" defaults to xjoin).
+	// Algo is "xjoin", "xjoin+", "xjoin-posthoc", "xjoin-materialized" or
+	// "baseline" ("" defaults to xjoin, whose A-D edges filter lazily).
 	Algo string
 	// Limit caps the number of answers (0 = unlimited). When it can be
 	// pushed into the engine the join terminates early.
@@ -172,8 +173,15 @@ func (p *parser) statement() (*Statement, error) {
 			st.Algo = algo
 		case "xjoinplus", "xjoin+":
 			st.Algo = "xjoin+"
+		case "xjoinposthoc", "xjoin-posthoc":
+			// The paper's plain Algorithm 1: A-D edges validate only on
+			// final results (lazy in-join filtering is the xjoin default).
+			st.Algo = "xjoin-posthoc"
+		case "xjoinmat", "xjoin-materialized":
+			// The materialized A-D oracle, for comparisons.
+			st.Algo = "xjoin-materialized"
 		default:
-			return nil, fmt.Errorf("mmql: unknown algorithm %q (want xjoin, xjoinplus or baseline)", algo)
+			return nil, fmt.Errorf("mmql: unknown algorithm %q (want xjoin, xjoinplus, xjoinposthoc, xjoinmat or baseline)", algo)
 		}
 	}
 	if p.keyword("limit") {

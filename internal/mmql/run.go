@@ -29,9 +29,7 @@ func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st.Algo == "xjoin+" {
-		q.WithPartialAD(true)
-	}
+	applyAlgo(q, st.Algo)
 
 	if st.Exists {
 		return runExists(q, remaining)
@@ -46,7 +44,7 @@ func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
 
 	var res *xmjoin.Result
 	switch st.Algo {
-	case "", "xjoin", "xjoin+":
+	case "", "xjoin", "xjoin+", "xjoin-posthoc", "xjoin-materialized":
 		res, err = q.ExecXJoin()
 	case "baseline":
 		res, err = q.ExecBaseline()
@@ -148,10 +146,23 @@ func Explain(db *xmjoin.Database, st *Statement) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if st.Algo == "xjoin+" {
-		q = q.WithPartialAD(true)
-	}
+	applyAlgo(q, st.Algo)
 	return q.Explain()
+}
+
+// applyAlgo maps a VIA algorithm name onto the query's options: xjoin+
+// tags the (already default) in-join A-D filtering, the posthoc and
+// materialized variants pick those explicit modes. "baseline" and plain
+// "xjoin" leave the defaults.
+func applyAlgo(q *xmjoin.Query, algo string) {
+	switch algo {
+	case "xjoin+":
+		q.WithPartialAD(true)
+	case "xjoin-posthoc":
+		q.WithAD(xmjoin.ADPostHoc)
+	case "xjoin-materialized":
+		q.WithAD(xmjoin.ADMaterialized)
+	}
 }
 
 // pushdownFilters rewrites WHERE selections on twig tags into tag="value"

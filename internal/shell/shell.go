@@ -163,7 +163,8 @@ queries (everything else):
            [GROUP BY a[, b...]] [VIA algo] [LIMIT n]
   items:   attributes and aggregates COUNT(*|a), SUM(a), MIN(a), MAX(a)
   sources: table names and TWIG '<pattern>' [IN 'docname']
-  algos:   xjoin (default), xjoinplus, baseline
+  algos:   xjoin (default; lazy A-D filtering), xjoinplus, xjoinposthoc,
+           xjoinmat (materialized A-D oracle), baseline
   LIMIT n  stops after n answers (SELECT * terminates the join early)
   EXISTS   reports true/false, stopping at the first answer
 `

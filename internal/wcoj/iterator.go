@@ -7,9 +7,11 @@
 //     pair, a sorted cursor over the candidate values — AtomIterator, with
 //     the Leapfrog operations Key/Next/Seek/Close. Physical tables
 //     (TableAtom, backed by lazily built sorted-column indexes), constant
-//     sets (SetAtom), sorted-array tries (TrieAtom) and the core package's
-//     virtual XML parent-child relations all implement it, and the
-//     executors cannot tell them apart.
+//     sets (SetAtom), sorted-array tries (TrieAtom), the core package's
+//     virtual XML parent-child relations, and the structix package's lazy
+//     region-interval A-D / P-C atoms (stab-query cursors over a document's
+//     per-tag value runs — no materialized pair sets) all implement it, and
+//     the executors cannot tell them apart.
 //
 //   - Every executor is a driver over the same iterators: the streaming
 //     attribute-at-a-time GenericJoinStream (the paper's Algorithm 1 main
@@ -49,6 +51,12 @@
 //   - LeapfrogJoin / LeapfrogTriejoin — the same join as unary leapfrog
 //     intersections driven trie-style; kept for comparison and for
 //     workloads with prebuilt TrieAtoms.
+//
+// Every driver accepts every atom family: physical TableAtoms, SetAtom /
+// TrieAtom, core's virtual Tag/Edge/AD XML atoms, and structix's lazy
+// region-interval RegionADAtom / RegionPCAtom — whose Opens are fully
+// concurrent (lock-guarded lazy build, pooled cursors), so they run
+// unchanged under the morsel-parallel drivers.
 //
 // The package also keeps the conventional binary joins (hash, sort-merge,
 // nested-loop) used by the baseline's relational query Q1.
@@ -135,6 +143,15 @@ func OpenValueSet(vs *relational.ValueSet) AtomIterator {
 		return openValues(nil)
 	}
 	return openValues(vs.Values())
+}
+
+// OpenValues returns a pooled cursor over vals, which must be sorted and
+// strictly increasing (nil means the empty set) and must stay immutable
+// while the cursor is open. It is the zero-allocation Open path for Atom
+// implementations outside this package whose candidates live in sorted
+// slices — e.g. the structix region atoms' cached projections.
+func OpenValues(vals []relational.Value) AtomIterator {
+	return openValues(vals)
 }
 
 func (it *valuesIter) AtEnd() bool           { return it.pos >= len(it.vals) }

@@ -2,7 +2,6 @@ package xmldb
 
 import (
 	"math/rand"
-	"strconv"
 	"strings"
 	"testing"
 
@@ -187,32 +186,11 @@ func TestWriteEscapesText(t *testing.T) {
 	}
 }
 
-// randomDoc builds a random tree with the given node budget.
+// randomDoc builds a random tree with the given node budget (the exported
+// RandomDocument generator, fatal on error).
 func randomDoc(t *testing.T, rng *rand.Rand, n int) *Document {
 	t.Helper()
-	dict := relational.NewDict()
-	b := NewBuilder(dict)
-	tags := []string{"a", "b", "c", "d"}
-	open := 0
-	b.Open("root")
-	open++
-	for i := 0; i < n; i++ {
-		switch {
-		case open > 1 && rng.Intn(3) == 0:
-			b.Close()
-			open--
-		default:
-			b.Open(tags[rng.Intn(len(tags))])
-			if rng.Intn(2) == 0 {
-				b.Text(strconv.Itoa(rng.Intn(10)))
-			}
-			open++
-		}
-	}
-	for ; open > 0; open-- {
-		b.Close()
-	}
-	doc, err := b.Done()
+	doc, err := RandomDocument(rng, n, relational.NewDict())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,40 @@
+package xmldb
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/relational"
+)
+
+// RandomDocument builds a pseudo-random tree with roughly n nodes under a
+// "root" element, encoding values into dict: tags drawn from a small
+// alphabet ("a".."d"), about half the nodes carrying a single-digit text
+// value, nesting driven by rng. It is the shared generator behind the
+// property tests here and in structix/core (the region/Dewey agreement
+// suite and the lazy-vs-materialized A-D atom equivalence suite), so every
+// structural index is exercised on the same document distribution.
+func RandomDocument(rng *rand.Rand, n int, dict *relational.Dict) (*Document, error) {
+	tags := []string{"a", "b", "c", "d"}
+	b := NewBuilder(dict)
+	open := 0
+	b.Open("root")
+	open++
+	for i := 0; i < n; i++ {
+		switch {
+		case open > 1 && rng.Intn(3) == 0:
+			b.Close()
+			open--
+		default:
+			b.Open(tags[rng.Intn(len(tags))])
+			if rng.Intn(2) == 0 {
+				b.Text(strconv.Itoa(rng.Intn(10)))
+			}
+			open++
+		}
+	}
+	for ; open > 0; open-- {
+		b.Close()
+	}
+	return b.Done()
+}

@@ -2,6 +2,7 @@ package xmldb
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/relational"
 )
@@ -9,12 +10,26 @@ import (
 // Indexes caches the value-level access paths the multi-model join needs:
 // per-tag distinct values, (tag, value) -> node lists, and per parent-child
 // tag pair the value-level edge index that backs the paper's virtual P-C
-// relations. Build once per document; reads are then lock-free.
+// relations. The per-tag structures build eagerly in NewIndexes and are
+// then read lock-free; edge indexes build lazily on first use, at most once
+// per tag pair, and Edge is safe for concurrent callers (the morsel-
+// parallel executor's workers open edge atoms from many goroutines).
 type Indexes struct {
 	doc       *Document
 	tagValues map[string]*relational.ValueSet
 	byTagVal  map[string]map[relational.Value][]NodeID
-	edges     map[[2]string]*EdgeIndex
+
+	mu    sync.Mutex
+	edges map[[2]string]*edgeEntry
+}
+
+// edgeEntry is one lazily built edge index slot: the map entry is installed
+// under the mutex, the build runs outside it exactly once, and concurrent
+// requesters of the same pair block on the Once rather than on each other's
+// unrelated builds.
+type edgeEntry struct {
+	once sync.Once
+	e    *EdgeIndex
 }
 
 // NewIndexes builds the per-tag indexes for doc. Edge indexes are built
@@ -24,7 +39,7 @@ func NewIndexes(doc *Document) *Indexes {
 		doc:       doc,
 		tagValues: make(map[string]*relational.ValueSet),
 		byTagVal:  make(map[string]map[relational.Value][]NodeID),
-		edges:     make(map[[2]string]*EdgeIndex),
+		edges:     make(map[[2]string]*edgeEntry),
 	}
 	for _, tag := range doc.Tags() {
 		nodes := doc.NodesByTag(tag)
@@ -77,14 +92,18 @@ type EdgeIndex struct {
 }
 
 // Edge returns (building if needed) the edge index for parentTag/childTag.
+// Safe for concurrent use; all callers observe the same index instance.
 func (ix *Indexes) Edge(parentTag, childTag string) *EdgeIndex {
 	key := [2]string{parentTag, childTag}
-	if e, ok := ix.edges[key]; ok {
-		return e
+	ix.mu.Lock()
+	ent, ok := ix.edges[key]
+	if !ok {
+		ent = &edgeEntry{}
+		ix.edges[key] = ent
 	}
-	e := buildEdgeIndex(ix.doc, parentTag, childTag)
-	ix.edges[key] = e
-	return e
+	ix.mu.Unlock()
+	ent.once.Do(func() { ent.e = buildEdgeIndex(ix.doc, parentTag, childTag) })
+	return ent.e
 }
 
 func buildEdgeIndex(doc *Document, parentTag, childTag string) *EdgeIndex {

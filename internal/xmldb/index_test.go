@@ -2,6 +2,7 @@ package xmldb
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/relational"
@@ -112,6 +113,48 @@ func TestEdgeIndexAgreesWithScan(t *testing.T) {
 				if e.PairCount != want {
 					t.Fatalf("PairCount %d want %d", e.PairCount, want)
 				}
+			}
+		}
+	}
+}
+
+// TestEdgeConcurrentBuild hammers the lazy edge-index build from many
+// goroutines (run under -race): every tag pair is requested by 8 workers
+// simultaneously and all of them must observe the same fully built
+// instance — the regression test for the unguarded ix.edges map write.
+func TestEdgeConcurrentBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	doc := randomDoc(t, rng, 120)
+	ix := NewIndexes(doc)
+	tags := doc.Tags()
+	var pairs [][2]string
+	for _, pt := range tags {
+		for _, ct := range tags {
+			pairs = append(pairs, [2]string{pt, ct})
+		}
+	}
+	const workers = 8
+	got := make([][]*EdgeIndex, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]*EdgeIndex, len(pairs))
+			for i, p := range pairs {
+				e := ix.Edge(p[0], p[1])
+				// Touch the built structure so -race sees any publication
+				// hazard, not just the map access.
+				_ = e.PairCount + e.ParentValues().Len() + e.ChildValues().Len()
+				got[w][i] = e
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range pairs {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d got a different %v edge index instance", w, pairs[i])
 			}
 		}
 	}

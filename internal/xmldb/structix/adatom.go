@@ -1,0 +1,232 @@
+package structix
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relational"
+	"repro/internal/wcoj"
+	"repro/internal/xmldb"
+)
+
+// runsRef caches a resolved *TagRuns on an atom so the hot Open path skips
+// the index's entry map (and its mutex) after the first lookup. Racing
+// first lookups store the same pointer, so a plain atomic is enough.
+type runsRef struct {
+	p atomic.Pointer[TagRuns]
+}
+
+func (r *runsRef) get(ix *Index, tag string) *TagRuns {
+	if tr := r.p.Load(); tr != nil {
+		return tr
+	}
+	tr := ix.Tag(tag)
+	r.p.Store(tr)
+	return tr
+}
+
+// RegionADAtom is the lazy virtual relation of one cut ancestor-descendant
+// twig edge: the set of (ancestor value, descendant value) pairs realized by
+// the document, answered directly from the region-interval index — the
+// drop-in replacement for the materialized core.ADAtom that makes XJoin+
+// cheap by default. Open never materializes a pair set:
+//
+//   - descendant attribute, ancestor bound: a pooled stab-query cursor over
+//     the descendant tag's sorted distinct values (see stabIter);
+//   - ancestor attribute, descendant bound: the bound value's nodes walk
+//     their parent chains, collecting matching ancestors' values into a
+//     pooled sorted buffer;
+//   - unbound: the exact cached projection (adProj), shared across Opens.
+type RegionADAtom struct {
+	ix       *Index
+	name     string
+	ancTag   string
+	descTag  string
+	ancRuns  runsRef
+	descRuns runsRef
+}
+
+// NewRegionADAtom builds the lazy A-D atom for (ancTag, descTag) over the
+// index. The two tags must differ (twig tags are unique within a pattern).
+func NewRegionADAtom(ix *Index, ancTag, descTag string) *RegionADAtom {
+	if ancTag == descTag {
+		panic("structix: A-D atom needs two distinct tags, got " + ancTag + "//" + descTag)
+	}
+	return &RegionADAtom{
+		ix:      ix,
+		name:    "AD[" + ancTag + "//" + descTag + "]",
+		ancTag:  ancTag,
+		descTag: descTag,
+	}
+}
+
+// Name implements wcoj.Atom.
+func (a *RegionADAtom) Name() string { return a.name }
+
+// Attrs implements wcoj.Atom.
+func (a *RegionADAtom) Attrs() []string { return []string{a.ancTag, a.descTag} }
+
+// Index returns the backing structural index (for observability).
+func (a *RegionADAtom) Index() *Index { return a.ix }
+
+// Open implements wcoj.Atom.
+func (a *RegionADAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {
+	switch attr {
+	case a.descTag:
+		if av, ok := b.Get(a.ancTag); ok {
+			anc := a.ancRuns.get(a.ix, a.ancTag).Run(av)
+			if len(anc) == 0 {
+				return wcoj.OpenValues(nil), nil
+			}
+			return a.openDescendants(anc), nil
+		}
+		return wcoj.OpenValues(a.ix.adProjFor(a.ancTag, a.descTag).descs), nil
+	case a.ancTag:
+		if dv, ok := b.Get(a.descTag); ok {
+			return a.openAncestors(dv), nil
+		}
+		return wcoj.OpenValues(a.ix.adProjFor(a.ancTag, a.descTag).ancs), nil
+	default:
+		return nil, fmt.Errorf("structix: atom %s has no attribute %q", a.name, attr)
+	}
+}
+
+// openDescendants picks the cheaper of two equivalent cursors over the
+// distinct descendant values under the bound ancestor nodes. Two binary
+// searches per outermost ancestor region locate the contained run of
+// descendant-tag nodes in document order; when those windows are small
+// relative to the tag's distinct values (wide documents, selective
+// ancestors) their values are collected into a pooled sorted buffer, and
+// when they are large (deep documents, where most values qualify anyway)
+// the stab-scan cursor walks the value array instead — either way no pair
+// set is ever stored.
+func (a *RegionADAtom) openDescendants(anc []xmldb.NodeID) wcoj.AtomIterator {
+	doc := a.ix.doc
+	descs := doc.NodesByTag(a.descTag)
+	tr := a.descRuns.get(a.ix, a.descTag)
+	total := 0
+	maxEnd := int32(-1)
+	var windows [][2]int
+	for _, aid := range anc {
+		an := doc.Node(aid)
+		if an.Start < maxEnd {
+			continue // nested inside the previous region: same descendants
+		}
+		maxEnd = an.End
+		lo := sort.Search(len(descs), func(i int) bool { return doc.Node(descs[i]).Start > an.Start })
+		hi := lo + sort.Search(len(descs)-lo, func(i int) bool { return doc.Node(descs[lo+i]).Start > an.End })
+		if lo < hi {
+			total += hi - lo
+			windows = append(windows, [2]int{lo, hi})
+		}
+	}
+	if total == 0 {
+		return wcoj.OpenValues(nil)
+	}
+	if total <= tr.Len()/8 {
+		it := getBuf()
+		for _, w := range windows {
+			for _, d := range descs[w[0]:w[1]] {
+				it.vals = append(it.vals, doc.Value(d))
+			}
+		}
+		it.finish()
+		return it
+	}
+	return openStab(doc, tr, anc)
+}
+
+// openAncestors walks the parent chain of every node valued dv, collecting
+// the values of ancTag ancestors into a pooled sorted buffer.
+func (a *RegionADAtom) openAncestors(dv relational.Value) wcoj.AtomIterator {
+	doc := a.ix.doc
+	it := getBuf()
+	for _, d := range a.descRuns.get(a.ix, a.descTag).Run(dv) {
+		for p := doc.Parent(d); p != xmldb.NoNode; p = doc.Parent(p) {
+			if doc.Tag(p) == a.ancTag {
+				it.vals = append(it.vals, doc.Value(p))
+			}
+		}
+	}
+	it.finish()
+	return it
+}
+
+// stabIter is the lazy descendant-values cursor: it walks the descendant
+// tag's distinct values in sorted order, admitting a value iff one of its
+// document-ordered nodes stabs a region of the bound ancestor nodes.
+// Seek binary-searches the value array (O(log n)) and then settles forward;
+// each admission test is a merge walk with early exit, so enumeration cost
+// is proportional to the data actually inspected — no pair is ever stored.
+type stabIter struct {
+	doc *xmldb.Document
+	tr  *TagRuns
+	anc []xmldb.NodeID
+	pos int
+}
+
+var stabPool = sync.Pool{New: func() any { return new(stabIter) }}
+
+func openStab(doc *xmldb.Document, tr *TagRuns, anc []xmldb.NodeID) *stabIter {
+	it := stabPool.Get().(*stabIter)
+	it.doc, it.tr, it.anc, it.pos = doc, tr, anc, 0
+	it.settle()
+	return it
+}
+
+func (it *stabIter) settle() {
+	for it.pos < len(it.tr.vals) && !stabs(it.doc, it.tr.runs[it.pos], it.anc) {
+		it.pos++
+	}
+}
+
+func (it *stabIter) AtEnd() bool           { return it.pos >= len(it.tr.vals) }
+func (it *stabIter) Key() relational.Value { return it.tr.vals[it.pos] }
+
+func (it *stabIter) Next() {
+	it.pos++
+	it.settle()
+}
+
+func (it *stabIter) Seek(v relational.Value) {
+	vals := it.tr.vals
+	it.pos += sort.Search(len(vals)-it.pos, func(i int) bool { return vals[it.pos+i] >= v })
+	it.settle()
+}
+
+func (it *stabIter) Close() {
+	it.doc, it.tr, it.anc = nil, nil, nil
+	stabPool.Put(it)
+}
+
+// bufIter is a pooled cursor over a small owned value buffer, used by the
+// per-binding reverse directions; Close recycles the buffer's capacity.
+type bufIter struct {
+	vals []relational.Value
+	pos  int
+}
+
+var bufPool = sync.Pool{New: func() any { return new(bufIter) }}
+
+func getBuf() *bufIter {
+	it := bufPool.Get().(*bufIter)
+	it.vals = it.vals[:0]
+	it.pos = 0
+	return it
+}
+
+// finish sorts and deduplicates the collected values.
+func (it *bufIter) finish() { it.vals = sortDedup(it.vals) }
+
+func (it *bufIter) AtEnd() bool           { return it.pos >= len(it.vals) }
+func (it *bufIter) Key() relational.Value { return it.vals[it.pos] }
+func (it *bufIter) Next()                 { it.pos++ }
+
+func (it *bufIter) Seek(v relational.Value) {
+	vals := it.vals
+	it.pos += sort.Search(len(vals)-it.pos, func(i int) bool { return vals[it.pos+i] >= v })
+}
+
+func (it *bufIter) Close() { bufPool.Put(it) }

@@ -1,0 +1,93 @@
+package structix
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+	"repro/internal/wcoj"
+	"repro/internal/xmldb"
+)
+
+// RegionPCAtom is the lazy virtual relation of one parent-child twig edge,
+// the region-index counterpart of core.EdgeAtom: instead of materializing
+// the value-level edge maps up front, each Open resolves the bound value's
+// nodes and hops one tree level (children, or the parent pointer) into a
+// pooled sorted buffer. Unbound projections and the pair count are computed
+// once per edge and cached. Semantically identical to the edge-index atom;
+// preferable when documents are large and only a few bindings are touched.
+type RegionPCAtom struct {
+	ix         *Index
+	name       string
+	parentTag  string
+	childTag   string
+	parentRuns runsRef
+	childRuns  runsRef
+}
+
+// NewRegionPCAtom builds the lazy P-C atom for (parentTag, childTag). The
+// two tags must differ (twig tags are unique within a pattern).
+func NewRegionPCAtom(ix *Index, parentTag, childTag string) *RegionPCAtom {
+	if parentTag == childTag {
+		panic("structix: P-C atom needs two distinct tags, got " + parentTag + "/" + childTag)
+	}
+	return &RegionPCAtom{
+		ix:        ix,
+		name:      "PC[" + parentTag + "/" + childTag + "]",
+		parentTag: parentTag,
+		childTag:  childTag,
+	}
+}
+
+// Name implements wcoj.Atom.
+func (a *RegionPCAtom) Name() string { return a.name }
+
+// Attrs implements wcoj.Atom.
+func (a *RegionPCAtom) Attrs() []string { return []string{a.parentTag, a.childTag} }
+
+// Index returns the backing structural index (for observability).
+func (a *RegionPCAtom) Index() *Index { return a.ix }
+
+// Size returns the edge's (parent node, child node) pair count — the
+// virtual relation's cardinality before value dedup, matching
+// core.EdgeAtom.Size for the planner's bound estimates.
+func (a *RegionPCAtom) Size() int { return a.ix.pcProjFor(a.parentTag, a.childTag).pairs }
+
+// Open implements wcoj.Atom.
+func (a *RegionPCAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {
+	doc := a.ix.doc
+	switch attr {
+	case a.childTag:
+		if pv, ok := b.Get(a.parentTag); ok {
+			it := getBuf()
+			for _, p := range a.parentRuns.get(a.ix, a.parentTag).Run(pv) {
+				for _, c := range doc.Children(p) {
+					if doc.Tag(c) == a.childTag {
+						it.vals = append(it.vals, doc.Value(c))
+					}
+				}
+			}
+			it.finish()
+			return it, nil
+		}
+		return wcoj.OpenValues(a.ix.pcProjFor(a.parentTag, a.childTag).childs), nil
+	case a.parentTag:
+		if cv, ok := b.Get(a.childTag); ok {
+			return a.openParents(cv), nil
+		}
+		return wcoj.OpenValues(a.ix.pcProjFor(a.parentTag, a.childTag).parents), nil
+	default:
+		return nil, fmt.Errorf("structix: atom %s has no attribute %q", a.name, attr)
+	}
+}
+
+func (a *RegionPCAtom) openParents(cv relational.Value) wcoj.AtomIterator {
+	doc := a.ix.doc
+	it := getBuf()
+	for _, c := range a.childRuns.get(a.ix, a.childTag).Run(cv) {
+		if p := doc.Parent(c); p != xmldb.NoNode && doc.Tag(p) == a.parentTag {
+			it.vals = append(it.vals, doc.Value(p))
+		}
+	}
+	it.finish()
+	return it
+}

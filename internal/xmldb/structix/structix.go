@@ -1,0 +1,338 @@
+// Package structix is the region-interval structural index: a lazy,
+// O(n)-memory access path to the ancestor-descendant and parent-child
+// structure of one xmldb.Document, exposed as first-class wcoj.Atom
+// implementations (RegionADAtom, RegionPCAtom) so that the twig's cut A-D
+// edges can filter intermediate results *during* the worst-case optimal
+// join — the paper's future-work extension — without ever materializing a
+// value-level pair set.
+//
+// # Region encoding and the per-tag runs
+//
+// Every document node already carries the classic region encoding
+// (Start, End, Level): a is a strict ancestor of d iff
+// a.Start < d.Start && d.End < a.End, and because the regions of one
+// document form a laminar family, a.Start < d.Start < a.End alone is
+// equivalent. The index groups each tag's nodes by value:
+//
+//	TagRuns{ vals: sorted distinct values,
+//	         runs: for each value, its nodes in document order }
+//
+// Document order is ascending Start order, so every run is a sorted list of
+// start positions "for free". Building a tag's runs is one pass over the
+// tag's nodes plus a sort of its distinct values — O(n log n) time, O(n)
+// memory — and happens lazily on first use, guarded for the morsel-parallel
+// executor's concurrent Opens.
+//
+// # The stab-query iterator
+//
+// The forward A-D cursor Open(desc, binding{anc=v}) walks the descendant
+// tag's distinct values in sorted order and admits a value iff one of its
+// nodes' start positions stabs an interval of the bound ancestor nodes — a
+// merge of two document-ordered lists with early exit, O(log n) Seek into
+// the value run. Nothing is materialized per Open; cursors are pooled. The
+// reverse cursor Open(anc, binding{desc=v}) walks each bound descendant
+// node's parent chain (the level/interval array) collecting matching
+// ancestor tags' values into a pooled, sorted scratch buffer.
+//
+// Unbound projections ("which descendant values have *some* matching
+// ancestor?") are computed once per edge with a single preorder stack pass
+// (descendant side) and one binary search per ancestor node (ancestor
+// side), cached on the Index, so they cost O(n log n) once — never O(n²).
+package structix
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relational"
+	"repro/internal/xmldb"
+)
+
+// Index is the lazy region-interval structural index of one document. All
+// methods are safe for concurrent use: the index lock only installs map
+// entries, each entry builds at most once via its own sync.Once (so the
+// build of one tag never blocks lookups of another), completed builds are
+// published through an atomic done flag, and everything is immutable
+// afterwards — which the morsel-parallel executor's -race tests exercise.
+type Index struct {
+	doc *xmldb.Document
+
+	mu   sync.Mutex
+	tags map[string]*tagEntry
+	ad   map[[2]string]*adProj
+	pc   map[[2]string]*pcProj
+}
+
+// tagEntry is one lazily built per-tag slot: once guards the build for
+// callers that need the result, done publishes completion to Info (an
+// atomic store inside the build happens-before an atomic load observing
+// true, so Info may read tr without taking the Once).
+type tagEntry struct {
+	once sync.Once
+	done atomic.Bool
+	tr   *TagRuns
+}
+
+// New returns an empty index over doc; all structures build lazily.
+func New(doc *xmldb.Document) *Index {
+	return &Index{
+		doc:  doc,
+		tags: make(map[string]*tagEntry),
+		ad:   make(map[[2]string]*adProj),
+		pc:   make(map[[2]string]*pcProj),
+	}
+}
+
+// Doc returns the indexed document.
+func (x *Index) Doc() *xmldb.Document { return x.doc }
+
+// TagRuns groups one tag's nodes by value: vals holds the sorted distinct
+// values and runs[i] the nodes valued vals[i] in document order (ascending
+// region Start). Immutable once built.
+type TagRuns struct {
+	vals []relational.Value
+	runs [][]xmldb.NodeID
+}
+
+// Len reports the number of distinct values.
+func (t *TagRuns) Len() int { return len(t.vals) }
+
+// Values returns the sorted distinct values; the caller must not mutate.
+func (t *TagRuns) Values() []relational.Value { return t.vals }
+
+// Run returns the document-ordered nodes valued v (nil if absent).
+func (t *TagRuns) Run(v relational.Value) []xmldb.NodeID {
+	i := sort.Search(len(t.vals), func(i int) bool { return t.vals[i] >= v })
+	if i < len(t.vals) && t.vals[i] == v {
+		return t.runs[i]
+	}
+	return nil
+}
+
+// Tag returns (building if needed) the runs of one tag. Concurrent callers
+// of the same tag get the same structure; the index lock is held only for
+// the map access, never during a build.
+func (x *Index) Tag(tag string) *TagRuns {
+	x.mu.Lock()
+	e, ok := x.tags[tag]
+	if !ok {
+		e = &tagEntry{}
+		x.tags[tag] = e
+	}
+	x.mu.Unlock()
+	e.once.Do(func() {
+		e.tr = buildTagRuns(x.doc, tag)
+		e.done.Store(true)
+	})
+	return e.tr
+}
+
+func buildTagRuns(doc *xmldb.Document, tag string) *TagRuns {
+	nodes := doc.NodesByTag(tag)
+	byVal := make(map[relational.Value][]xmldb.NodeID)
+	for _, id := range nodes {
+		v := doc.Value(id)
+		byVal[v] = append(byVal[v], id) // document order preserved
+	}
+	tr := &TagRuns{
+		vals: make([]relational.Value, 0, len(byVal)),
+		runs: make([][]xmldb.NodeID, 0, len(byVal)),
+	}
+	for v := range byVal {
+		tr.vals = append(tr.vals, v)
+	}
+	sort.Slice(tr.vals, func(i, j int) bool { return tr.vals[i] < tr.vals[j] })
+	for _, v := range tr.vals {
+		tr.runs = append(tr.runs, byVal[v])
+	}
+	return tr
+}
+
+// stabs reports whether any node of run lies strictly inside the region of
+// any node of anc. Both lists are in document order, so one merge walk with
+// early exit decides it; nested ancestor intervals are skipped naturally
+// (a descendant past an outer region is past all regions nested inside it).
+func stabs(doc *xmldb.Document, run, anc []xmldb.NodeID) bool {
+	i, j := 0, 0
+	for i < len(run) && j < len(anc) {
+		a, d := doc.Node(anc[j]), doc.Node(run[i])
+		switch {
+		case d.Start <= a.Start:
+			i++ // d precedes (or is) this ancestor: try the next node
+		case d.End < a.End:
+			return true // laminar regions: inside iff a.Start < d.Start && d.End < a.End
+		default:
+			j++ // d lies after a's region: try the next ancestor
+		}
+	}
+	return false
+}
+
+// adProj caches one A-D edge's exact unbound projections: the sorted
+// distinct ancestor values having at least one matching descendant, and
+// vice versa — what the materialized ADAtom calls ancs/descs, computed in
+// O(n log n) without touching any pair.
+type adProj struct {
+	once  sync.Once
+	done  atomic.Bool
+	ancs  []relational.Value
+	descs []relational.Value
+}
+
+func (x *Index) adProjFor(ancTag, descTag string) *adProj {
+	key := [2]string{ancTag, descTag}
+	x.mu.Lock()
+	p, ok := x.ad[key]
+	if !ok {
+		p = &adProj{}
+		x.ad[key] = p
+	}
+	x.mu.Unlock()
+	p.once.Do(func() {
+		p.build(x.doc, ancTag, descTag)
+		p.done.Store(true)
+	})
+	return p
+}
+
+func (p *adProj) build(doc *xmldb.Document, ancTag, descTag string) {
+	// Descendant side: one preorder pass with a stack of open ancestor
+	// regions (their End positions). Node IDs ascend in document order, so
+	// popping regions that closed before the current start keeps the stack
+	// at exactly the open ancTag ancestors.
+	var stack []int32
+	var descs []relational.Value
+	n := doc.Len()
+	for i := 0; i < n; i++ {
+		nd := doc.Node(xmldb.NodeID(i))
+		for len(stack) > 0 && stack[len(stack)-1] < nd.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if nd.Tag == descTag && len(stack) > 0 {
+			descs = append(descs, nd.Value)
+		}
+		if nd.Tag == ancTag {
+			stack = append(stack, nd.End)
+		}
+	}
+	p.descs = sortDedup(descs)
+
+	// Ancestor side: an ancestor matches iff the first descendant start
+	// after its own start still falls inside its region.
+	descNodes := doc.NodesByTag(descTag)
+	var ancs []relational.Value
+	for _, a := range doc.NodesByTag(ancTag) {
+		an := doc.Node(a)
+		k := sort.Search(len(descNodes), func(i int) bool {
+			return doc.Node(descNodes[i]).Start > an.Start
+		})
+		if k < len(descNodes) && doc.Node(descNodes[k]).Start < an.End {
+			ancs = append(ancs, an.Value)
+		}
+	}
+	p.ancs = sortDedup(ancs)
+}
+
+// pcProj caches one P-C edge's exact unbound projections and pair count.
+type pcProj struct {
+	once    sync.Once
+	done    atomic.Bool
+	parents []relational.Value
+	childs  []relational.Value
+	pairs   int
+}
+
+func (x *Index) pcProjFor(parentTag, childTag string) *pcProj {
+	key := [2]string{parentTag, childTag}
+	x.mu.Lock()
+	p, ok := x.pc[key]
+	if !ok {
+		p = &pcProj{}
+		x.pc[key] = p
+	}
+	x.mu.Unlock()
+	p.once.Do(func() {
+		p.build(x.doc, parentTag, childTag)
+		p.done.Store(true)
+	})
+	return p
+}
+
+func (p *pcProj) build(doc *xmldb.Document, parentTag, childTag string) {
+	var parents, childs []relational.Value
+	for _, c := range doc.NodesByTag(childTag) {
+		pa := doc.Parent(c)
+		if pa == xmldb.NoNode || doc.Tag(pa) != parentTag {
+			continue
+		}
+		p.pairs++
+		parents = append(parents, doc.Value(pa))
+		childs = append(childs, doc.Value(c))
+	}
+	p.parents = sortDedup(parents)
+	p.childs = sortDedup(childs)
+}
+
+// sortDedup sorts vals in place and drops duplicates.
+func sortDedup(vals []relational.Value) []relational.Value {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	w := 0
+	for i, v := range vals {
+		if i == 0 || v != vals[w-1] {
+			vals[w] = v
+			w++
+		}
+	}
+	return vals[:w]
+}
+
+// Info describes what the index currently holds, for the run statistics
+// (core.Stats.StructIndexes/StructIndexBytes) and `xjoin -stats`.
+type Info struct {
+	// TagRuns is the number of per-tag run structures built so far.
+	TagRuns int
+	// EdgeProjections counts the cached A-D and P-C projection pairs.
+	EdgeProjections int
+	// ApproxBytes estimates the heap the built structures hold: value and
+	// node-ID payloads plus slice headers. It is O(document size) by
+	// construction — the index stores every node at most once per indexed
+	// tag and never a pair set.
+	ApproxBytes int64
+}
+
+// Info reports the currently built structures. Safe for concurrent use
+// with in-flight builds: only entries whose done flag is set are counted
+// (the atomic store at the end of a build happens-before a load observing
+// true, so the slices read here are complete and immutable).
+func (x *Index) Info() Info {
+	const hdr = 24 // slice header
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var info Info
+	for _, e := range x.tags {
+		if !e.done.Load() {
+			continue
+		}
+		info.TagRuns++
+		info.ApproxBytes += int64(len(e.tr.vals))*8 + 2*hdr
+		for _, run := range e.tr.runs {
+			info.ApproxBytes += int64(len(run))*4 + hdr
+		}
+	}
+	for _, p := range x.ad {
+		if !p.done.Load() {
+			continue
+		}
+		info.EdgeProjections++
+		info.ApproxBytes += int64(len(p.ancs)+len(p.descs))*8 + 2*hdr
+	}
+	for _, p := range x.pc {
+		if !p.done.Load() {
+			continue
+		}
+		info.EdgeProjections++
+		info.ApproxBytes += int64(len(p.parents)+len(p.childs))*8 + 2*hdr
+	}
+	return info
+}

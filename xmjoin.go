@@ -318,11 +318,46 @@ func (q *Query) WithStrategy(s Strategy) *Query {
 	return q
 }
 
+// ADMode selects how ancestor-descendant twig edges participate in the
+// join; see the core documentation. The default (ADDefault/ADLazy) filters
+// intermediate results through the lazy region-interval structural index —
+// the paper's future-work extension at no index-build cost.
+type ADMode = core.ADMode
+
+// Re-exported A-D handling modes.
+const (
+	ADDefault      = core.ADDefault
+	ADLazy         = core.ADLazy
+	ADPostHoc      = core.ADPostHoc
+	ADMaterialized = core.ADMaterialized
+)
+
+// WithAD selects the A-D edge handling: ADLazy (default — lazy region
+// atoms filter during the join), ADPostHoc (the paper's plain Algorithm 1,
+// A-D edges checked only by the final validation) or ADMaterialized (the
+// quadratic value-level A-D index; the oracle the lazy path is verified
+// against). Results are identical across modes; cost is not.
+func (q *Query) WithAD(m ADMode) *Query {
+	q.opts.AD = m
+	return q
+}
+
 // WithPartialAD enables the paper's future-work extension: ancestor-
 // descendant twig edges filter intermediate results during the join instead
-// of only being validated at the end.
+// of only being validated at the end. Since the lazy structural index made
+// this the default, the call mainly tags the run as "xjoin+"; use WithAD
+// to pick a specific mechanism (or switch the filtering off).
 func (q *Query) WithPartialAD(on bool) *Query {
 	q.opts.PartialAD = on
+	return q
+}
+
+// WithLazyPC swaps the materialized value-level edge indexes behind the
+// parent-child atoms for the lazy region-interval access path: per-binding
+// child/parent hops instead of an up-front per-edge index build. Results
+// are identical; prefer it for large documents with selective queries.
+func (q *Query) WithLazyPC(on bool) *Query {
+	q.opts.LazyPC = on
 	return q
 }
 

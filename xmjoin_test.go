@@ -130,6 +130,48 @@ func TestPublicBounds(t *testing.T) {
 	}
 }
 
+// TestWithADModes: the A-D handling modes must agree on answers over an
+// actual //-edge query, and the stats must report what ran — lazy holds
+// region-interval index state, materialized and post-hoc do not.
+func TestWithADModes(t *testing.T) {
+	db := figure1DB(t)
+	q, err := db.Query("//invoices//price", "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := q.ExecXJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ref.Stats(); s.ADMode != "lazy" || s.StructIndexes == 0 {
+		t.Errorf("default stats = %q/%d, want lazy with struct indexes", s.ADMode, s.StructIndexes)
+	}
+	for _, m := range []ADMode{ADLazy, ADPostHoc, ADMaterialized} {
+		r, err := q.WithAD(m).ExecXJoin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Equal(ref) {
+			t.Errorf("AD mode %v changed answers", m)
+		}
+	}
+	r, err := q.WithAD(ADPostHoc).ExecXJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s.ADMode != "posthoc" || s.StructIndexes != 0 {
+		t.Errorf("post-hoc stats = %q/%d", s.ADMode, s.StructIndexes)
+	}
+	q.WithAD(ADDefault) // reset
+	r2, err := q.WithLazyPC(true).ExecXJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Equal(ref) {
+		t.Error("lazy P-C changed answers")
+	}
+}
+
 func TestQueryOptions(t *testing.T) {
 	db := figure1DB(t)
 	q, err := db.Query("/invoices/orderLine[orderID][ISBN]/price", "R")
