@@ -161,6 +161,11 @@ func run() error {
 		if *showStats {
 			fmt.Printf("streamed=%d validation_removed=%d peak_stage=%d\n",
 				stats.Output, stats.ValidationRemoved, stats.PeakIntermediate)
+			if stats.CatalogMisses > 0 || stats.CatalogHits > 0 {
+				fmt.Printf("catalog: entries=%d resident=%dB hits=%d misses=%d evictions=%d\n",
+					stats.CatalogEntries, stats.CatalogResidentBytes,
+					stats.CatalogHits, stats.CatalogMisses, stats.CatalogEvictions)
+			}
 		}
 		return nil
 	}
@@ -212,6 +217,10 @@ func run() error {
 		}
 		if s.StructIndexes > 0 {
 			fmt.Printf("struct indexes: %d (~%d bytes)\n", s.StructIndexes, s.StructIndexBytes)
+		}
+		if s.CatalogMisses > 0 || s.CatalogHits > 0 {
+			fmt.Printf("catalog: entries=%d resident=%dB hits=%d misses=%d evictions=%d\n",
+				s.CatalogEntries, s.CatalogResidentBytes, s.CatalogHits, s.CatalogMisses, s.CatalogEvictions)
 		}
 		if s.Algorithm == "baseline" {
 			fmt.Printf("q1=%d q2=%d\n", s.Q1Size, s.Q2Size)

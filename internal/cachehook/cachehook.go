@@ -1,0 +1,60 @@
+// Package cachehook is the thin contract between lazily built index
+// structures (wcoj.TableAtom's sorted-column runs, xmldb.Indexes' edge
+// maps, structix.Index's tag runs and edge projections) and a
+// process-lifetime cache manager such as internal/catalog. The owners know
+// how to build, look up, and drop their entries; the manager knows the byte
+// budget and the eviction policy. This package only carries the
+// notifications between them, so the owners never import the catalog and
+// the catalog never learns the owners' internals.
+//
+// Protocol:
+//
+//   - When an owner finishes building a cache entry it calls
+//     Observer.Built with a diagnostic label, the entry's approximate heap
+//     bytes, and a drop callback that removes the entry from the owner
+//     (taking whatever owner lock that needs). Built returns a Ticket.
+//   - On every later reuse of the resident entry the owner calls
+//     Ticket.Touch — the recency signal for LRU eviction. Touch must be
+//     cheap and lock-free; it sits on Open hot paths.
+//   - If the owner discards the entry itself (e.g. TableAtom.DropIndexes)
+//     it calls Ticket.Release so the manager's byte accounting follows.
+//   - The manager evicts by invoking the drop callback. Drops are safe
+//     while joins are running: entries are immutable and readers hold
+//     direct references (slices, pointers) that stay valid after the entry
+//     leaves its owner's map — the next lookup simply rebuilds.
+//
+// Owners must call Built without holding the lock their drop callback
+// takes (the manager may evict other entries of the same owner inside
+// Built), and managers must tolerate Touch/Release on entries they already
+// dropped.
+package cachehook
+
+// Observer receives build notifications from cache-entry owners. An
+// implementation must be safe for concurrent use.
+type Observer interface {
+	// Built registers a newly built entry: label names it for diagnostics,
+	// bytes is its approximate heap footprint, and drop removes it from the
+	// owner when the manager decides to evict. The returned ticket is never
+	// nil.
+	Built(label string, bytes int64, drop func()) Ticket
+}
+
+// Ticket is the owner's handle on one registered entry.
+type Ticket interface {
+	// Touch records a reuse of the entry (the LRU recency signal). Safe to
+	// call concurrently and after the entry was dropped or released.
+	Touch()
+	// Release tells the manager the owner discarded the entry itself.
+	// Idempotent; safe concurrently with an eviction of the same entry.
+	Release()
+}
+
+// NopTicket is the Ticket for unobserved owners: both methods do nothing.
+// Owners without an observer may use it to avoid nil checks on hot paths.
+type NopTicket struct{}
+
+// Touch implements Ticket.
+func (NopTicket) Touch() {}
+
+// Release implements Ticket.
+func (NopTicket) Release() {}

@@ -1,0 +1,298 @@
+// Package catalog is the process-lifetime index catalog: one shared,
+// budgeted home for every lazily built access-path structure the
+// multi-model join engine uses, so a serving process pays index cost once
+// across queries instead of once per XJoin call.
+//
+// A Catalog owns three kinds of sources, each created on first request and
+// reused by every later query over the same table or document:
+//
+//   - one wcoj.TableAtom per relational table (its sorted-column index
+//     runs, one per (target, bound-set) shape);
+//   - one xmldb.Indexes per document (eager per-tag value maps plus the
+//     lazily built value-level edge indexes behind the P-C atoms);
+//   - one structix.Index per document (the region-interval structural
+//     index behind the lazy A-D and P-C atoms).
+//
+// The lazily built entries inside those sources — column-index shapes,
+// edge maps, tag runs, edge projections — register themselves here through
+// the cachehook protocol as they are built. The catalog tracks their
+// approximate resident bytes against a configurable budget and evicts the
+// least-recently-touched entries when over it. Eviction only removes an
+// entry from its owner's map: in-flight joins keep their direct references
+// (entries are immutable), and the next lookup rebuilds lazily —
+// correctness never depends on residency, only cost does. The eager
+// per-document tag maps inside xmldb.Indexes are not individually
+// evictable and are not counted against the budget.
+//
+// Counters: a miss is any build (source wrapper or lazy entry), a hit is
+// any reuse (source lookup or entry touch). They are cumulative for the
+// catalog's lifetime; core.Stats snapshots them after each run, so "a warm
+// run did zero index-build work" is exactly "CatalogMisses unchanged".
+//
+// All methods are safe for concurrent use; the morsel-parallel executor's
+// workers and concurrent PreparedQuery.Execute calls share one catalog.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cachehook"
+	"repro/internal/relational"
+	"repro/internal/wcoj"
+	"repro/internal/xmldb"
+	"repro/internal/xmldb/structix"
+)
+
+// Catalog is a shared, budgeted registry of index structures. The zero
+// value is not usable; call New.
+type Catalog struct {
+	budget    atomic.Int64 // bytes; <= 0 means unlimited
+	clock     atomic.Uint64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	// mu guards the entry set and resident-byte accounting.
+	mu       sync.Mutex
+	resident int64
+	entries  map[*ticket]struct{}
+
+	// srcMu guards the source maps. Separate from mu so source lookups
+	// never block entry registration or eviction. The one expensive source
+	// build — xmldb.NewIndexes' eager per-tag pass — runs outside srcMu
+	// behind a per-document once, so it only ever blocks callers wanting
+	// that same document.
+	srcMu  sync.Mutex
+	tables map[*relational.Table]*wcoj.TableAtom
+	ixs    map[*xmldb.Document]*ixEntry
+	sixs   map[*xmldb.Document]*structix.Index
+}
+
+// ixEntry is one per-document Indexes slot: the map slot installs under
+// srcMu, the eager build runs in once outside it.
+type ixEntry struct {
+	once sync.Once
+	ix   *xmldb.Indexes
+}
+
+// New returns an empty catalog with the given byte budget for lazily built
+// entries (<= 0 = unlimited).
+func New(budgetBytes int64) *Catalog {
+	c := &Catalog{
+		entries: make(map[*ticket]struct{}),
+		tables:  make(map[*relational.Table]*wcoj.TableAtom),
+		ixs:     make(map[*xmldb.Document]*ixEntry),
+		sixs:    make(map[*xmldb.Document]*structix.Index),
+	}
+	c.budget.Store(budgetBytes)
+	return c
+}
+
+// TableAtom returns the catalog's shared atom for t, creating and
+// registering it on first request. All queries over t borrow the same atom,
+// so its sorted-column indexes are built once per shape process-wide.
+func (c *Catalog) TableAtom(t *relational.Table) *wcoj.TableAtom {
+	c.srcMu.Lock()
+	a, ok := c.tables[t]
+	if !ok {
+		a = wcoj.NewTableAtom(t)
+		a.SetCacheObserver(c)
+		c.tables[t] = a
+	}
+	c.srcMu.Unlock()
+	c.countSource(ok)
+	return a
+}
+
+// Indexes returns the catalog's shared value-level indexes for doc,
+// creating them (one eager per-tag pass, outside the source lock) on
+// first request.
+func (c *Catalog) Indexes(doc *xmldb.Document) *xmldb.Indexes {
+	c.srcMu.Lock()
+	e, ok := c.ixs[doc]
+	if !ok {
+		e = &ixEntry{}
+		c.ixs[doc] = e
+	}
+	c.srcMu.Unlock()
+	e.once.Do(func() {
+		e.ix = xmldb.NewIndexes(doc)
+		e.ix.SetCacheObserver(c)
+	})
+	c.countSource(ok)
+	return e.ix
+}
+
+// StructIndex returns the catalog's shared region-interval structural index
+// for doc, creating an empty (all-lazy) one on first request.
+func (c *Catalog) StructIndex(doc *xmldb.Document) *structix.Index {
+	c.srcMu.Lock()
+	six, ok := c.sixs[doc]
+	if !ok {
+		six = structix.New(doc)
+		six.SetCacheObserver(c)
+		c.sixs[doc] = six
+	}
+	c.srcMu.Unlock()
+	c.countSource(ok)
+	return six
+}
+
+func (c *Catalog) countSource(hit bool) {
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+}
+
+// SetBudget changes the byte budget (<= 0 = unlimited) and immediately
+// evicts down to it if the resident entries exceed the new value.
+func (c *Catalog) SetBudget(bytes int64) {
+	c.budget.Store(bytes)
+	c.evictOver(nil)
+}
+
+// Budget returns the current byte budget (<= 0 = unlimited).
+func (c *Catalog) Budget() int64 { return c.budget.Load() }
+
+// Stats is a snapshot of the catalog's counters.
+type Stats struct {
+	// Hits counts reuses: source lookups that found an existing shared
+	// structure plus touches of resident lazily built entries.
+	Hits int64
+	// Misses counts builds: new source wrappers plus lazily built entries.
+	Misses int64
+	// Evictions counts entries dropped to satisfy the byte budget.
+	Evictions int64
+	// ResidentBytes is the approximate heap held by the tracked entries.
+	ResidentBytes int64
+	// Entries is the number of tracked resident entries.
+	Entries int
+	// Budget is the configured byte budget (<= 0 = unlimited).
+	Budget int64
+}
+
+// Stats returns a snapshot of the catalog's counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.Lock()
+	resident, entries := c.resident, len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		ResidentBytes: resident,
+		Entries:       entries,
+		Budget:        c.budget.Load(),
+	}
+}
+
+// String renders the snapshot for the shell and CLI stats output.
+func (s Stats) String() string {
+	budget := "unlimited"
+	if s.Budget > 0 {
+		budget = fmt.Sprintf("%d", s.Budget)
+	}
+	return fmt.Sprintf("catalog: entries=%d resident=%dB budget=%s hits=%d misses=%d evictions=%d",
+		s.Entries, s.ResidentBytes, budget, s.Hits, s.Misses, s.Evictions)
+}
+
+// ticket is one tracked resident entry. last is the LRU recency stamp
+// (catalog clock ticks); dead flips exactly once, whether by eviction or by
+// the owner's Release.
+type ticket struct {
+	c     *Catalog
+	label string
+	bytes int64
+	drop  func()
+	last  atomic.Uint64
+	dead  atomic.Bool
+}
+
+// Touch implements cachehook.Ticket: an atomic recency stamp plus the hit
+// counter — no locks, it sits on Open hot paths.
+func (t *ticket) Touch() {
+	if t.dead.Load() {
+		return
+	}
+	t.last.Store(t.c.clock.Add(1))
+	t.c.hits.Add(1)
+}
+
+// Release implements cachehook.Ticket.
+func (t *ticket) Release() {
+	if t.dead.Swap(true) {
+		return
+	}
+	t.c.mu.Lock()
+	delete(t.c.entries, t)
+	t.c.resident -= t.bytes
+	t.c.mu.Unlock()
+}
+
+// Built implements cachehook.Observer: it registers the entry, counts the
+// build as a miss, and evicts least-recently-touched entries while the
+// resident total exceeds the budget. The drop callbacks run after the
+// catalog lock is released (they take owner locks), which is why owners
+// must not call Built while holding those locks.
+func (c *Catalog) Built(label string, bytes int64, drop func()) cachehook.Ticket {
+	t := &ticket{c: c, label: label, bytes: bytes, drop: drop}
+	t.last.Store(c.clock.Add(1))
+	c.misses.Add(1)
+	c.mu.Lock()
+	c.entries[t] = struct{}{}
+	c.resident += bytes
+	c.mu.Unlock()
+	c.evictOver(t)
+	return t
+}
+
+// evictOver drops least-recently-touched entries until the resident total
+// fits the budget. keep (the entry just built, when called from Built) is
+// never chosen, so a single over-budget entry does not thrash on every use;
+// the budget is a target, not a hard cap. Victims are picked in one pass —
+// the candidate set is snapshotted and sorted by recency stamp once, so a
+// mass eviction (a SetBudget shrink over a wide workload) costs
+// O(n log n), not a rescan per victim — collected under the catalog lock
+// and dropped outside it.
+func (c *Catalog) evictOver(keep *ticket) {
+	budget := c.budget.Load()
+	if budget <= 0 {
+		return
+	}
+	var victims []*ticket
+	c.mu.Lock()
+	if c.resident > budget {
+		cands := make([]*ticket, 0, len(c.entries))
+		for t := range c.entries {
+			if t != keep {
+				cands = append(cands, t)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].last.Load() < cands[j].last.Load() })
+		for _, t := range cands {
+			if c.resident <= budget {
+				break
+			}
+			if t.dead.Swap(true) {
+				// A concurrent Release claimed this entry between our map
+				// snapshot and now; it adjusts the accounting once it
+				// acquires the lock.
+				delete(c.entries, t)
+				continue
+			}
+			delete(c.entries, t)
+			c.resident -= t.bytes
+			c.evictions.Add(1)
+			victims = append(victims, t)
+		}
+	}
+	c.mu.Unlock()
+	for _, t := range victims {
+		t.drop()
+	}
+}

@@ -1,0 +1,223 @@
+package catalog
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/xmldb"
+)
+
+// mapBinding adapts a map to the wcoj.Binding interface for tests.
+type mapBinding map[string]relational.Value
+
+func (m mapBinding) Get(attr string) (relational.Value, bool) {
+	v, ok := m[attr]
+	return v, ok
+}
+
+func testTable(t *testing.T, dict *relational.Dict, name string, n int) *relational.Table {
+	t.Helper()
+	tab := relational.NewTable(name, relational.MustSchema("a", "b"))
+	for i := 0; i < n; i++ {
+		tab.MustAppend(dict.InternInt(int64(i)), dict.InternInt(int64(i%7)))
+	}
+	return tab
+}
+
+func testDoc(t *testing.T, dict *relational.Dict) *xmldb.Document {
+	t.Helper()
+	b := xmldb.NewBuilder(dict)
+	b.Open("root")
+	for i := 0; i < 20; i++ {
+		b.Open("item")
+		b.Leaf("a", string(rune('a'+i%5)))
+		b.Leaf("b", string(rune('a'+i%3)))
+		b.Close()
+	}
+	b.Close()
+	doc, err := b.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestSourcesShared: repeated source lookups return the identical shared
+// structure and count one miss then hits.
+func TestSourcesShared(t *testing.T) {
+	dict := relational.NewDict()
+	c := New(0)
+	tab := testTable(t, dict, "R", 10)
+	doc := testDoc(t, dict)
+
+	a1, a2 := c.TableAtom(tab), c.TableAtom(tab)
+	if a1 != a2 {
+		t.Fatal("TableAtom not shared")
+	}
+	if ix1, ix2 := c.Indexes(doc), c.Indexes(doc); ix1 != ix2 {
+		t.Fatal("Indexes not shared")
+	}
+	if s1, s2 := c.StructIndex(doc), c.StructIndex(doc); s1 != s2 {
+		t.Fatal("StructIndex not shared")
+	}
+	s := c.Stats()
+	if s.Misses != 3 || s.Hits != 3 {
+		t.Fatalf("stats = %+v, want 3 misses (creations) and 3 hits (reuses)", s)
+	}
+}
+
+// TestEntryAccounting: building an index registers resident bytes; reuse
+// counts hits without new misses; DropIndexes releases the bytes.
+func TestEntryAccounting(t *testing.T) {
+	dict := relational.NewDict()
+	c := New(0)
+	a := c.TableAtom(testTable(t, dict, "R", 50))
+
+	open := func() {
+		it, err := a.Open("a", mapBinding{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		it.Close()
+	}
+	open()
+	s1 := c.Stats()
+	if s1.Entries != 1 || s1.ResidentBytes <= 0 {
+		t.Fatalf("after first open: %+v", s1)
+	}
+	open()
+	s2 := c.Stats()
+	if s2.Misses != s1.Misses {
+		t.Fatalf("reuse built again: %+v -> %+v", s1, s2)
+	}
+	if s2.Hits <= s1.Hits {
+		t.Fatalf("reuse did not count a hit: %+v -> %+v", s1, s2)
+	}
+	a.DropIndexes()
+	s3 := c.Stats()
+	if s3.Entries != 0 || s3.ResidentBytes != 0 {
+		t.Fatalf("DropIndexes left accounting: %+v", s3)
+	}
+	// Rebuild after the release works and re-registers.
+	open()
+	if s4 := c.Stats(); s4.Entries != 1 || s4.Misses != s3.Misses+1 {
+		t.Fatalf("rebuild after release: %+v", s4)
+	}
+}
+
+// TestBudgetEviction: a tiny budget evicts least-recently-touched entries;
+// evicted shapes rebuild lazily and still answer correctly.
+func TestBudgetEviction(t *testing.T) {
+	dict := relational.NewDict()
+	c := New(0)
+	a := c.TableAtom(testTable(t, dict, "R", 200))
+
+	countA := func() int {
+		it, err := a.Open("a", mapBinding{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		n := 0
+		for ; !it.AtEnd(); it.Next() {
+			n++
+		}
+		return n
+	}
+	want := countA()
+	// Build a second shape, then squeeze the budget below one entry.
+	if _, err := a.Open("b", mapBinding{}); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Fatalf("expected 2 entries, got %+v", s)
+	}
+	c.SetBudget(1)
+	s := c.Stats()
+	if s.Evictions == 0 || s.Entries != 0 {
+		t.Fatalf("tiny budget did not evict: %+v", s)
+	}
+	if got := countA(); got != want {
+		t.Fatalf("post-eviction rebuild answered %d values, want %d", got, want)
+	}
+	if s2 := c.Stats(); s2.Misses != s.Misses+1 {
+		t.Fatalf("post-eviction open should rebuild exactly once: %+v -> %+v", s, s2)
+	}
+}
+
+// TestStructEntriesEvict: structix tag runs and projections register and
+// evict through the same budget.
+func TestStructEntriesEvict(t *testing.T) {
+	dict := relational.NewDict()
+	c := New(0)
+	doc := testDoc(t, dict)
+	six := c.StructIndex(doc)
+
+	six.Tag("a")
+	if _, _, ok := six.ADProjSizes("item", "a"); ok {
+		t.Fatal("projection reported before build")
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("tag run not registered: %+v", s)
+	}
+	gen := six.Gen()
+	c.SetBudget(1)
+	if s := c.Stats(); s.Entries != 0 || s.Evictions == 0 {
+		t.Fatalf("tag run not evicted: %+v", s)
+	}
+	if six.Gen() == gen {
+		t.Fatal("eviction did not bump the generation")
+	}
+	// Rebuild transparently.
+	if tr := six.Tag("a"); tr.Len() == 0 {
+		t.Fatal("rebuilt tag runs empty")
+	}
+}
+
+// TestConcurrentBuildEvict hammers builds, touches, releases and forced
+// evictions from many goroutines (run under -race in CI).
+func TestConcurrentBuildEvict(t *testing.T) {
+	dict := relational.NewDict()
+	c := New(0)
+	tab := testTable(t, dict, "R", 300)
+	doc := testDoc(t, dict)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a := c.TableAtom(tab)
+			six := c.StructIndex(doc)
+			ix := c.Indexes(doc)
+			for i := 0; i < 50; i++ {
+				if it, err := a.Open("a", mapBinding{}); err == nil {
+					it.Close()
+				}
+				six.Tag("item")
+				ix.Edge("item", "a")
+				switch i % 10 {
+				case 3:
+					c.SetBudget(1)
+				case 7:
+					c.SetBudget(0)
+				case 9:
+					if g == 0 {
+						a.DropIndexes()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.SetBudget(0)
+	s := c.Stats()
+	if s.ResidentBytes < 0 {
+		t.Fatalf("negative resident bytes: %+v", s)
+	}
+	if !strings.Contains(s.String(), "catalog:") {
+		t.Fatalf("stats string: %q", s.String())
+	}
+}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/relational"
 	"repro/internal/twig"
@@ -23,12 +24,23 @@ import (
 
 // EdgeAtom is the virtual relation of one parent-child twig edge: the set
 // of (parent value, child value) pairs realized by the document, accessed
-// through the value-level edge index rather than materialized.
+// through the value-level edge index rather than materialized. The edge
+// index is resolved lazily per use and the resolved pointer is cached
+// stamped with the Indexes' eviction generation, so an atom kept alive by
+// a prepared query neither builds the index before it is needed nor pins
+// it against the shared catalog's eviction.
 type EdgeAtom struct {
 	name      string
 	parentTag string
 	childTag  string
-	edge      *xmldb.EdgeIndex
+	ix        *xmldb.Indexes
+	ref       atomic.Pointer[edgeSnap]
+	uses      atomic.Uint32
+}
+
+type edgeSnap struct {
+	gen uint64
+	e   *xmldb.EdgeIndex
 }
 
 // NewEdgeAtom builds the virtual relation for the P-C edge (parentTag,
@@ -38,8 +50,24 @@ func NewEdgeAtom(ix *xmldb.Indexes, parentTag, childTag string) *EdgeAtom {
 		name:      "PC[" + parentTag + "/" + childTag + "]",
 		parentTag: parentTag,
 		childTag:  childTag,
-		edge:      ix.Edge(parentTag, childTag),
+		ix:        ix,
 	}
+}
+
+// edgeIndex resolves the edge index, building it on first use (or after an
+// eviction bumped the generation). Every 256th fast-path hit re-resolves
+// through Indexes.Edge so the entry's catalog recency stamp keeps moving
+// while the atom is hot (the fast path would otherwise freeze it at build
+// time, making hot edges the LRU's first victims). Racing resolutions
+// store equivalent snapshots, so plain atomics suffice.
+func (a *EdgeAtom) edgeIndex() *xmldb.EdgeIndex {
+	gen := a.ix.Gen()
+	if s := a.ref.Load(); s != nil && s.gen == gen && a.uses.Add(1)&255 != 0 {
+		return s.e
+	}
+	e := a.ix.Edge(a.parentTag, a.childTag)
+	a.ref.Store(&edgeSnap{gen: gen, e: e})
+	return e
 }
 
 // Name implements wcoj.Atom.
@@ -50,22 +78,23 @@ func (a *EdgeAtom) Attrs() []string { return []string{a.parentTag, a.childTag} }
 
 // Size returns the virtual relation's cardinality (node-level pair count),
 // which the transformation bounds by the child tag's node count.
-func (a *EdgeAtom) Size() int { return a.edge.PairCount }
+func (a *EdgeAtom) Size() int { return a.edgeIndex().PairCount }
 
 // Open implements wcoj.Atom: the returned cursor seeks over the edge
 // index's sorted value lists without materializing anything per call.
 func (a *EdgeAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {
+	edge := a.edgeIndex()
 	switch attr {
 	case a.childTag:
 		if pv, ok := b.Get(a.parentTag); ok {
-			return wcoj.OpenValueSet(a.edge.ChildrenOf(pv)), nil
+			return wcoj.OpenValueSet(edge.ChildrenOf(pv)), nil
 		}
-		return wcoj.OpenValueSet(a.edge.ChildValues()), nil
+		return wcoj.OpenValueSet(edge.ChildValues()), nil
 	case a.parentTag:
 		if cv, ok := b.Get(a.childTag); ok {
-			return wcoj.OpenValueSet(a.edge.ParentsOf(cv)), nil
+			return wcoj.OpenValueSet(edge.ParentsOf(cv)), nil
 		}
-		return wcoj.OpenValueSet(a.edge.ParentValues()), nil
+		return wcoj.OpenValueSet(edge.ParentValues()), nil
 	default:
 		return nil, fmt.Errorf("core: atom %s has no attribute %q", a.name, attr)
 	}
@@ -196,6 +225,17 @@ func (a *ADAtom) Name() string { return a.name }
 // Attrs implements wcoj.Atom.
 func (a *ADAtom) Attrs() []string { return []string{a.ancTag, a.descTag} }
 
+// Size returns the exact number of distinct (ancestor value, descendant
+// value) pairs — the materialized relation's cardinality, free to report
+// since this atom holds every pair anyway.
+func (a *ADAtom) Size() int {
+	n := 0
+	for _, s := range a.a2d {
+		n += s.Len()
+	}
+	return n
+}
+
 // Open implements wcoj.Atom.
 func (a *ADAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {
 	switch attr {
@@ -253,18 +293,22 @@ type atomConfig struct {
 	lazyPC bool
 }
 
-// buildAtoms assembles the executor's atom set for a query: one TableAtom
-// per relational table and, for every twig, one TagAtom per twig node, one
-// P-C atom per child edge (edge-index backed, or structix's lazy
-// RegionPCAtom under cfg.lazyPC), and one A-D atom per cut descendant edge
-// — structix's lazy RegionADAtom by default, the materialized ADAtom
-// oracle under ADMaterialized, none under ADPostHoc. Atoms repeated across
-// twigs (same tag, same edge) are deduplicated by name; redundant copies
-// would not change the join.
-func buildAtoms(twigs []twigPart, tables []*relational.Table, cfg atomConfig) []wcoj.Atom {
+// buildAtoms assembles the executor's atom set for a query: the query's
+// table atoms (borrowed from the shared catalog, or private — either way
+// resolved once at query construction, so no run rebuilds their indexes)
+// and, for every twig, one TagAtom per twig node, one P-C atom per child
+// edge (edge-index backed, or structix's lazy RegionPCAtom under
+// cfg.lazyPC), and one A-D atom per cut descendant edge — structix's lazy
+// RegionADAtom by default, the materialized ADAtom oracle under
+// ADMaterialized, none under ADPostHoc. Atoms repeated across twigs (same
+// tag, same edge) are deduplicated by name; redundant copies would not
+// change the join. Callers go through Query.atoms, which caches the result
+// per configuration.
+func buildAtoms(q *Query, cfg atomConfig) []wcoj.Atom {
+	twigs := q.twigs
 	var atoms []wcoj.Atom
-	for _, t := range tables {
-		atoms = append(atoms, wcoj.NewTableAtom(t))
+	for _, t := range q.tableAtoms {
+		atoms = append(atoms, t)
 	}
 	// Atom names must stay unique: with several documents, identical tags
 	// produce distinct atoms (each constraining its own document's values),
@@ -348,9 +392,12 @@ func unwrapAtom(a wcoj.Atom) wcoj.Atom {
 	}
 }
 
-// atomSize reports an XML atom's cardinality, unwrapping renames. A-D
-// atoms (lazy or materialized) report none: their value-pair count is not
-// bounded by a tag's node count, so the bound computations ignore them.
+// atomSize reports an XML atom's cardinality, unwrapping renames. The A-D
+// atoms report an upper bound on their value-pair count: exact for the
+// materialized oracle, the cached-projection (or tag-count) product for
+// the lazy region atom — see RegionADAtom.Size. Upper bounds keep every
+// AGM-style computation a valid bound, and give Explain and the min-bound
+// planner real numbers for A-D edges instead of ignoring them.
 func atomSize(a wcoj.Atom) (int, bool) {
 	switch at := unwrapAtom(a).(type) {
 	case *EdgeAtom:
@@ -358,6 +405,10 @@ func atomSize(a wcoj.Atom) (int, bool) {
 	case *structix.RegionPCAtom:
 		return at.Size(), true
 	case *TagAtom:
+		return at.Size(), true
+	case *structix.RegionADAtom:
+		return at.Size(), true
+	case *ADAtom:
 		return at.Size(), true
 	default:
 		return 0, false

@@ -63,7 +63,7 @@ func TestExecutorEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		q := mustQuery(t, inst)
-		atoms := buildAtoms(q.twigs, q.Tables, atomConfig{ad: ADPostHoc})
+		atoms := q.atoms(atomConfig{ad: ADPostHoc})
 		order := ChooseOrder(q, OrderRelationalFirst)
 
 		mat, err := wcoj.GenericJoin(atoms, order)

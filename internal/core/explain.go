@@ -11,7 +11,7 @@ import (
 // Lemma 3.5, and the query's exponents. It runs the planner and the bound
 // LPs but not the join itself.
 func Explain(q *Query, opts Options) (string, error) {
-	atoms := buildAtoms(q.twigs, q.Tables, opts.atomConfig())
+	atoms := q.atoms(opts.atomConfig())
 	sizes := atomSizes(q, atoms)
 	order := opts.Order
 	if order == nil {

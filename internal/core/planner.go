@@ -11,9 +11,19 @@ import (
 // the executor atoms (ties broken by first-appearance order). This spends
 // O(k²) small LPs at planning time to keep every T_i's *guarantee* low —
 // the bound-driven refinement of Lemma 3.5.
+//
+// The LPs run over the lazy atom set including the region A-D atoms, which
+// now report a cardinality bound (exact-projection product when the
+// structural index has it resident, tag-count product otherwise — see
+// RegionADAtom.Size), so A-D-heavy twigs inform the order instead of being
+// invisible. More edges can only lower an AGM bound. Planning never
+// materializes a pair set: A-D sizes are residency-safe (ADProjSizes), and
+// the only structures it may build are the O(tag) P-C edge projections
+// behind RegionPCAtom.Size — shared through the query's structural index
+// (or the catalog) with the execution that needs them anyway.
 func MinBoundOrder(q *Query) ([]string, error) {
 	attrs := q.Attrs()
-	atoms := buildAtoms(q.twigs, q.Tables, atomConfig{ad: ADPostHoc, lazyPC: true})
+	atoms := q.atoms(atomConfig{ad: ADLazy, lazyPC: true})
 	sizes := atomSizes(q, atoms)
 
 	chosen := make([]string, 0, len(attrs))

@@ -3,9 +3,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/catalog"
 	"repro/internal/relational"
 	"repro/internal/twig"
+	"repro/internal/wcoj"
 	"repro/internal/xmldb"
 	"repro/internal/xmldb/structix"
 )
@@ -36,9 +39,29 @@ type twigPart struct {
 // "XML twigs Sx, relational tables Sr". Attributes with equal names join,
 // within and across models; twig tags double as attribute names (values of
 // the matched elements), so a tag shared by two twigs is a join point.
+//
+// A query built with NewQueryInputsCatalog borrows its index structures —
+// table atoms, value-level XML indexes, structural indexes — from a shared
+// catalog, so repeated and concurrent queries over the same data reuse one
+// set of lazily built indexes; without a catalog every structure is
+// private to the query (the standalone fallback). Either way the resolved
+// atom set for each execution configuration is cached on the query, so
+// repeated XJoin calls (and PreparedQuery executions) perform no per-run
+// atom or index construction. A Query is safe for concurrent execution.
 type Query struct {
 	Tables []*relational.Table
 	twigs  []twigPart
+
+	// cat is the shared index catalog, nil for standalone queries.
+	cat *catalog.Catalog
+	// tableAtoms are the executor atoms for Tables, borrowed from the
+	// catalog or private to the query; aligned with Tables.
+	tableAtoms []*wcoj.TableAtom
+
+	// amu guards atomCache: the resolved executor atom set per
+	// configuration, built once and reused by every run.
+	amu       sync.Mutex
+	atomCache map[atomConfig][]wcoj.Atom
 }
 
 // NewQuery assembles a single-twig (or, with a nil pattern, pure
@@ -60,12 +83,23 @@ func NewQueryMulti(doc *xmldb.Document, patterns []*twig.Pattern, tables []*rela
 	return NewQueryInputs(in, tables)
 }
 
-// NewQueryInputs validates and assembles a query over any number of
+// NewQueryInputs validates and assembles a standalone query (private index
+// structures); see NewQueryInputsCatalog for the shared-catalog form.
+func NewQueryInputs(twigs []TwigInput, tables []*relational.Table) (*Query, error) {
+	return NewQueryInputsCatalog(twigs, tables, nil)
+}
+
+// NewQueryInputsCatalog validates and assembles a query over any number of
 // (document, twig) pairs and tables. Every twig needs its document; a pure
 // relational query may pass no twigs. Every table must have a unique name.
 // Tags are unique within one twig but may repeat across twigs (they then
 // join by value).
-func NewQueryInputs(twigs []TwigInput, tables []*relational.Table) (*Query, error) {
+//
+// With a non-nil cat the query borrows every index structure from it:
+// table atoms, value-level XML indexes and structural indexes are shared
+// process-wide and subject to the catalog's byte budget. With nil cat the
+// query builds private structures, reused across its own executions only.
+func NewQueryInputsCatalog(twigs []TwigInput, tables []*relational.Table, cat *catalog.Catalog) (*Query, error) {
 	if len(twigs) == 0 && len(tables) == 0 {
 		return nil, fmt.Errorf("core: query with no tables and no twig")
 	}
@@ -76,7 +110,14 @@ func NewQueryInputs(twigs []TwigInput, tables []*relational.Table) (*Query, erro
 		}
 		names[t.Name()] = true
 	}
-	q := &Query{Tables: tables}
+	q := &Query{Tables: tables, cat: cat, atomCache: make(map[atomConfig][]wcoj.Atom)}
+	for _, t := range tables {
+		if cat != nil {
+			q.tableAtoms = append(q.tableAtoms, cat.TableAtom(t))
+		} else {
+			q.tableAtoms = append(q.tableAtoms, wcoj.NewTableAtom(t))
+		}
+	}
 	ixCache := make(map[*xmldb.Document]*xmldb.Indexes)
 	sixCache := make(map[*xmldb.Document]*structix.Index)
 	for i, in := range twigs {
@@ -88,17 +129,56 @@ func NewQueryInputs(twigs []TwigInput, tables []*relational.Table) (*Query, erro
 		}
 		ix, ok := ixCache[in.Doc]
 		if !ok {
-			ix = xmldb.NewIndexes(in.Doc)
+			if cat != nil {
+				ix = cat.Indexes(in.Doc)
+			} else {
+				ix = xmldb.NewIndexes(in.Doc)
+			}
 			ixCache[in.Doc] = ix
 		}
 		six, ok := sixCache[in.Doc]
 		if !ok {
-			six = structix.New(in.Doc)
+			if cat != nil {
+				six = cat.StructIndex(in.Doc)
+			} else {
+				six = structix.New(in.Doc)
+			}
 			sixCache[in.Doc] = six
 		}
 		q.twigs = append(q.twigs, twigPart{pattern: in.Pattern, ix: ix, six: six})
 	}
 	return q, nil
+}
+
+// atoms returns (building and caching on first use) the executor atom set
+// for one configuration. The cache makes repeated executions — and every
+// PreparedQuery.Execute — free of atom construction; the atoms themselves
+// are safe for concurrent executors.
+func (q *Query) atoms(cfg atomConfig) []wcoj.Atom {
+	q.amu.Lock()
+	defer q.amu.Unlock()
+	if as, ok := q.atomCache[cfg]; ok {
+		return as
+	}
+	as := buildAtoms(q, cfg)
+	q.atomCache[cfg] = as
+	return as
+}
+
+// addCatalogStats snapshots the shared catalog's cumulative counters into
+// the run statistics (zero values for standalone queries). The counters
+// are process-wide and monotone — "this run built nothing" reads as
+// "CatalogMisses unchanged since the previous run".
+func (q *Query) addCatalogStats(s *Stats) {
+	if q.cat == nil {
+		return
+	}
+	cs := q.cat.Stats()
+	s.CatalogHits = cs.Hits
+	s.CatalogMisses = cs.Misses
+	s.CatalogEvictions = cs.Evictions
+	s.CatalogResidentBytes = cs.ResidentBytes
+	s.CatalogEntries = cs.Entries
 }
 
 // hasADEdge reports whether any twig has a cut (descendant-axis) edge.
@@ -241,6 +321,19 @@ type Stats struct {
 	// their approximate heap bytes — O(document), never a pair set.
 	StructIndexes    int
 	StructIndexBytes int64
+	// CatalogHits..CatalogEntries snapshot the shared index catalog at the
+	// end of the run, when the query borrows from one (all zero for
+	// standalone queries). Hits/Misses/Evictions are cumulative
+	// process-wide counters, not per-run deltas: a warm execution that
+	// performed zero index-build work leaves CatalogMisses exactly where
+	// the previous run's snapshot put it. ResidentBytes/Entries describe
+	// the catalog's lazily built entries currently resident against its
+	// byte budget.
+	CatalogHits          int64
+	CatalogMisses        int64
+	CatalogEvictions     int64
+	CatalogResidentBytes int64
+	CatalogEntries       int
 }
 
 // project returns the positions of attrs within from, erroring on misses.

@@ -24,7 +24,7 @@ import (
 // executor's shared stop flag.
 func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Stats, error) {
 	algo := "xjoin-stream"
-	atoms := buildAtoms(q.twigs, q.Tables, opts.atomConfig())
+	atoms := q.atoms(opts.atomConfig())
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("core: query has no atoms")
 	}
@@ -77,6 +77,7 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 		stats.TotalIntermediate += s
 	}
 	addIndexStats(atoms, stats)
+	q.addCatalogStats(stats)
 	return stats, nil
 }
 

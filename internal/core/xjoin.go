@@ -146,7 +146,7 @@ func (o Options) algoLabel() string {
 // structural validation of the twig on the candidate answers.
 func XJoin(q *Query, opts Options) (*Result, error) {
 	algo := opts.algoLabel()
-	atoms := buildAtoms(q.twigs, q.Tables, opts.atomConfig())
+	atoms := q.atoms(opts.atomConfig())
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("core: query has no atoms")
 	}
@@ -200,6 +200,7 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 		res.Stats.TotalIntermediate += s
 	}
 	addIndexStats(atoms, &res.Stats)
+	q.addCatalogStats(&res.Stats)
 	return res, nil
 }
 
@@ -271,6 +272,7 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	}
 	res.Stats.Output = len(res.Tuples)
 	addIndexStats(atoms, &res.Stats)
+	q.addCatalogStats(&res.Stats)
 	return res, nil
 }
 
@@ -297,6 +299,29 @@ func addIndexStats(atoms []wcoj.Atom, stats *Stats) {
 		stats.StructIndexes += info.TagRuns + info.EdgeProjections
 		stats.StructIndexBytes += info.ApproxBytes
 	}
+}
+
+// Prepare freezes an execution plan for q under opts and returns the
+// frozen options: the attribute priority is resolved once (strategy errors
+// and invalid explicit orders surface here, not at execution), and the
+// executor atom set for the chosen configuration is resolved into the
+// query's cache so the first Execute pays no plan or atom work. The
+// returned options are safe to reuse — by value — for any number of
+// concurrent XJoin/XJoinStream calls over q; index builds stay lazy and
+// are shared through the query's (or its catalog's) structures.
+func Prepare(q *Query, opts Options) (Options, error) {
+	if opts.Order == nil {
+		order, err := chooseOrderErr(q, opts.Strategy)
+		if err != nil {
+			return opts, err
+		}
+		opts.Order = order
+	}
+	if err := checkOrder(q, opts.Order); err != nil {
+		return opts, err
+	}
+	q.atoms(opts.atomConfig())
+	return opts, nil
 }
 
 // ChooseOrder computes the attribute priority PA for the given strategy.

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // AggFunc names an aggregate function.
@@ -53,6 +55,11 @@ func (it SelectItem) Label() string {
 type Output struct {
 	Attrs []string
 	Rows  [][]string
+	// Stats carries the engine run's statistics when the statement executed
+	// a join (nil for EXISTS, which only probes for one answer). It includes
+	// the shared index catalog's counters, so the shell can show whether a
+	// statement ran warm (zero catalog misses added) or had to build.
+	Stats *core.Stats
 }
 
 // String renders the output as an aligned table with a row count.

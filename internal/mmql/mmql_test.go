@@ -455,3 +455,32 @@ func TestRunExists(t *testing.T) {
 		t.Fatalf("exists pushed-filter = %v", res.Rows)
 	}
 }
+
+// TestRunCarriesStats: executed statements expose the engine run's
+// statistics, including the shared catalog counters, so callers can tell
+// warm from cold runs.
+func TestRunCarriesStats(t *testing.T) {
+	db := testDB(t)
+	out1, err := RunString(db, `SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Stats == nil || out1.Stats.Algorithm == "" {
+		t.Fatalf("missing stats: %+v", out1.Stats)
+	}
+	if out1.Stats.CatalogMisses == 0 {
+		t.Fatalf("first run built nothing in the shared catalog: %+v", out1.Stats)
+	}
+	out2, err := RunString(db, `SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Stats.CatalogMisses != out1.Stats.CatalogMisses {
+		t.Fatalf("repeated statement rebuilt indexes: %d -> %d",
+			out1.Stats.CatalogMisses, out2.Stats.CatalogMisses)
+	}
+	if out2.Stats.CatalogHits <= out1.Stats.CatalogHits {
+		t.Fatalf("repeated statement recorded no reuse: %d -> %d",
+			out1.Stats.CatalogHits, out2.Stats.CatalogHits)
+	}
+}

@@ -80,6 +80,8 @@ func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
 	if st.Limit > 0 && len(out.Rows) > st.Limit {
 		out.Rows = out.Rows[:st.Limit]
 	}
+	stats := res.Stats()
+	out.Stats = &stats
 	return out, nil
 }
 

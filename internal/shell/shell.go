@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	xmjoin "repro"
@@ -95,6 +96,8 @@ func (s *Shell) Execute(line string) error {
 		}
 		fmt.Fprint(s.out, plan)
 		return nil
+	case ".catalog":
+		return s.catalog(fields[1:])
 	case ".save":
 		if len(fields) != 2 {
 			return errors.New("shell: usage: .save DIR")
@@ -117,6 +120,33 @@ func (s *Shell) Execute(line string) error {
 		return nil
 	default:
 		return fmt.Errorf("shell: unknown command %s (try .help)", fields[0])
+	}
+}
+
+// catalog shows or tunes the session's shared index catalog. Every query
+// of the session borrows its indexes from this one catalog (it lives on
+// the shell's database), so the counters reflect how warm the session is:
+// misses are index builds, hits are reuses, and a budget bounds resident
+// bytes with LRU eviction.
+func (s *Shell) catalog(args []string) error {
+	switch {
+	case len(args) == 0:
+		fmt.Fprintln(s.out, s.db.Catalog().Stats())
+		return nil
+	case len(args) == 2 && args[0] == "budget":
+		n, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("shell: bad budget %q: %w", args[1], err)
+		}
+		s.db.Catalog().SetBudget(n)
+		fmt.Fprintln(s.out, s.db.Catalog().Stats())
+		return nil
+	case len(args) == 1 && args[0] == "reset":
+		s.db.ResetCatalog()
+		fmt.Fprintln(s.out, s.db.Catalog().Stats())
+		return nil
+	default:
+		return errors.New("shell: usage: .catalog [budget BYTES | reset]")
 	}
 }
 
@@ -156,6 +186,9 @@ const helpText = `commands:
   .load table NAME PATH     load a CSV table
   .tables                   list loaded tables and document tags
   .explain QUERY            show the XJoin plan and bounds for a query
+  .catalog [budget N|reset] show the session's shared index catalog
+                            (hits/misses/evictions/resident bytes), cap its
+                            resident bytes, or drop every shared index
   .save DIR / .open DIR     persist / reopen the database
   .help / .quit
 queries (everything else):

@@ -183,3 +183,43 @@ func TestShellLimitAndExists(t *testing.T) {
 		t.Errorf("exists header missing:\n%s", o)
 	}
 }
+
+// TestShellCatalog: the session reuses one catalog across queries, and
+// .catalog shows/tunes it.
+func TestShellCatalog(t *testing.T) {
+	xmlPath, csvPath := writeFixtures(t)
+	var out strings.Builder
+	sh := New(&out)
+	steps := []string{
+		".load xml " + xmlPath,
+		".load table R " + csvPath,
+		`SELECT userID, price FROM R, TWIG '//orderLine[orderID]/price'`,
+		".catalog",
+		".catalog budget 1",
+		`SELECT userID, price FROM R, TWIG '//orderLine[orderID]/price'`,
+	}
+	for _, line := range steps {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	o := out.String()
+	if !strings.Contains(o, "catalog: entries=") {
+		t.Fatalf(".catalog output missing:\n%s", o)
+	}
+	if !strings.Contains(o, "budget=1") {
+		t.Fatalf(".catalog budget not applied:\n%s", o)
+	}
+	if s := sh.DB().Catalog().Stats(); s.Misses == 0 {
+		t.Fatalf("session catalog never used: %+v", s)
+	}
+	if err := sh.Execute(".catalog reset"); err != nil {
+		t.Fatal(err)
+	}
+	if s := sh.DB().Catalog().Stats(); s.Entries != 0 || s.Misses != 0 {
+		t.Fatalf("reset kept state: %+v", s)
+	}
+	if err := sh.Execute(".catalog bogus"); err == nil {
+		t.Fatal("bad .catalog accepted")
+	}
+}

@@ -58,6 +58,14 @@
 // concurrent (lock-guarded lazy build, pooled cursors), so they run
 // unchanged under the morsel-parallel drivers.
 //
+// Atoms are designed to be borrowed, not owned: a process-lifetime catalog
+// (internal/catalog) can hand the same TableAtom (and the XML atoms'
+// backing indexes) to many queries at once, and the lazily built index
+// entries register with it through internal/cachehook for byte-budgeted
+// LRU eviction. Executors never notice an eviction — live cursors hold
+// slices into immutable arrays that outlive the cache entry, and the next
+// Open rebuilds lazily — so drivers need no residency awareness at all.
+//
 // The package also keeps the conventional binary joins (hash, sort-merge,
 // nested-loop) used by the baseline's relational query Q1.
 package wcoj

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cachehook"
 	"repro/internal/relational"
 )
 
@@ -15,15 +17,48 @@ import (
 // group's sorted distinct target values live as one run inside a single
 // flat array. Open positions a pooled cursor over the matching run, so the
 // hot path performs no per-call allocation — the hash-trie formulation of
-// Generic Join with integer keys instead of encoded strings. Index building
-// is guarded by a mutex so the parallel executor's workers can share one
-// atom.
+// Generic Join with integer keys instead of encoded strings. Each shape
+// builds at most once behind its own sync.Once (the atom mutex only
+// installs map slots), so the parallel executor's workers and concurrent
+// queries borrowing the atom from a shared catalog never repeat or block
+// on each other's builds.
+//
+// With a cachehook.Observer attached (SetCacheObserver, called by the
+// index catalog before the atom is shared), every built shape registers
+// its approximate bytes and a drop callback, and reuses report touches —
+// the inputs to the catalog's budgeted LRU eviction. Evicting a shape
+// mid-join is safe: live cursors hold slices into the index's immutable
+// arrays, which stay valid after the map entry is gone; the next Open
+// rebuilds the shape lazily.
 type TableAtom struct {
 	table *relational.Table
 	attrs []string
+	obs   cachehook.Observer
 	mu    sync.Mutex
 	// indexes is keyed by target column and bound-column bitmask.
-	indexes map[indexShape]*colIndex
+	indexes map[indexShape]*colEntry
+}
+
+// colEntry is one lazily built index slot: the map slot is installed under
+// the atom mutex, the build runs in once outside it, and done publishes
+// completion to IndexInfo (atomic store inside the build happens-before a
+// load observing true).
+type colEntry struct {
+	once sync.Once
+	done atomic.Bool
+	// dropped marks an entry discarded by DropIndexes while its build was
+	// still in flight: the builder releases its own ticket on completion,
+	// so the catalog never accounts for an orphaned structure.
+	dropped atomic.Bool
+	// reuses samples catalog touches: index() runs on every Open — the
+	// innermost join loop — so stamping the shared catalog's recency clock
+	// on each reuse would put two contended global atomics on the hot
+	// path. Touching on the first reuse and then one in every 16 keeps the
+	// LRU signal (and the hit counter's meaning: reuse happened) while the
+	// remaining traffic stays on this entry's own cache line.
+	reuses atomic.Uint32
+	ix     *colIndex
+	ticket cachehook.Ticket
 }
 
 // indexShape identifies one lazily built index: the target column and the
@@ -54,9 +89,15 @@ func NewTableAtom(t *relational.Table) *TableAtom {
 	return &TableAtom{
 		table:   t,
 		attrs:   t.Schema().Attrs(),
-		indexes: make(map[indexShape]*colIndex),
+		indexes: make(map[indexShape]*colEntry),
 	}
 }
+
+// SetCacheObserver attaches the observer notified of index builds and
+// reuses (the shared-catalog integration). It must be called before the
+// atom is handed to any query — typically right after NewTableAtom — and
+// at most once; it is not synchronized against concurrent Opens.
+func (a *TableAtom) SetCacheObserver(o cachehook.Observer) { a.obs = o }
 
 // Name returns the underlying table's name.
 func (a *TableAtom) Name() string { return a.table.Name() }
@@ -138,14 +179,19 @@ type TableIndexInfo struct {
 }
 
 // IndexInfo reports the lazily built indexes currently cached on the atom.
-// Safe to call concurrently with Open.
+// Safe to call concurrently with Open; entries whose build is still in
+// flight are not counted.
 func (a *TableAtom) IndexInfo() TableIndexInfo {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	info := TableIndexInfo{Indexes: len(a.indexes)}
-	for _, ix := range a.indexes {
-		info.Groups += len(ix.off) - 1
-		info.ApproxBytes += ix.approxBytes()
+	var info TableIndexInfo
+	for _, e := range a.indexes {
+		if !e.done.Load() {
+			continue
+		}
+		info.Indexes++
+		info.Groups += len(e.ix.off) - 1
+		info.ApproxBytes += e.ix.approxBytes()
 	}
 	return info
 }
@@ -169,15 +215,26 @@ func (ix *colIndex) approxBytes() int64 {
 	return b
 }
 
-// DropIndexes discards every cached index, releasing their memory; later
-// Opens rebuild on demand. The control knob for long-lived processes whose
-// query mix shifted (the cache is otherwise kept forever). It must not be
-// called while a join over this atom is running: executors hold cursors
-// into the index arrays.
+// DropIndexes discards every cached index, releasing their memory (and
+// their catalog registrations); later Opens rebuild on demand. The control
+// knob for long-lived processes whose query mix shifted. Safe to call
+// while joins run: live cursors hold slices into the immutable index
+// arrays, which outlive the map entries.
 func (a *TableAtom) DropIndexes() {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.indexes = make(map[indexShape]*colIndex)
+	old := a.indexes
+	a.indexes = make(map[indexShape]*colEntry)
+	a.mu.Unlock()
+	for _, e := range old {
+		// Order matters against a racing in-flight build: dropped is set
+		// before done is checked, and the builder checks dropped after
+		// setting done — whichever side observes the other releases the
+		// ticket (Release is idempotent, so both doing it is fine).
+		e.dropped.Store(true)
+		if e.done.Load() && e.ticket != nil {
+			e.ticket.Release()
+		}
+	}
 }
 
 // Precompute builds the index for enumerating target with the given
@@ -210,23 +267,55 @@ func (a *TableAtom) Precompute(target string, bound ...string) error {
 }
 
 // index returns (building on first use) the sorted-column index for the
-// given target column and bound-column mask.
+// given target column and bound-column mask. The build runs outside the
+// atom mutex behind the entry's once, and the catalog notification runs
+// inside the once with no locks held — the catalog may synchronously evict
+// other entries of this same atom, whose drop callbacks take the mutex.
 func (a *TableAtom) index(target int, mask uint64) *colIndex {
 	shape := indexShape{target: target, mask: mask}
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if ix, ok := a.indexes[shape]; ok {
-		return ix
+	e, ok := a.indexes[shape]
+	if !ok {
+		e = &colEntry{}
+		a.indexes[shape] = e
 	}
-	var boundCols []int
-	for i := range a.attrs {
-		if i != target && mask&(1<<uint(i)) != 0 {
-			boundCols = append(boundCols, i)
+	a.mu.Unlock()
+	built := false
+	e.once.Do(func() {
+		var boundCols []int
+		for i := range a.attrs {
+			if i != target && mask&(1<<uint(i)) != 0 {
+				boundCols = append(boundCols, i)
+			}
 		}
+		e.ix = buildColIndex(a.table, target, boundCols)
+		if a.obs != nil {
+			label := fmt.Sprintf("table[%s t=%d m=%#x]", a.table.Name(), target, mask)
+			e.ticket = a.obs.Built(label, e.ix.approxBytes(), func() { a.dropEntry(shape, e) })
+		}
+		e.done.Store(true)
+		if e.dropped.Load() && e.ticket != nil {
+			// DropIndexes discarded this entry mid-build; undo the
+			// registration so the catalog does not account for an orphan.
+			e.ticket.Release()
+		}
+		built = true
+	})
+	if !built && e.ticket != nil && e.reuses.Add(1)&15 == 1 {
+		e.ticket.Touch()
 	}
-	ix := buildColIndex(a.table, target, boundCols)
-	a.indexes[shape] = ix
-	return ix
+	return e.ix
+}
+
+// dropEntry is the catalog's eviction callback for one shape: it removes
+// the entry from the map iff it is still the resident one (a rebuilt
+// successor under the same shape must survive).
+func (a *TableAtom) dropEntry(shape indexShape, e *colEntry) {
+	a.mu.Lock()
+	if a.indexes[shape] == e {
+		delete(a.indexes, shape)
+	}
+	a.mu.Unlock()
 }
 
 // buildColIndex groups the table's rows by the bound columns' values and

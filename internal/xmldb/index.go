@@ -3,7 +3,9 @@ package xmldb
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cachehook"
 	"repro/internal/relational"
 )
 
@@ -14,10 +16,21 @@ import (
 // then read lock-free; edge indexes build lazily on first use, at most once
 // per tag pair, and Edge is safe for concurrent callers (the morsel-
 // parallel executor's workers open edge atoms from many goroutines).
+//
+// With a cachehook.Observer attached (SetCacheObserver, called by the
+// shared index catalog), each built edge index registers its bytes and a
+// drop callback for budgeted LRU eviction, and reuses report touches.
+// Eviction removes only the map entry — holders of the *EdgeIndex keep a
+// valid immutable structure — and bumps the generation counter so cached
+// per-atom references re-resolve. The eager per-tag maps are pinned for
+// the Indexes' lifetime and are not registered.
 type Indexes struct {
 	doc       *Document
 	tagValues map[string]*relational.ValueSet
 	byTagVal  map[string]map[relational.Value][]NodeID
+
+	obs cachehook.Observer
+	gen atomic.Uint64
 
 	mu    sync.Mutex
 	edges map[[2]string]*edgeEntry
@@ -28,8 +41,9 @@ type Indexes struct {
 // requesters of the same pair block on the Once rather than on each other's
 // unrelated builds.
 type edgeEntry struct {
-	once sync.Once
-	e    *EdgeIndex
+	once   sync.Once
+	e      *EdgeIndex
+	ticket cachehook.Ticket
 }
 
 // NewIndexes builds the per-tag indexes for doc. Edge indexes are built
@@ -58,6 +72,16 @@ func NewIndexes(doc *Document) *Indexes {
 
 // Doc returns the indexed document.
 func (ix *Indexes) Doc() *Document { return ix.doc }
+
+// SetCacheObserver attaches the observer notified of edge-index builds and
+// reuses (the shared-catalog integration). Call before the Indexes is
+// shared — it is not synchronized against concurrent Edge calls.
+func (ix *Indexes) SetCacheObserver(o cachehook.Observer) { ix.obs = o }
+
+// Gen returns the eviction generation: it increments whenever a lazily
+// built edge index is dropped, invalidating per-atom cached references so
+// they re-resolve through Edge on their next use.
+func (ix *Indexes) Gen() uint64 { return ix.gen.Load() }
 
 // TagValues returns the sorted distinct values of nodes tagged tag; an
 // empty set if the tag does not occur.
@@ -92,7 +116,8 @@ type EdgeIndex struct {
 }
 
 // Edge returns (building if needed) the edge index for parentTag/childTag.
-// Safe for concurrent use; all callers observe the same index instance.
+// Safe for concurrent use; all callers observe the same index instance
+// until an eviction drops it, after which the next call rebuilds.
 func (ix *Indexes) Edge(parentTag, childTag string) *EdgeIndex {
 	key := [2]string{parentTag, childTag}
 	ix.mu.Lock()
@@ -102,8 +127,48 @@ func (ix *Indexes) Edge(parentTag, childTag string) *EdgeIndex {
 		ix.edges[key] = ent
 	}
 	ix.mu.Unlock()
-	ent.once.Do(func() { ent.e = buildEdgeIndex(ix.doc, parentTag, childTag) })
+	built := false
+	ent.once.Do(func() {
+		ent.e = buildEdgeIndex(ix.doc, parentTag, childTag)
+		if ix.obs != nil {
+			ent.ticket = ix.obs.Built("edge["+parentTag+"/"+childTag+"]", ent.e.approxBytes(),
+				func() { ix.dropEdge(key, ent) })
+		}
+		built = true
+	})
+	if !built && ent.ticket != nil {
+		ent.ticket.Touch()
+	}
 	return ent.e
+}
+
+// dropEdge is the catalog's eviction callback: it removes the entry iff it
+// is still the resident one and bumps the generation so cached references
+// re-resolve.
+func (ix *Indexes) dropEdge(key [2]string, ent *edgeEntry) {
+	ix.mu.Lock()
+	if ix.edges[key] == ent {
+		delete(ix.edges, key)
+	}
+	ix.mu.Unlock()
+	ix.gen.Add(1)
+}
+
+// approxBytes estimates the edge index's heap footprint: both directions'
+// value sets plus per-entry map overhead.
+func (e *EdgeIndex) approxBytes() int64 {
+	const (
+		valueSize = 8
+		mapEntry  = 48 // key + pointer + amortized bucket bookkeeping
+	)
+	b := int64(e.parents.Len()+e.children.Len()) * valueSize
+	for _, s := range e.p2c {
+		b += int64(s.Len())*valueSize + mapEntry
+	}
+	for _, s := range e.c2p {
+		b += int64(s.Len())*valueSize + mapEntry
+	}
+	return b
 }
 
 func buildEdgeIndex(doc *Document, parentTag, childTag string) *EdgeIndex {

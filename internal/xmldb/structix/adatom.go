@@ -12,18 +12,32 @@ import (
 )
 
 // runsRef caches a resolved *TagRuns on an atom so the hot Open path skips
-// the index's entry map (and its mutex) after the first lookup. Racing
-// first lookups store the same pointer, so a plain atomic is enough.
+// the index's entry map (and its mutex) after the first lookup. The cached
+// pointer is stamped with the index's eviction generation: when the shared
+// catalog drops any structure the generation bumps and the next get
+// re-resolves through Tag (rebuilding only if this tag was the one
+// evicted). Every 256th fast-path hit re-resolves anyway, so the entry's
+// catalog recency stamp keeps moving while the atom is hot — without the
+// refresh a heavily used tag would look LRU-cold (its only touch at build
+// time) and be the first evicted under budget pressure. Racing lookups
+// store equivalent snapshots, so plain atomics are enough.
 type runsRef struct {
-	p atomic.Pointer[TagRuns]
+	p    atomic.Pointer[runsSnap]
+	uses atomic.Uint32
+}
+
+type runsSnap struct {
+	gen uint64
+	tr  *TagRuns
 }
 
 func (r *runsRef) get(ix *Index, tag string) *TagRuns {
-	if tr := r.p.Load(); tr != nil {
-		return tr
+	gen := ix.Gen()
+	if s := r.p.Load(); s != nil && s.gen == gen && r.uses.Add(1)&255 != 0 {
+		return s.tr
 	}
 	tr := ix.Tag(tag)
-	r.p.Store(tr)
+	r.p.Store(&runsSnap{gen: gen, tr: tr})
 	return tr
 }
 
@@ -70,6 +84,35 @@ func (a *RegionADAtom) Attrs() []string { return []string{a.ancTag, a.descTag} }
 
 // Index returns the backing structural index (for observability).
 func (a *RegionADAtom) Index() *Index { return a.ix }
+
+// Size reports an upper bound on the virtual relation's value-pair
+// cardinality, the number the bound LPs and Explain consume. When the
+// edge's exact unbound projections are resident it is the product of their
+// cardinalities (|distinct matching ancestor values| × |distinct matching
+// descendant values|, which the distinct-pair set cannot exceed); before
+// any projection has been built it falls back to the product of the two
+// tags' node counts — residency never changes correctness, only how tight
+// the bound is. Size never builds anything, so planning stays lazy.
+func (a *RegionADAtom) Size() int {
+	if na, nd, ok := a.ix.ADProjSizes(a.ancTag, a.descTag); ok {
+		return satMul(na, nd)
+	}
+	doc := a.ix.doc
+	return satMul(len(doc.NodesByTag(a.ancTag)), len(doc.NodesByTag(a.descTag)))
+}
+
+// satMul multiplies two non-negative counts, saturating instead of
+// overflowing (pair-count bounds on large documents can exceed int range).
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if a > maxInt/b {
+		return maxInt
+	}
+	return a * b
+}
 
 // Open implements wcoj.Atom.
 func (a *RegionADAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {

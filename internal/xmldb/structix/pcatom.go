@@ -2,6 +2,7 @@ package structix
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/relational"
 	"repro/internal/wcoj"
@@ -54,20 +55,10 @@ func (a *RegionPCAtom) Size() int { return a.ix.pcProjFor(a.parentTag, a.childTa
 
 // Open implements wcoj.Atom.
 func (a *RegionPCAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {
-	doc := a.ix.doc
 	switch attr {
 	case a.childTag:
 		if pv, ok := b.Get(a.parentTag); ok {
-			it := getBuf()
-			for _, p := range a.parentRuns.get(a.ix, a.parentTag).Run(pv) {
-				for _, c := range doc.Children(p) {
-					if doc.Tag(c) == a.childTag {
-						it.vals = append(it.vals, doc.Value(c))
-					}
-				}
-			}
-			it.finish()
-			return it, nil
+			return a.openChildren(pv), nil
 		}
 		return wcoj.OpenValues(a.ix.pcProjFor(a.parentTag, a.childTag).childs), nil
 	case a.parentTag:
@@ -80,12 +71,85 @@ func (a *RegionPCAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, err
 	}
 }
 
+// openChildren collects the childTag values directly under the parent
+// nodes valued pv. Per parent node it picks the cheaper of two equivalent
+// scans: walking the node's children array filtering by tag, or the level
+// fast path — two binary searches locate the childTag nodes whose region
+// Start falls inside the parent's region (its descendants, in document
+// order) and a Level equality check admits exactly the direct children.
+// The latter wins when the parent has many children of other tags; the
+// former when its subtree is deep in childTag descendants.
+func (a *RegionPCAtom) openChildren(pv relational.Value) wcoj.AtomIterator {
+	doc := a.ix.doc
+	childs := doc.NodesByTag(a.childTag)
+	it := getBuf()
+	for _, p := range a.parentRuns.get(a.ix, a.parentTag).Run(pv) {
+		pn := doc.Node(p)
+		lo := sort.Search(len(childs), func(i int) bool { return doc.Node(childs[i]).Start > pn.Start })
+		hi := lo + sort.Search(len(childs)-lo, func(i int) bool { return doc.Node(childs[lo+i]).Start > pn.End })
+		if hi-lo < len(doc.Children(p)) {
+			want := pn.Level + 1
+			for _, c := range childs[lo:hi] {
+				if cn := doc.Node(c); cn.Level == want {
+					it.vals = append(it.vals, cn.Value)
+				}
+			}
+			continue
+		}
+		for _, c := range doc.Children(p) {
+			if doc.Tag(c) == a.childTag {
+				it.vals = append(it.vals, doc.Value(c))
+			}
+		}
+	}
+	it.finish()
+	return it
+}
+
+// openParents collects the parentTag values of the parents of childTag
+// nodes valued cv. For a handful of bound nodes each hops its parent
+// pointer; for longer runs it switches to the level fast path — one merge
+// walk of the (document-ordered) bound run against the parentTag node
+// list, keeping a stack of open parentTag regions. At each bound node the
+// stack top is its deepest enclosing parentTag node (regions are laminar,
+// so the open regions are nested with strictly increasing levels), and a
+// Level equality check decides parenthood without dereferencing a single
+// parent pointer: sequential scans of two sorted lists replace per-node
+// random access into the node array.
 func (a *RegionPCAtom) openParents(cv relational.Value) wcoj.AtomIterator {
 	doc := a.ix.doc
+	run := a.childRuns.get(a.ix, a.childTag).Run(cv)
 	it := getBuf()
-	for _, c := range a.childRuns.get(a.ix, a.childTag).Run(cv) {
-		if p := doc.Parent(c); p != xmldb.NoNode && doc.Tag(p) == a.parentTag {
-			it.vals = append(it.vals, doc.Value(p))
+	parents := doc.NodesByTag(a.parentTag)
+	if len(run) >= 4 && len(parents) <= 4*len(run)+16 {
+		var stack []xmldb.NodeID
+		j := 0
+		for _, c := range run {
+			cn := doc.Node(c)
+			for len(stack) > 0 && doc.Node(stack[len(stack)-1]).End < cn.Start {
+				stack = stack[:len(stack)-1]
+			}
+			for j < len(parents) {
+				pn := doc.Node(parents[j])
+				if pn.Start > cn.Start {
+					break
+				}
+				if pn.End > cn.Start {
+					stack = append(stack, parents[j])
+				}
+				j++
+			}
+			if len(stack) > 0 {
+				if pn := doc.Node(stack[len(stack)-1]); pn.Level+1 == cn.Level {
+					it.vals = append(it.vals, pn.Value)
+				}
+			}
+		}
+	} else {
+		for _, c := range run {
+			if p := doc.Parent(c); p != xmldb.NoNode && doc.Tag(p) == a.parentTag {
+				it.vals = append(it.vals, doc.Value(p))
+			}
 		}
 	}
 	it.finish()

@@ -45,6 +45,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cachehook"
 	"repro/internal/relational"
 	"repro/internal/xmldb"
 )
@@ -55,8 +56,19 @@ import (
 // build of one tag never blocks lookups of another), completed builds are
 // published through an atomic done flag, and everything is immutable
 // afterwards — which the morsel-parallel executor's -race tests exercise.
+//
+// With a cachehook.Observer attached (SetCacheObserver, called by the
+// shared index catalog), every built tag-run structure and edge projection
+// registers its bytes and a drop callback for budgeted LRU eviction, and
+// reuses report touches. Eviction removes only the map entry — holders of
+// the built structure keep a valid immutable value — and bumps the
+// generation counter so the atoms' cached references re-resolve through
+// the index on their next use.
 type Index struct {
 	doc *xmldb.Document
+
+	obs cachehook.Observer
+	gen atomic.Uint64
 
 	mu   sync.Mutex
 	tags map[string]*tagEntry
@@ -69,9 +81,10 @@ type Index struct {
 // atomic store inside the build happens-before an atomic load observing
 // true, so Info may read tr without taking the Once).
 type tagEntry struct {
-	once sync.Once
-	done atomic.Bool
-	tr   *TagRuns
+	once   sync.Once
+	done   atomic.Bool
+	tr     *TagRuns
+	ticket cachehook.Ticket
 }
 
 // New returns an empty index over doc; all structures build lazily.
@@ -86,6 +99,29 @@ func New(doc *xmldb.Document) *Index {
 
 // Doc returns the indexed document.
 func (x *Index) Doc() *xmldb.Document { return x.doc }
+
+// SetCacheObserver attaches the observer notified of builds and reuses
+// (the shared-catalog integration). Call before the index is shared — it
+// is not synchronized against concurrent lookups.
+func (x *Index) SetCacheObserver(o cachehook.Observer) { x.obs = o }
+
+// Gen returns the eviction generation: it increments whenever a built
+// structure is dropped, invalidating the atoms' cached references so they
+// re-resolve on their next use.
+func (x *Index) Gen() uint64 { return x.gen.Load() }
+
+// evictDrop wraps an entry-removal step into the standard catalog drop
+// callback: run it under the index lock, then bump the generation. remove
+// must itself verify the map still holds the same entry (a rebuilt
+// successor under the same key survives).
+func (x *Index) evictDrop(remove func()) func() {
+	return func() {
+		x.mu.Lock()
+		remove()
+		x.mu.Unlock()
+		x.gen.Add(1)
+	}
+}
 
 // TagRuns groups one tag's nodes by value: vals holds the sorted distinct
 // values and runs[i] the nodes valued vals[i] in document order (ascending
@@ -111,8 +147,9 @@ func (t *TagRuns) Run(v relational.Value) []xmldb.NodeID {
 }
 
 // Tag returns (building if needed) the runs of one tag. Concurrent callers
-// of the same tag get the same structure; the index lock is held only for
-// the map access, never during a build.
+// of the same tag get the same structure (until an eviction drops it, after
+// which the next call rebuilds); the index lock is held only for the map
+// access, never during a build.
 func (x *Index) Tag(tag string) *TagRuns {
 	x.mu.Lock()
 	e, ok := x.tags[tag]
@@ -121,11 +158,34 @@ func (x *Index) Tag(tag string) *TagRuns {
 		x.tags[tag] = e
 	}
 	x.mu.Unlock()
+	built := false
 	e.once.Do(func() {
 		e.tr = buildTagRuns(x.doc, tag)
+		if x.obs != nil {
+			e.ticket = x.obs.Built("structix tag["+tag+"]", tagRunsBytes(e.tr), x.evictDrop(func() {
+				if x.tags[tag] == e {
+					delete(x.tags, tag)
+				}
+			}))
+		}
 		e.done.Store(true)
+		built = true
 	})
+	if !built && e.ticket != nil {
+		e.ticket.Touch()
+	}
 	return e.tr
+}
+
+// tagRunsBytes estimates one tag-run structure's heap footprint (the
+// quantity Info also reports).
+func tagRunsBytes(tr *TagRuns) int64 {
+	const hdr = 24
+	b := int64(len(tr.vals))*8 + 2*hdr
+	for _, run := range tr.runs {
+		b += int64(len(run))*4 + hdr
+	}
+	return b
 }
 
 func buildTagRuns(doc *xmldb.Document, tag string) *TagRuns {
@@ -174,10 +234,11 @@ func stabs(doc *xmldb.Document, run, anc []xmldb.NodeID) bool {
 // vice versa — what the materialized ADAtom calls ancs/descs, computed in
 // O(n log n) without touching any pair.
 type adProj struct {
-	once  sync.Once
-	done  atomic.Bool
-	ancs  []relational.Value
-	descs []relational.Value
+	once   sync.Once
+	done   atomic.Bool
+	ancs   []relational.Value
+	descs  []relational.Value
+	ticket cachehook.Ticket
 }
 
 func (x *Index) adProjFor(ancTag, descTag string) *adProj {
@@ -189,11 +250,38 @@ func (x *Index) adProjFor(ancTag, descTag string) *adProj {
 		x.ad[key] = p
 	}
 	x.mu.Unlock()
+	built := false
 	p.once.Do(func() {
 		p.build(x.doc, ancTag, descTag)
+		if x.obs != nil {
+			bytes := int64(len(p.ancs)+len(p.descs))*8 + 48
+			p.ticket = x.obs.Built("structix ad["+ancTag+"//"+descTag+"]", bytes, x.evictDrop(func() {
+				if x.ad[key] == p {
+					delete(x.ad, key)
+				}
+			}))
+		}
 		p.done.Store(true)
+		built = true
 	})
+	if !built && p.ticket != nil {
+		p.ticket.Touch()
+	}
 	return p
+}
+
+// ADProjSizes reports the cached A-D edge projection's cardinalities
+// (|distinct ancestor values|, |distinct descendant values|) without
+// building anything: ok is false while the projection has not been built,
+// so planners can consult it residency-safely.
+func (x *Index) ADProjSizes(ancTag, descTag string) (ancs, descs int, ok bool) {
+	x.mu.Lock()
+	p := x.ad[[2]string{ancTag, descTag}]
+	x.mu.Unlock()
+	if p == nil || !p.done.Load() {
+		return 0, 0, false
+	}
+	return len(p.ancs), len(p.descs), true
 }
 
 func (p *adProj) build(doc *xmldb.Document, ancTag, descTag string) {
@@ -241,6 +329,7 @@ type pcProj struct {
 	parents []relational.Value
 	childs  []relational.Value
 	pairs   int
+	ticket  cachehook.Ticket
 }
 
 func (x *Index) pcProjFor(parentTag, childTag string) *pcProj {
@@ -252,10 +341,23 @@ func (x *Index) pcProjFor(parentTag, childTag string) *pcProj {
 		x.pc[key] = p
 	}
 	x.mu.Unlock()
+	built := false
 	p.once.Do(func() {
 		p.build(x.doc, parentTag, childTag)
+		if x.obs != nil {
+			bytes := int64(len(p.parents)+len(p.childs))*8 + 48
+			p.ticket = x.obs.Built("structix pc["+parentTag+"/"+childTag+"]", bytes, x.evictDrop(func() {
+				if x.pc[key] == p {
+					delete(x.pc, key)
+				}
+			}))
+		}
 		p.done.Store(true)
+		built = true
 	})
+	if !built && p.ticket != nil {
+		p.ticket.Touch()
+	}
 	return p
 }
 
@@ -315,10 +417,7 @@ func (x *Index) Info() Info {
 			continue
 		}
 		info.TagRuns++
-		info.ApproxBytes += int64(len(e.tr.vals))*8 + 2*hdr
-		for _, run := range e.tr.runs {
-			info.ApproxBytes += int64(len(run))*4 + hdr
-		}
+		info.ApproxBytes += tagRunsBytes(e.tr)
 	}
 	for _, p := range x.ad {
 		if !p.done.Load() {

@@ -1,0 +1,147 @@
+package xmjoin
+
+import (
+	"repro/internal/core"
+	"repro/internal/relational"
+	"repro/internal/xmldb"
+)
+
+// PreparedQuery is a query frozen for repeated execution — the serving
+// shape of the engine. Prepare resolves the plan once (attribute priority,
+// executor atom set, twig validators' inputs) and every Execute borrows
+// the lazily built indexes from the database's shared catalog, so a warm
+// execution performs pure join work: zero planning, zero atom
+// construction, zero index builds (verifiable via the CatalogMisses
+// counter in the result's Stats).
+//
+// A PreparedQuery is immutable and safe for concurrent Execute /
+// ExecuteStream / Exists calls, including with ExecOptions.Parallelism
+// driving the morsel executor — concurrent executions share one atom set
+// and one catalog.
+type PreparedQuery struct {
+	db   *Database
+	q    *core.Query
+	opts core.Options
+}
+
+// Prepare freezes the query's current options into a PreparedQuery:
+// plan-shaping choices (WithOrder/WithStrategy/WithAD/WithLazyPC) are
+// resolved now, and invalid explicit orders or strategy failures surface
+// here instead of at execution. The original Query remains usable and
+// unaffected by later With* calls on it.
+func (q *Query) Prepare() (*PreparedQuery, error) {
+	opts, err := core.Prepare(q.q, q.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{db: q.db, q: q.q, opts: opts}, nil
+}
+
+// Prepare assembles and freezes a query in one step — the common serving
+// call. Plan options beyond the defaults are chosen by building the query
+// explicitly: db.Query(...).WithStrategy(...).Prepare().
+func (db *Database) Prepare(twigExpr string, tableNames ...string) (*PreparedQuery, error) {
+	q, err := db.Query(twigExpr, tableNames...)
+	if err != nil {
+		return nil, err
+	}
+	return q.Prepare()
+}
+
+// PrepareOn is Prepare over multi-document twig inputs (see QueryOn).
+func (db *Database) PrepareOn(twigs []TwigOn, tableNames ...string) (*PreparedQuery, error) {
+	q, err := db.QueryOn(twigs, tableNames...)
+	if err != nil {
+		return nil, err
+	}
+	return q.Prepare()
+}
+
+// ExecOptions are the per-execution knobs of a prepared query — the ones
+// that do not change the plan. Zero fields keep the values frozen at
+// Prepare time; non-zero fields override them for this call only.
+type ExecOptions struct {
+	// Parallelism runs this execution morsel-driven over n workers
+	// (negative = GOMAXPROCS); see Query.WithParallelism. To force a
+	// serial execution over a plan frozen with parallelism, pass 1
+	// (0 means "keep frozen").
+	Parallelism int
+	// Limit stops this execution after n validated answers; see
+	// Query.WithLimit. To run unlimited over a plan frozen with a limit,
+	// pass any negative value (0 means "keep frozen").
+	Limit int
+}
+
+// execOpts merges per-call knobs over the frozen plan.
+func (p *PreparedQuery) execOpts(opts []ExecOptions) core.Options {
+	o := p.opts
+	if len(opts) > 0 {
+		if opts[0].Parallelism != 0 {
+			o.Parallelism = opts[0].Parallelism
+		}
+		if opts[0].Limit != 0 {
+			o.Limit = opts[0].Limit
+		}
+	}
+	return o
+}
+
+// Order returns the frozen attribute expansion order — the column order of
+// every execution's rows.
+func (p *PreparedQuery) Order() []string {
+	return append([]string(nil), p.opts.Order...)
+}
+
+// Attrs returns the query's output attributes.
+func (p *PreparedQuery) Attrs() []string { return p.q.Attrs() }
+
+// Execute runs the worst-case optimal join over the frozen plan. Safe for
+// concurrent use.
+func (p *PreparedQuery) Execute(opts ...ExecOptions) (*Result, error) {
+	r, err := core.XJoin(p.q, p.execOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{db: p.db, r: r}, nil
+}
+
+// ExecuteStream streams validated answers (decoded to strings, in Order)
+// through emit without materializing the result; returning false stops the
+// join. Safe for concurrent use — each call streams independently.
+func (p *PreparedQuery) ExecuteStream(emit func(row []string) bool, opts ...ExecOptions) (core.Stats, error) {
+	o := p.execOpts(opts)
+	var decoded []string
+	stats, err := core.XJoinStream(p.q, o, func(t relational.Tuple) bool {
+		if decoded == nil {
+			decoded = make([]string, len(t))
+		}
+		for i, v := range t {
+			decoded[i] = xmldb.DisplayValue(p.db.dict, v)
+		}
+		return emit(decoded)
+	})
+	if err != nil {
+		return core.Stats{}, err
+	}
+	return *stats, nil
+}
+
+// Exists reports whether the query has at least one answer, stopping the
+// streaming join at the first validated tuple.
+func (p *PreparedQuery) Exists(opts ...ExecOptions) (bool, error) {
+	found := false
+	o := p.execOpts(opts)
+	_, err := core.XJoinStream(p.q, o, func(relational.Tuple) bool {
+		found = true
+		return false
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
+// Explain renders the frozen plan (see Query.Explain).
+func (p *PreparedQuery) Explain() (string, error) {
+	return core.Explain(p.q, p.opts)
+}

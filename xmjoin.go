@@ -31,6 +31,18 @@
 //	q, _ := db.Query("/invoices/orderLine[orderID][ISBN]/price", "R")
 //	res, _ := q.ExecXJoin()
 //	out, _ := res.Project("userID", "ISBN", "price")
+//
+// For serving workloads, prepare once and execute many times: a prepared
+// query freezes the plan (attribute order, bounds, atom set) and every
+// execution borrows the lazily built indexes from the database's shared
+// catalog, so repeated and concurrent executions perform zero index-build
+// work after the first:
+//
+//	p, _ := db.Prepare("/invoices/orderLine[orderID][ISBN]/price", "R")
+//	res, _ := p.Execute()                               // cold: builds what it needs
+//	res, _ = p.Execute()                                // warm: pure join work
+//	res, _ = p.Execute(xmjoin.ExecOptions{Limit: 10})   // per-call knobs
+//	db.Catalog().SetBudget(64 << 20)                    // cap resident index bytes (LRU)
 package xmjoin
 
 import (
@@ -39,7 +51,9 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/relational"
 	"repro/internal/twig"
@@ -49,20 +63,33 @@ import (
 // Database holds XML documents (a default one plus any number of named
 // ones) and relational tables over a shared value dictionary, ready to be
 // queried jointly — the multi-model, multi-DB setting the paper motivates.
+//
+// Every database owns a process-lifetime index catalog: all queries
+// assembled from it borrow their table atoms, XML value indexes, and
+// structural indexes from the catalog, so index cost is paid once across
+// queries (not once per ExecXJoin call) and can be bounded with
+// Catalog().SetBudget.
 type Database struct {
 	dict   *relational.Dict
 	doc    *xmldb.Document
 	docs   map[string]*xmldb.Document
 	tables map[string]*relational.Table
 	order  []string // table insertion order
+
+	// catMu guards cat: Catalog/ResetCatalog and query assembly may run
+	// from concurrent serving goroutines (loading data is still
+	// single-threaded, like the rest of the Database's mutation surface).
+	catMu sync.Mutex
+	cat   *catalog.Catalog
 }
 
-// NewDatabase returns an empty database.
+// NewDatabase returns an empty database with an unlimited-budget catalog.
 func NewDatabase() *Database {
 	return &Database{
 		dict:   relational.NewDict(),
 		docs:   make(map[string]*xmldb.Document),
 		tables: make(map[string]*relational.Table),
+		cat:    catalog.New(0),
 	}
 }
 
@@ -70,11 +97,35 @@ func NewDatabase() *Database {
 // custom output paths).
 func (db *Database) Dict() *relational.Dict { return db.dict }
 
+// Catalog exposes the database's shared index catalog: budget control
+// (SetBudget), and the hit/miss/eviction/resident-bytes counters that
+// core.Stats snapshots after every run. Safe for concurrent use.
+func (db *Database) Catalog() *catalog.Catalog {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	return db.cat
+}
+
+// ResetCatalog replaces the catalog with a fresh one (keeping the
+// configured budget), dropping every shared index structure. Queries and
+// prepared queries assembled before the reset keep the old structures
+// alive and correct; new queries start cold. Mostly useful for
+// benchmarking cold-vs-warm behaviour and for serving processes that
+// reloaded their data. Safe for concurrent use.
+func (db *Database) ResetCatalog() {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	db.cat = catalog.New(db.cat.Budget())
+}
+
 // Doc returns the loaded XML document, or nil.
 func (db *Database) Doc() *xmldb.Document { return db.doc }
 
 // LoadXML parses and stores the database's XML document. A database holds
-// one document; loading again replaces it.
+// one document; loading again replaces it. The catalog keeps the replaced
+// document's shared index structures (they are keyed by document identity
+// and its eager per-tag maps sit outside the byte budget), so a serving
+// process that reloads data should follow up with ResetCatalog.
 func (db *Database) LoadXML(r io.Reader) error {
 	doc, err := xmldb.Parse(r, db.dict)
 	if err != nil {
@@ -164,7 +215,7 @@ func (db *Database) QueryOn(twigs []TwigOn, tableNames ...string) (*Query, error
 	if err != nil {
 		return nil, err
 	}
-	cq, err := core.NewQueryInputs(inputs, tables)
+	cq, err := core.NewQueryInputsCatalog(inputs, tables, db.Catalog())
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +325,11 @@ func (db *Database) QueryMulti(twigExprs []string, tableNames ...string) (*Query
 	if err != nil {
 		return nil, err
 	}
-	cq, err := core.NewQueryMulti(db.doc, patterns, tables)
+	var inputs []core.TwigInput
+	for _, p := range patterns {
+		inputs = append(inputs, core.TwigInput{Doc: db.doc, Pattern: p})
+	}
+	cq, err := core.NewQueryInputsCatalog(inputs, tables, db.Catalog())
 	if err != nil {
 		return nil, err
 	}
