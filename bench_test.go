@@ -53,7 +53,7 @@ func BenchmarkFigure1Baseline(b *testing.B) {
 	q := fig1Query(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Baseline(q); err != nil {
+		if _, err := core.Baseline(q, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +140,7 @@ func BenchmarkFigure3Baseline(b *testing.B) {
 			var peak int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := core.Baseline(q)
+				res, err := core.Baseline(q, core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}

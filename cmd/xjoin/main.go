@@ -6,15 +6,22 @@
 //	xjoin -xml doc.xml -table R=orders.csv -twig '/invoices/orderLine[orderID]/price' \
 //	      [-algo xjoin|xjoin+|baseline] [-ad lazy|posthoc|materialized] \
 //	      [-project userID,ISBN] [-bounds] [-stats] \
-//	      [-parallel N] [-limit N] [-exists]
+//	      [-parallel N] [-limit N] [-exists] [-timeout D]
 //
 // Each -table flag (repeatable) loads NAME=FILE.csv; the CSV header names
 // the columns. Attributes with equal names across tables and twig tags
 // join. With -bounds the worst-case size bounds are printed; with -stats
 // the per-stage intermediate sizes.
+//
+// -timeout bounds the run with a context deadline (any time.Duration,
+// e.g. -timeout 500ms): when it expires the join stops within one
+// morsel's work, the answers found so far are printed, a "cancelled"
+// line reports the partial statistics, and the exit status is 1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +56,7 @@ func run() error {
 	strategy := flag.String("strategy", "relational-first",
 		"attribute order strategy: relational-first, document, greedy, minbound")
 	parallel := flag.Int("parallel", 0, "XJoin morsel-parallel workers (0/1 serial, -1 GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "context deadline for the run (0 = none); expiry reports partial stats and exits 1")
 	limitFlag := flag.String("limit", "", "stop after N validated answers (early termination, composes with -parallel)")
 	exists := flag.Bool("exists", false, "print true/false for answer existence and exit (stops at the first answer)")
 	stream := flag.Bool("stream", false, "stream answers instead of materializing (xjoin only)")
@@ -111,6 +119,13 @@ func run() error {
 	}
 	q.WithLimit(limit)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *exists {
 		switch *algo {
 		case "xjoin":
@@ -121,7 +136,7 @@ func run() error {
 		default:
 			return fmt.Errorf("unknown -algo %q", *algo)
 		}
-		ok, err := q.Exists()
+		ok, err := q.ExistsCtx(ctx)
 		if err != nil {
 			return err
 		}
@@ -151,14 +166,14 @@ func run() error {
 		if *algo != "xjoin" {
 			return fmt.Errorf("-stream only supports -algo xjoin")
 		}
-		stats, err := q.ExecXJoinStream(func(row []string) bool {
+		stats, err := q.ExecXJoinStreamCtx(ctx, func(row []string) bool {
 			fmt.Println(strings.Join(row, ","))
 			return true
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, xmjoin.ErrCancelled) {
 			return err
 		}
-		if *showStats {
+		if *showStats || err != nil {
 			fmt.Printf("streamed=%d validation_removed=%d peak_stage=%d\n",
 				stats.Output, stats.ValidationRemoved, stats.PeakIntermediate)
 			if stats.CatalogMisses > 0 || stats.CatalogHits > 0 {
@@ -167,22 +182,28 @@ func run() error {
 					stats.CatalogHits, stats.CatalogMisses, stats.CatalogEvictions)
 			}
 		}
-		return nil
+		return err // nil, or the cancellation after the partial report
 	}
 
 	var res *xmjoin.Result
+	var cancelledErr error
 	switch *algo {
 	case "xjoin":
-		res, err = q.ExecXJoin()
+		res, err = q.ExecXJoinCtx(ctx)
 	case "xjoin+":
-		res, err = q.WithPartialAD(true).ExecXJoin()
+		res, err = q.WithPartialAD(true).ExecXJoinCtx(ctx)
 	case "baseline":
-		res, err = q.ExecBaseline()
+		res, err = q.ExecBaselineCtx(ctx)
 	default:
 		return fmt.Errorf("unknown -algo %q", *algo)
 	}
 	if err != nil {
-		return err
+		// A cancelled run still carries the answers found so far plus
+		// partial statistics; report them, then exit non-zero below.
+		if !errors.Is(err, xmjoin.ErrCancelled) || res == nil {
+			return err
+		}
+		cancelledErr = err
 	}
 	if limit > 0 && res.Len() > limit {
 		// The baseline cannot terminate early (Options.Limit only reaches
@@ -202,8 +223,11 @@ func run() error {
 	}
 	fmt.Print(res.Sort())
 
-	if *showStats {
+	if *showStats || cancelledErr != nil {
 		s := res.Stats()
+		if s.Cancelled {
+			fmt.Printf("cancelled=true (partial stats; %d answers before cancellation)\n", res.Len())
+		}
 		fmt.Printf("algorithm=%s peak_intermediate=%d total_intermediate=%d validation_removed=%d\n",
 			s.Algorithm, s.PeakIntermediate, s.TotalIntermediate, s.ValidationRemoved)
 		if s.ADMode != "" {
@@ -226,5 +250,5 @@ func run() error {
 			fmt.Printf("q1=%d q2=%d\n", s.Q1Size, s.Q2Size)
 		}
 	}
-	return nil
+	return cancelledErr
 }

@@ -8,14 +8,18 @@
 //	xmsh> .explain SELECT * FROM R, TWIG '//orderLine[orderID]/price'
 //	xmsh> .quit
 //
-// Use -db DIR to open a database saved with .save, and -c 'QUERY' to run a
-// single command non-interactively.
+// Ctrl-C cancels the in-flight query — the join stops within one morsel's
+// work and the session keeps running — instead of killing the shell; use
+// .quit (or EOF) to leave. Use -db DIR to open a database saved with
+// .save, and -c 'QUERY' to run a single command non-interactively (there
+// Ctrl-C keeps its usual kill behaviour).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/shell"
 )
@@ -39,7 +43,13 @@ func main() {
 		}
 		return
 	}
-	if err := sh.Run(os.Stdin); err != nil {
+	// Interactive sessions own SIGINT: each line runs under a context the
+	// next Ctrl-C cancels, so a runaway worst-case join is abandoned
+	// without losing the loaded database.
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+	if err := sh.RunWithInterrupt(os.Stdin, interrupt); err != nil {
 		fmt.Fprintln(os.Stderr, "xmsh:", err)
 		os.Exit(1)
 	}

@@ -26,7 +26,7 @@ func TestAuctionWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b1, err := Baseline(q1)
+	b1, err := Baseline(q1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestAuctionWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, err := Baseline(q2)
+	b2, err := Baseline(q2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,8 +16,31 @@ import (
 // to |Q1| + Σ|Q2ᵢ| intermediate tuples — and a twig result alone can
 // exceed the worst-case size of the full multi-model query by polynomial
 // factors.
-func Baseline(q *Query) (*Result, error) {
+//
+// Only Options.Context is honoured here (the remaining options shape the
+// XJoin executors): the baseline is a materializing pipeline, so
+// cancellation is checked between plan steps — before the relational Q1
+// chain, before each twig match, and before each combining join — not
+// inside them (in particular the whole Q1 hash-join chain runs
+// uninterrupted). Cancellation latency is therefore bounded by one
+// materialized step, which for the baseline can itself be polynomially
+// large; that coarse bound is precisely the weakness the streaming XJoin
+// path does not have.
+// A cancelled run returns the statistics of the completed steps with
+// Stats.Cancelled set and an error matching ErrCancelled.
+func Baseline(q *Query, opts Options) (*Result, error) {
 	stats := Stats{Algorithm: "baseline"}
+	cancelled := func() (*Result, error) {
+		cerr := Cancelled(opts.Context.Err())
+		stats.Cancelled = true
+		return &Result{Stats: stats}, cerr
+	}
+	checkCtx := func() bool {
+		return opts.Context != nil && opts.Context.Err() != nil
+	}
+	if checkCtx() {
+		return cancelled()
+	}
 	record := func(n int) {
 		stats.StageSizes = append(stats.StageSizes, n)
 		stats.TotalIntermediate += n
@@ -42,6 +65,9 @@ func Baseline(q *Query) (*Result, error) {
 
 	// Q2 per twig: matched at node level then projected to values.
 	for pi, tw := range q.twigs {
+		if checkCtx() {
+			return cancelled()
+		}
 		doc := tw.ix.Doc()
 		matches, mstats := xmatch.TwigStackMatch(doc, tw.pattern)
 		record(mstats.PathSolutions)
@@ -68,6 +94,9 @@ func Baseline(q *Query) (*Result, error) {
 	// Combine the per-model results.
 	combined := parts[0]
 	for _, part := range parts[1:] {
+		if checkCtx() {
+			return cancelled()
+		}
 		next, err := wcoj.HashJoin("Q", combined, part)
 		if err != nil {
 			return nil, err

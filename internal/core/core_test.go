@@ -86,7 +86,7 @@ func TestFigure1BaselineAgrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	br, err := Baseline(q)
+	br, err := Baseline(q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestXJoinEqualsBaselineRandom(t *testing.T) {
 			t.Fatal(err)
 		}
 		q := mustQuery(t, inst)
-		base, err := Baseline(q)
+		base, err := Baseline(q, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +176,7 @@ func TestValidationNecessary(t *testing.T) {
 		t.Fatalf("unvalidated run has %d tuples, want the 1 spurious", len(res2.Tuples))
 	}
 	// The baseline (node-level matching) never forms it.
-	base, err := Baseline(q)
+	base, err := Baseline(q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestValidationAdversarial(t *testing.T) {
 	if res.Stats.ValidationRemoved != n*n-n {
 		t.Fatalf("ValidationRemoved = %d want %d", res.Stats.ValidationRemoved, n*n-n)
 	}
-	base, err := Baseline(q)
+	base, err := Baseline(q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestLemma32Tightness(t *testing.T) {
 	if len(res.Tuples) != want {
 		t.Fatalf("twig-only output = %d want n^5 = %d", len(res.Tuples), want)
 	}
-	base, err := Baseline(q)
+	base, err := Baseline(q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestExample34Workload(t *testing.T) {
 	}
 	q := mustQuery(t, inst)
 
-	base, err := Baseline(q)
+	base, err := Baseline(q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,7 +463,7 @@ func TestPureRelationalXJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Baseline(q)
+	base, err := Baseline(q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -555,7 +555,7 @@ func TestValueFilterQueries(t *testing.T) {
 	if len(xr.Tuples) != 1 {
 		t.Fatalf("filtered XJoin rows = %d want 1", len(xr.Tuples))
 	}
-	br, err := Baseline(q)
+	br, err := Baseline(q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -580,7 +580,7 @@ func TestValueFilterQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	br2, err := Baseline(q2)
+	br2, err := Baseline(q2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

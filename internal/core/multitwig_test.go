@@ -68,7 +68,7 @@ func TestMultiTwigJoin(t *testing.T) {
 		t.Errorf("joined tuples = %v", got)
 	}
 
-	base, err := Baseline(q)
+	base, err := Baseline(q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestMultiTwigWithTable(t *testing.T) {
 	if len(res.Tuples) != 1 {
 		t.Fatalf("table-restricted multi-twig = %d tuples want 1", len(res.Tuples))
 	}
-	base, err := Baseline(q)
+	base, err := Baseline(q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestMultiTwigRandom(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, err := Baseline(q)
+		base, err := Baseline(q, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

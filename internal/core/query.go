@@ -300,6 +300,13 @@ type Stats struct {
 	// ValidationRemoved counts tuples discarded by the final structural
 	// validation (XJoin) or never formed (baseline: always 0).
 	ValidationRemoved int
+	// Cancelled marks a run abandoned because its Options.Context ended
+	// (cancellation or deadline): the other fields then describe the
+	// completed portion only — partial per-worker statistics still merge —
+	// and the run's error matches ErrCancelled. Always false for runs
+	// that finished, including ones stopped early by Limit or an emit
+	// callback.
+	Cancelled bool
 	// Q1Size and Q2Size are the baseline's per-model result sizes.
 	Q1Size, Q2Size int
 	// TableIndexes and TableIndexBytes report the sorted-column indexes

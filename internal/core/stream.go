@@ -22,8 +22,19 @@ import (
 // scheduling-dependent order, and both Options.Limit and an emit returning
 // false — the Exists path — short-circuit every worker through the
 // executor's shared stop flag.
+//
+// With Options.Context the same stop flag is flipped when the context
+// ends: the run returns the statistics of the completed portion with
+// Stats.Cancelled set, alongside an error matching ErrCancelled and the
+// context's own error. Cancellation latency is bounded by one morsel's
+// work; emit is never called after the executor observed the flag.
 func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Stats, error) {
 	algo := "xjoin-stream"
+	guard, gerr := newCancelGuard(opts.Context)
+	if gerr != nil {
+		return &Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Cancelled: true}, gerr
+	}
+	defer guard.stop()
 	atoms := q.atoms(opts.atomConfig())
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("core: query has no atoms")
@@ -51,9 +62,9 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 	var gjStats *wcoj.GenericJoinStats
 	var err error
 	if opts.Parallelism < 0 || opts.Parallelism > 1 {
-		gjStats, err = xjoinStreamParallel(opts, atoms, order, validators, stats, emit)
+		gjStats, err = xjoinStreamParallel(opts, atoms, order, validators, stats, guard, emit)
 	} else {
-		gjStats, err = wcoj.GenericJoinStream(atoms, order, func(t relational.Tuple) bool {
+		gjStats, err = wcoj.GenericJoinStreamOpts(atoms, order, wcoj.StreamOpts{Cancel: guard.cancelFlag(), Check: guard.checkFunc()}, func(t relational.Tuple) bool {
 			for _, v := range validators {
 				if !v.hasWitness(t) {
 					stats.ValidationRemoved++
@@ -78,6 +89,10 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 	}
 	addIndexStats(atoms, stats)
 	q.addCatalogStats(stats)
+	if cerr := guard.err(); cerr != nil {
+		stats.Cancelled = true
+		return stats, cerr
+	}
 	return stats, nil
 }
 
@@ -86,7 +101,7 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 // is serialized under a mutex, which also guards the Output counter that
 // enforces Limit, so at most min(Limit, |answers|) tuples are emitted and
 // the first false from emit cancels every worker.
-func xjoinStreamParallel(opts Options, atoms []wcoj.Atom, order []string, validators []*validator, stats *Stats, emit func(relational.Tuple) bool) (*wcoj.GenericJoinStats, error) {
+func xjoinStreamParallel(opts Options, atoms []wcoj.Atom, order []string, validators []*validator, stats *Stats, guard *cancelGuard, emit func(relational.Tuple) bool) (*wcoj.GenericJoinStats, error) {
 	pworkers := opts.Parallelism
 	if pworkers < 0 {
 		pworkers = 0
@@ -95,7 +110,7 @@ func xjoinStreamParallel(opts Options, atoms []wcoj.Atom, order []string, valida
 	removed := make([]int, workers)
 	var mu sync.Mutex
 	done := false
-	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers},
+	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc()},
 		func(w int) func(int, relational.Tuple) bool {
 			return func(_ int, t relational.Tuple) bool {
 				for _, v := range validators {

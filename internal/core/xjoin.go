@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -69,6 +70,18 @@ func (m ADMode) String() string {
 
 // Options tunes an XJoin run.
 type Options struct {
+	// Context, when non-nil, bounds the run: cancelling it (or its
+	// deadline expiring) stops every executor — serial or morsel-parallel
+	// — within one morsel's work regardless of result size, the run
+	// returns an error matching ErrCancelled and the context's own error,
+	// and the partial result/statistics gathered so far come back with
+	// Stats.Cancelled set. A nil Context (or one that can never be
+	// cancelled, like context.Background) takes the exact pre-context
+	// fast path: no watcher goroutine, no flag, no allocation.
+	//
+	// Options travels by value through one execution, so carrying the
+	// context here is the usual per-call plumbing, not a stored context.
+	Context context.Context
 	// Order is the explicit attribute priority PA; when nil, Strategy
 	// picks one.
 	Order []string
@@ -146,6 +159,13 @@ func (o Options) algoLabel() string {
 // structural validation of the twig on the candidate answers.
 func XJoin(q *Query, opts Options) (*Result, error) {
 	algo := opts.algoLabel()
+	guard, gerr := newCancelGuard(opts.Context)
+	if gerr != nil {
+		// Already over before any join work: an empty partial result
+		// carrying the Cancelled marker, alongside the error.
+		return &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Cancelled: true}}, gerr
+	}
+	defer guard.stop()
 	atoms := q.atoms(opts.atomConfig())
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("core: query has no atoms")
@@ -163,7 +183,7 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 	}
 
 	if opts.Parallelism < 0 || opts.Parallelism > 1 {
-		return xjoinParallel(q, opts, atoms, order, algo)
+		return xjoinParallel(q, opts, atoms, order, algo, guard)
 	}
 
 	// Serial path: stream candidate tuples out of the iterator-based
@@ -178,7 +198,7 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 		}
 	}
 	res := &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts)}}
-	gjStats, err := wcoj.GenericJoinStream(atoms, order, func(t relational.Tuple) bool {
+	gjStats, err := wcoj.GenericJoinStreamOpts(atoms, order, wcoj.StreamOpts{Cancel: guard.cancelFlag(), Check: guard.checkFunc()}, func(t relational.Tuple) bool {
 		for _, v := range validators {
 			if !v.hasWitness(t) {
 				res.Stats.ValidationRemoved++
@@ -201,6 +221,10 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 	}
 	addIndexStats(atoms, &res.Stats)
 	q.addCatalogStats(&res.Stats)
+	if cerr := guard.err(); cerr != nil {
+		res.Stats.Cancelled = true
+		return res, cerr
+	}
 	return res, nil
 }
 
@@ -212,7 +236,7 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 // atomic counter. Validated tuples are collected per morsel and
 // reassembled in morsel order, which for an unlimited run is exactly the
 // serial executor's output sequence.
-func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, algo string) (*Result, error) {
+func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, algo string, guard *cancelGuard) (*Result, error) {
 	pworkers := opts.Parallelism
 	if pworkers < 0 {
 		pworkers = 0
@@ -231,7 +255,7 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	removed := make([]int, workers)
 	var accepted atomic.Int64
 	limit := int64(opts.Limit)
-	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers},
+	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc()},
 		func(w int) func(int, relational.Tuple) bool {
 			return func(m int, t relational.Tuple) bool {
 				for _, v := range validators {
@@ -273,6 +297,10 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	res.Stats.Output = len(res.Tuples)
 	addIndexStats(atoms, &res.Stats)
 	q.addCatalogStats(&res.Stats)
+	if cerr := guard.err(); cerr != nil {
+		res.Stats.Cancelled = true
+		return res, cerr
+	}
 	return res, nil
 }
 

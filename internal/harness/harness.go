@@ -72,7 +72,7 @@ func RunFigure3(ns []int, reps int) ([]Figure3Row, error) {
 		}
 		var bres *core.Result
 		row.BaselineTime, err = timeMin(reps, func() error {
-			bres, err = core.Baseline(q)
+			bres, err = core.Baseline(q, core.Options{})
 			return err
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package mmql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,6 +22,13 @@ import (
 // with an explicit item list deduplicates, where an engine-side stop could
 // silently drop distinct output rows — those cases limit post-hoc).
 func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
+	return RunCtx(nil, db, st)
+}
+
+// RunCtx is Run bounded by ctx (nil = unbounded): cancellation or a
+// deadline stops the join within one morsel's work and surfaces an error
+// matching xmjoin.ErrCancelled — the shell maps Ctrl-C onto this.
+func RunCtx(ctx context.Context, db *xmjoin.Database, st *Statement) (*Output, error) {
 	twigs, remaining, err := pushdownFilters(st)
 	if err != nil {
 		return nil, err
@@ -32,7 +40,7 @@ func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
 	applyAlgo(q, st.Algo)
 
 	if st.Exists {
-		return runExists(q, remaining)
+		return runExists(ctx, q, remaining)
 	}
 
 	// LIMIT pushdown: safe exactly when the engine's answer tuples map
@@ -45,9 +53,9 @@ func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
 	var res *xmjoin.Result
 	switch st.Algo {
 	case "", "xjoin", "xjoin+", "xjoin-posthoc", "xjoin-materialized":
-		res, err = q.ExecXJoin()
+		res, err = q.ExecXJoinCtx(ctx)
 	case "baseline":
-		res, err = q.ExecBaseline()
+		res, err = q.ExecBaselineCtx(ctx)
 	default:
 		return nil, fmt.Errorf("mmql: unknown algorithm %q", st.Algo)
 	}
@@ -89,10 +97,10 @@ func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
 // residual post-join filters it stops at the first validated answer; with
 // them it streams on, applying the filters per row, and stops at the
 // first row that survives — never materializing the result either way.
-func runExists(q *xmjoin.Query, remaining []Filter) (*Output, error) {
+func runExists(ctx context.Context, q *xmjoin.Query, remaining []Filter) (*Output, error) {
 	var found bool
 	if len(remaining) == 0 {
-		ok, err := q.Exists()
+		ok, err := q.ExistsCtx(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +120,7 @@ func runExists(q *xmjoin.Query, remaining []Filter) (*Output, error) {
 				return nil, fmt.Errorf("mmql: WHERE references unknown attribute %q", f.Attr)
 			}
 		}
-		if _, err := q.ExecXJoinStream(func(row []string) bool {
+		if _, err := q.ExecXJoinStreamCtx(ctx, func(row []string) bool {
 			for i, f := range remaining {
 				if row[cols[i]] != f.Value {
 					return true // filtered out; keep streaming
@@ -120,7 +128,9 @@ func runExists(q *xmjoin.Query, remaining []Filter) (*Output, error) {
 			}
 			found = true
 			return false
-		}); err != nil {
+		}); err != nil && !found {
+			// A true answer seen before the context ended is definitive;
+			// otherwise the cancellation (or failure) is the answer.
 			return nil, err
 		}
 	}
@@ -129,11 +139,16 @@ func runExists(q *xmjoin.Query, remaining []Filter) (*Output, error) {
 
 // RunString parses and executes src.
 func RunString(db *xmjoin.Database, src string) (*Output, error) {
+	return RunStringCtx(nil, db, src)
+}
+
+// RunStringCtx parses and executes src under ctx (see RunCtx).
+func RunStringCtx(ctx context.Context, db *xmjoin.Database, src string) (*Output, error) {
 	st, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Run(db, st)
+	return RunCtx(ctx, db, st)
 }
 
 // Explain renders the plan the statement's query would run (always the

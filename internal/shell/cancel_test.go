@@ -1,0 +1,77 @@
+package shell
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	xmjoin "repro"
+)
+
+// TestExecuteCtxCancelKeepsSession checks the shell's cancellation
+// contract: a query under a dead context fails with ErrCancelled, and the
+// session — database, catalog — stays fully usable afterwards. This is
+// the unit behind Ctrl-C in xmsh.
+func TestExecuteCtxCancelKeepsSession(t *testing.T) {
+	xmlPath, csvPath := writeFixtures(t)
+	var out strings.Builder
+	sh := New(&out)
+	for _, line := range []string{
+		".load xml " + xmlPath,
+		".load table R " + csvPath,
+	} {
+		if err := sh.Execute(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	query := `SELECT userID, price FROM R, TWIG '//orderLine[orderID]/price'`
+	if err := sh.ExecuteCtx(ctx, query); !errors.Is(err, xmjoin.ErrCancelled) {
+		t.Fatalf("cancelled query err = %v, want ErrCancelled", err)
+	}
+	// Dot-commands ignore the context entirely.
+	if err := sh.ExecuteCtx(ctx, ".tables"); err != nil {
+		t.Fatalf(".tables under dead ctx: %v", err)
+	}
+	// The session survives: the same query completes normally.
+	out.Reset()
+	if err := sh.Execute(query); err != nil {
+		t.Fatalf("session unusable after cancellation: %v", err)
+	}
+	if o := out.String(); !strings.Contains(o, "jack") || !strings.Contains(o, "tom") {
+		t.Fatalf("post-cancel query output wrong:\n%s", o)
+	}
+}
+
+// TestRunWithInterruptDropsStaleSignal feeds the interactive loop a
+// signal that arrived while idle at the prompt: it must be drained, not
+// cancel the next query, and a cancelled-query report must name the
+// cancellation rather than a generic error.
+func TestRunWithInterruptDropsStaleSignal(t *testing.T) {
+	xmlPath, csvPath := writeFixtures(t)
+	var out strings.Builder
+	sh := New(&out)
+
+	interrupt := make(chan os.Signal, 1)
+	interrupt <- os.Interrupt // stale: fired before any query ran
+	script := strings.Join([]string{
+		".load xml " + xmlPath,
+		".load table R " + csvPath,
+		`SELECT userID, price FROM R, TWIG '//orderLine[orderID]/price'`,
+		".quit",
+	}, "\n")
+	if err := sh.RunWithInterrupt(strings.NewReader(script), interrupt); err != nil {
+		t.Fatal(err)
+	}
+	o := out.String()
+	if strings.Contains(o, "query cancelled") {
+		t.Fatalf("stale interrupt cancelled a query:\n%s", o)
+	}
+	if !strings.Contains(o, "jack") {
+		t.Fatalf("query output missing after stale interrupt:\n%s", o)
+	}
+}

@@ -5,6 +5,7 @@ package shell
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -35,18 +36,31 @@ func (s *Shell) DB() *xmjoin.Database { return s.db }
 
 // Run reads lines from r until EOF or .quit, executing each and printing
 // errors without aborting the session.
-func (s *Shell) Run(r io.Reader) error {
+func (s *Shell) Run(r io.Reader) error { return s.RunWithInterrupt(r, nil) }
+
+// RunWithInterrupt is Run with per-query cancellation: each line executes
+// under a context that is cancelled when interrupt delivers — cmd/xmsh
+// feeds it SIGINT, so Ctrl-C abandons the in-flight query (within one
+// morsel's work, reported as "query cancelled") instead of killing the
+// session. A signal arriving at the prompt is dropped: with a worst-case
+// optimal join engine the session is the valuable state, the query is
+// not. A nil interrupt channel degrades to plain Run.
+func (s *Shell) RunWithInterrupt(r io.Reader, interrupt <-chan os.Signal) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprint(s.out, "xmsh> ")
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line != "" {
-			if err := s.Execute(line); err != nil {
+			if err := s.executeInterruptible(line, interrupt); err != nil {
 				if errors.Is(err, ErrQuit) {
 					return nil
 				}
-				fmt.Fprintln(s.out, "error:", err)
+				if errors.Is(err, xmjoin.ErrCancelled) {
+					fmt.Fprintln(s.out, "query cancelled")
+				} else {
+					fmt.Fprintln(s.out, "error:", err)
+				}
 			}
 		}
 		fmt.Fprint(s.out, "xmsh> ")
@@ -55,10 +69,41 @@ func (s *Shell) Run(r io.Reader) error {
 	return sc.Err()
 }
 
+// executeInterruptible runs one line under a context cancelled by the
+// interrupt channel for the duration of the call.
+func (s *Shell) executeInterruptible(line string, interrupt <-chan os.Signal) error {
+	if interrupt == nil {
+		return s.Execute(line)
+	}
+	// Drop any interrupt that arrived while idle at the prompt, so a
+	// stale Ctrl-C cannot cancel the next query the moment it starts.
+	select {
+	case <-interrupt:
+	default:
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-interrupt:
+			cancel()
+		case <-watchDone:
+		}
+	}()
+	return s.ExecuteCtx(ctx, line)
+}
+
 // Execute runs one command or query.
-func (s *Shell) Execute(line string) error {
+func (s *Shell) Execute(line string) error { return s.ExecuteCtx(nil, line) }
+
+// ExecuteCtx runs one command or query under ctx: queries are cancelled
+// within one morsel's work when the context ends (the error matches
+// xmjoin.ErrCancelled; the session stays usable), dot-commands ignore it.
+func (s *Shell) ExecuteCtx(ctx context.Context, line string) error {
 	if !strings.HasPrefix(line, ".") {
-		res, err := mmql.RunString(s.db, line)
+		res, err := mmql.RunStringCtx(ctx, s.db, line)
 		if err != nil {
 			return err
 		}
@@ -200,4 +245,5 @@ queries (everything else):
            xjoinmat (materialized A-D oracle), baseline
   LIMIT n  stops after n answers (SELECT * terminates the join early)
   EXISTS   reports true/false, stopping at the first answer
+Ctrl-C cancels the in-flight query (the session survives); .quit exits.
 `

@@ -52,6 +52,20 @@
 //     intersections driven trie-style; kept for comparison and for
 //     workloads with prebuilt TrieAtoms.
 //
+// Cancellation: every streaming driver can be abandoned mid-run through an
+// external *atomic.Bool — StreamOpts.Cancel for the serial executor,
+// ParallelOpts.Cancel for the morsel-parallel family (where it doubles as
+// the run's shared stop flag). The flag is checked before each partial
+// tuple's intersection, so the latency from flipping it to the executor
+// returning is bounded by one key's work per depth (serially) or one
+// in-flight morsel per worker (in parallel) — independent of result size.
+// A cancelled run returns its partial statistics with a nil error;
+// interpreting the abandonment (context deadline, client disconnect) is
+// the caller's job. Runs that pass no flag pay one nil pointer test per
+// partial tuple and allocate nothing. LeapfrogJoin materializes per-level
+// candidate sets and stays uncancellable; use the streaming drivers for
+// serving work.
+//
 // Every driver accepts every atom family: physical TableAtoms, SetAtom /
 // TrieAtom, core's virtual Tag/Edge/AD XML atoms, and structix's lazy
 // region-interval RegionADAtom / RegionPCAtom — whose Opens are fully

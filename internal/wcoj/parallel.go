@@ -35,6 +35,20 @@ type ParallelOpts struct {
 	// from one atomic counter, so exactly min(Limit, |result|) tuples
 	// reach the sinks regardless of scheduling.
 	Limit int
+	// Cancel, when non-nil, is adopted as the executor's shared stop flag
+	// (the same one Limit and failing sinks flip), so an external party —
+	// the core layer's context watcher — can abandon the run by storing
+	// true: the driver stops queueing morsels and every worker stops
+	// within one partial tuple, then drains the queue and exits cleanly.
+	// Because the flag is shared, the executor also sets it itself on
+	// limit exhaustion, sink stop, or error; callers must treat it as
+	// owned by the run, not reuse it across runs.
+	Cancel *atomic.Bool
+	// Check is the scheduler-independent cancellation backstop (see
+	// StreamOpts.Check): each worker polls it every checkInterval partial
+	// tuples and raises the shared stop flag on true. Requires Cancel;
+	// must be safe for concurrent calls (a context-error probe is).
+	Check func() bool
 }
 
 // maxMorselSize caps the adaptive morsel growth; beyond this, queue
@@ -88,14 +102,17 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 		// Degenerate nullary join: one empty tuple, no parallelism to
 		// extract. Run it through the serial loop against sink 0.
 		sink := mkSink(0)
-		return GenericJoinStream(atoms, order, func(t relational.Tuple) bool {
+		return GenericJoinStreamOpts(atoms, order, StreamOpts{Cancel: opts.Cancel, Check: opts.Check}, func(t relational.Tuple) bool {
 			return sink(0, t)
 		})
 	}
 
 	workers := ResolveWorkers(opts.Workers)
+	stop := opts.Cancel
+	if stop == nil {
+		stop = new(atomic.Bool)
+	}
 	var (
-		stop    atomic.Bool
 		emitted atomic.Int64
 		errMu   sync.Mutex
 		runErr  error
@@ -207,7 +224,10 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 				}
 				return true
 			})
-			r.stop = &stop
+			r.stop = stop
+			if opts.Cancel != nil {
+				r.check = opts.Check
+			}
 			for m := range ch {
 				// Keep draining after a stop so the driver never blocks.
 				if stop.Load() {

@@ -26,10 +26,27 @@ type streamRun struct {
 	emit    func(relational.Tuple) bool
 	openErr error
 	// stop, when non-nil, is the executor-wide cancellation flag: another
-	// worker exhausted the shared limit, failed, or had its sink return
-	// false. Checked once per partial tuple.
+	// worker exhausted the shared limit, failed, had its sink return
+	// false — or, when the caller supplied the flag (StreamOpts.Cancel /
+	// ParallelOpts.Cancel), an external context watcher asked the whole
+	// run to abandon. Checked once per partial tuple, so cancellation
+	// latency is bounded by one key's work at each depth.
 	stop *atomic.Bool
+	// check, when non-nil (it requires stop), is the scheduler-independent
+	// cancellation backstop: polled every checkInterval partial tuples, a
+	// true return raises stop for the whole run. It exists because the
+	// flag alone depends on another goroutine (the context watcher)
+	// getting scheduled — on a saturated single-CPU box that can take a
+	// full preemption quantum, during which a fast join finishes anyway.
+	check      func() bool
+	sinceCheck int
 }
+
+// checkInterval is how many partial tuples may pass between check polls:
+// large enough that the poll (an atomic context-error load) vanishes in
+// the join work, small enough that cancellation latency stays well under
+// a millisecond of exploration.
+const checkInterval = 1024
 
 // newStreamRun builds a run over the grouped atoms. pos maps attributes to
 // order positions (shared, read-only).
@@ -54,11 +71,25 @@ func newStreamRun(order []string, byAttr [][]Atom, pos map[string]int, stats *Ge
 // stopped early — emit declined, the run was cancelled, or an Open failed
 // (r.openErr).
 func (r *streamRun) rec(depth int) bool {
+	// The stop check covers the leaf depth too, so once the flag is up no
+	// further tuple is emitted — post-cancel emissions are bounded by the
+	// one call already in flight per worker, not by a key-run's tail.
+	if r.stop != nil {
+		if r.stop.Load() {
+			return false
+		}
+		if r.check != nil {
+			if r.sinceCheck++; r.sinceCheck >= checkInterval {
+				r.sinceCheck = 0
+				if r.check() {
+					r.stop.Store(true)
+					return false
+				}
+			}
+		}
+	}
 	if depth == len(r.order) {
 		return r.emit(r.binding)
-	}
-	if r.stop != nil && r.stop.Load() {
-		return false
 	}
 	r.b.tuple = r.binding
 	open := r.its[depth][:0]
@@ -89,6 +120,29 @@ func (r *streamRun) rec(depth int) bool {
 	return cont
 }
 
+// StreamOpts tunes the serial streaming executor. The zero value is the
+// default configuration — GenericJoinStream — and pays nothing for the
+// options it does not use.
+type StreamOpts struct {
+	// Cancel, when non-nil, is an external cancellation flag: once it reads
+	// true the executor abandons the enumeration after at most one key's
+	// worth of work per depth (the flag is checked before every partial
+	// tuple's intersection) and returns the statistics accumulated so far
+	// with a nil error — cancellation is the caller's protocol, not an
+	// executor failure. The core layer points this at a flag flipped by a
+	// context watcher; the nil fast path costs a single pointer test per
+	// partial tuple and allocates nothing.
+	Cancel *atomic.Bool
+	// Check, when non-nil (Cancel must be set too), is polled every
+	// checkInterval partial tuples; a true return raises Cancel for the
+	// run. It makes cancellation latency independent of goroutine
+	// scheduling: even when the flag's writer never gets a CPU slot — a
+	// saturated single-core box — the executor notices a dead context
+	// within ~one thousand partial tuples. The core layer passes a
+	// direct context-error probe.
+	Check func() bool
+}
+
 // GenericJoinStream evaluates the natural join of atoms by expanding one
 // attribute at a time in the given order — the paper's Algorithm 1 main
 // loop — depth-first, without materializing any stage: at each depth the
@@ -103,6 +157,12 @@ func (r *streamRun) rec(depth int) bool {
 // the partial tuples explored per depth, which for a completed run equal
 // the materializing executor's stage sizes.
 func GenericJoinStream(atoms []Atom, order []string, emit func(relational.Tuple) bool) (*GenericJoinStats, error) {
+	return GenericJoinStreamOpts(atoms, order, StreamOpts{}, emit)
+}
+
+// GenericJoinStreamOpts is GenericJoinStream with executor options — the
+// cancellable form every context-aware core path drives.
+func GenericJoinStreamOpts(atoms []Atom, order []string, opts StreamOpts, emit func(relational.Tuple) bool) (*GenericJoinStats, error) {
 	pos := make(map[string]int, len(order))
 	for i, a := range order {
 		if _, dup := pos[a]; dup {
@@ -121,6 +181,10 @@ func GenericJoinStream(atoms []Atom, order []string, emit func(relational.Tuple)
 		stats.Output++
 		return emit(t)
 	})
+	r.stop = opts.Cancel
+	if opts.Cancel != nil {
+		r.check = opts.Check
+	}
 	r.rec(0)
 	if r.openErr != nil {
 		return nil, r.openErr

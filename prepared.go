@@ -1,9 +1,10 @@
 package xmjoin
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/relational"
-	"repro/internal/xmldb"
 )
 
 // PreparedQuery is a query frozen for repeated execution — the serving
@@ -15,9 +16,13 @@ import (
 // counter in the result's Stats).
 //
 // A PreparedQuery is immutable and safe for concurrent Execute /
-// ExecuteStream / Exists calls, including with ExecOptions.Parallelism
-// driving the morsel executor — concurrent executions share one atom set
-// and one catalog.
+// ExecuteStream / Exists / Rows calls, including with
+// ExecOptions.Parallelism driving the morsel executor — concurrent
+// executions share one atom set and one catalog. Every execution method
+// has a *Ctx form taking a context that cancels or deadlines the run
+// (see ExecOptions.Context for the per-call alternative); serving
+// handlers should always pass the request context so abandoned clients
+// stop paying for worst-case joins.
 type PreparedQuery struct {
 	db   *Database
 	q    *core.Query
@@ -57,33 +62,10 @@ func (db *Database) PrepareOn(twigs []TwigOn, tableNames ...string) (*PreparedQu
 	return q.Prepare()
 }
 
-// ExecOptions are the per-execution knobs of a prepared query — the ones
-// that do not change the plan. Zero fields keep the values frozen at
-// Prepare time; non-zero fields override them for this call only.
-type ExecOptions struct {
-	// Parallelism runs this execution morsel-driven over n workers
-	// (negative = GOMAXPROCS); see Query.WithParallelism. To force a
-	// serial execution over a plan frozen with parallelism, pass 1
-	// (0 means "keep frozen").
-	Parallelism int
-	// Limit stops this execution after n validated answers; see
-	// Query.WithLimit. To run unlimited over a plan frozen with a limit,
-	// pass any negative value (0 means "keep frozen").
-	Limit int
-}
-
-// execOpts merges per-call knobs over the frozen plan.
-func (p *PreparedQuery) execOpts(opts []ExecOptions) core.Options {
-	o := p.opts
-	if len(opts) > 0 {
-		if opts[0].Parallelism != 0 {
-			o.Parallelism = opts[0].Parallelism
-		}
-		if opts[0].Limit != 0 {
-			o.Limit = opts[0].Limit
-		}
-	}
-	return o
+// execOpts merges per-call knobs over the frozen plan through the shared
+// options-building path (ctx, when non-nil, wins over opts[0].Context).
+func (p *PreparedQuery) execOpts(ctx context.Context, opts []ExecOptions) core.Options {
+	return buildExecOptions(p.opts, ctx, opts)
 }
 
 // Order returns the frozen attribute expansion order — the column order of
@@ -98,47 +80,56 @@ func (p *PreparedQuery) Attrs() []string { return p.q.Attrs() }
 // Execute runs the worst-case optimal join over the frozen plan. Safe for
 // concurrent use.
 func (p *PreparedQuery) Execute(opts ...ExecOptions) (*Result, error) {
-	r, err := core.XJoin(p.q, p.execOpts(opts))
-	if err != nil {
+	return p.ExecuteCtx(nil, opts...)
+}
+
+// ExecuteCtx is Execute bounded by ctx: when the context is cancelled or
+// its deadline expires the run stops within one morsel's work and returns
+// the partial result found so far (Stats().Cancelled set) together with
+// an error matching ErrCancelled and the context's error.
+func (p *PreparedQuery) ExecuteCtx(ctx context.Context, opts ...ExecOptions) (*Result, error) {
+	r, err := core.XJoin(p.q, p.execOpts(ctx, opts))
+	if r == nil {
 		return nil, err
 	}
-	return &Result{db: p.db, r: r}, nil
+	return &Result{db: p.db, r: r}, err
 }
 
 // ExecuteStream streams validated answers (decoded to strings, in Order)
 // through emit without materializing the result; returning false stops the
 // join. Safe for concurrent use — each call streams independently.
-func (p *PreparedQuery) ExecuteStream(emit func(row []string) bool, opts ...ExecOptions) (core.Stats, error) {
-	o := p.execOpts(opts)
-	var decoded []string
-	stats, err := core.XJoinStream(p.q, o, func(t relational.Tuple) bool {
-		if decoded == nil {
-			decoded = make([]string, len(t))
-		}
-		for i, v := range t {
-			decoded[i] = xmldb.DisplayValue(p.db.dict, v)
-		}
-		return emit(decoded)
-	})
-	if err != nil {
-		return core.Stats{}, err
-	}
-	return *stats, nil
+func (p *PreparedQuery) ExecuteStream(emit func(row []string) bool, opts ...ExecOptions) (Stats, error) {
+	return p.ExecuteStreamCtx(nil, emit, opts...)
+}
+
+// ExecuteStreamCtx is ExecuteStream bounded by ctx; a cancelled run
+// returns the statistics of the completed portion (Cancelled set) with an
+// error matching ErrCancelled. emit is never called after the executor
+// observed the cancellation.
+func (p *PreparedQuery) ExecuteStreamCtx(ctx context.Context, emit func(row []string) bool, opts ...ExecOptions) (Stats, error) {
+	return streamDecoded(p.db, p.q, p.execOpts(ctx, opts), emit)
 }
 
 // Exists reports whether the query has at least one answer, stopping the
 // streaming join at the first validated tuple.
 func (p *PreparedQuery) Exists(opts ...ExecOptions) (bool, error) {
+	return p.ExistsCtx(nil, opts...)
+}
+
+// ExistsCtx is Exists bounded by ctx. A true answer found before the
+// context ended is definitive and returned with a nil error; a run
+// cancelled before any answer returns false with an ErrCancelled-matching
+// error, since "no answer so far" proves nothing.
+func (p *PreparedQuery) ExistsCtx(ctx context.Context, opts ...ExecOptions) (bool, error) {
 	found := false
-	o := p.execOpts(opts)
-	_, err := core.XJoinStream(p.q, o, func(relational.Tuple) bool {
+	_, err := core.XJoinStream(p.q, p.execOpts(ctx, opts), func(relational.Tuple) bool {
 		found = true
 		return false
 	})
-	if err != nil {
-		return false, err
+	if found {
+		return true, nil
 	}
-	return found, nil
+	return false, err
 }
 
 // Explain renders the frozen plan (see Query.Explain).

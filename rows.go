@@ -1,0 +1,244 @@
+package xmjoin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// rowsBuffer is the Rows channel capacity: enough to decouple producer
+// and consumer scheduling hiccups, small enough that an abandoned cursor
+// holds only a handful of decoded rows and the executor stays paced by
+// the consumer (backpressure).
+const rowsBuffer = 16
+
+// Rows is a pull-based cursor over a streaming join — the database/sql
+// shape of the engine. The executor runs in one managed goroutine,
+// producing validated answers into a small buffer; Next blocks until the
+// next answer (backpressure: an unread cursor suspends the join after
+// rowsBuffer rows rather than enumerating a worst-case result), and Close
+// — or the context given at creation ending — stops the executor within
+// one morsel's work and releases its pooled iterators. Always call Close;
+// it is idempotent, runs fine after Next returned false, and is the only
+// leak-proof exit for a partially read cursor whose context never ends.
+//
+// A Rows is for one goroutine (like sql.Rows); open one cursor per
+// consumer — the underlying Query/PreparedQuery is safe to share.
+//
+//	rows, err := q.Rows(ctx)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		use(rows.Row())
+//	}
+//	if err := rows.Err(); err != nil { ... }
+type Rows struct {
+	parent context.Context // the caller's context, for Err/Close semantics
+	cancel context.CancelFunc
+	cols   []string
+	rows   chan []string
+	done   chan struct{} // closed after stats/err are written
+	close  sync.Once
+
+	cur      []string
+	finished bool
+	stats    Stats
+	err      error
+}
+
+// startRows launches run — a streaming execution taking the derived
+// context — in the cursor's managed goroutine.
+func startRows(ctx context.Context, cols []string, run func(ctx context.Context, emit func(row []string) bool) (Stats, error)) *Rows {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	r := &Rows{
+		parent: ctx,
+		cancel: cancel,
+		cols:   cols,
+		rows:   make(chan []string, rowsBuffer),
+		done:   make(chan struct{}),
+	}
+	go func() {
+		stats, err := run(rctx, func(row []string) bool {
+			// The executor reuses its row buffer; the cursor hands rows
+			// to another goroutine, so each crosses as its own copy.
+			cp := make([]string, len(row))
+			copy(cp, row)
+			select {
+			case r.rows <- cp:
+				return true
+			case <-rctx.Done():
+				// Close or the caller's context: stop the executor; the
+				// run function reports the cancellation through err.
+				return false
+			}
+		})
+		r.stats, r.err = stats, err
+		close(r.rows)
+		close(r.done)
+	}()
+	return r
+}
+
+// Columns returns the row layout: the plan's attribute expansion order.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next answer, reporting false when the cursor is
+// exhausted — result complete, error, or cancellation (consult Err to
+// tell which). Every row it yields is a complete validated answer, even
+// on a run cancelled midway.
+func (r *Rows) Next() bool {
+	if r.finished {
+		return false
+	}
+	row, ok := <-r.rows
+	if !ok {
+		r.finished = true
+		r.cur = nil
+		return false
+	}
+	r.cur = row
+	return true
+}
+
+// Row returns the current answer (decoded strings in Columns order). The
+// slice is the caller's to keep; it is not reused by later Next calls.
+// It returns nil before the first Next and after Next returned false.
+func (r *Rows) Row() []string { return r.cur }
+
+// Scan copies the current answer into dests, one per column.
+func (r *Rows) Scan(dests ...*string) error {
+	if r.cur == nil {
+		return errors.New("xmjoin: Scan called without a successful Next")
+	}
+	if len(dests) != len(r.cur) {
+		return fmt.Errorf("xmjoin: Scan got %d destinations, row has %d columns", len(dests), len(r.cur))
+	}
+	for i, d := range dests {
+		*d = r.cur[i]
+	}
+	return nil
+}
+
+// Err returns the error that ended the iteration: nil while rows are
+// still being produced, nil after a clean end, an ErrCancelled-matching
+// error when the creation context ended mid-run, or the executor's
+// failure. Like sql.Rows, a Close before exhaustion does not itself
+// produce an error.
+func (r *Rows) Err() error {
+	select {
+	case <-r.done:
+	default:
+		return nil // still running; no terminal error yet
+	}
+	if r.err != nil && errors.Is(r.err, ErrCancelled) && r.parent.Err() == nil {
+		// The cancellation was our own Close, not the caller's context:
+		// an early exit from the read loop, not an error.
+		return nil
+	}
+	return r.err
+}
+
+// Stats returns the run's statistics once the executor has finished
+// (Next returned false, or Close was called); ok is false while the run
+// is still in flight. After a cancelled run the statistics describe the
+// completed portion and Cancelled is set.
+func (r *Rows) Stats() (stats Stats, ok bool) {
+	select {
+	case <-r.done:
+		return r.stats, true
+	default:
+		return Stats{}, false
+	}
+}
+
+// Close stops the executor (within one morsel's work, if still running),
+// waits for its goroutine to exit — guaranteeing the pooled iterators are
+// released and nothing leaks — and retires the cursor. It is idempotent
+// and returns the run's terminal error under the same rules as Err.
+func (r *Rows) Close() error {
+	r.close.Do(func() {
+		r.cancel()
+		// Unblock the executor's pending sends, then wait for it to
+		// finish writing stats/err and exit.
+		for range r.rows {
+		}
+		<-r.done
+		r.finished = true
+		r.cur = nil
+	})
+	return r.Err()
+}
+
+// Rows starts the streaming join and returns a pull-based cursor over its
+// answers; see Rows for the contract. The join runs in a managed
+// goroutine from this call on — always Close the cursor (ctx ending also
+// stops it). The only error returned eagerly is a context that is already
+// over; plan and execution errors surface through Err after Next returns
+// false, like database/sql.
+func (q *Query) Rows(ctx context.Context) (*Rows, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return nil, core.Cancelled(ctx.Err())
+	}
+	return startRows(ctx, q.PlanOrder(), func(rctx context.Context, emit func([]string) bool) (Stats, error) {
+		return q.ExecXJoinStreamCtx(rctx, emit)
+	}), nil
+}
+
+// Rows is Query.Rows over the frozen plan, with per-call ExecOptions
+// (an ExecOptions.Context applies when the ctx argument is nil and is
+// overridden by it otherwise, like everywhere else). Safe to call from
+// any number of goroutines; each cursor owns an independent execution.
+func (p *PreparedQuery) Rows(ctx context.Context, opts ...ExecOptions) (*Rows, error) {
+	if ctx == nil && len(opts) > 0 {
+		ctx = opts[0].Context
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, core.Cancelled(ctx.Err())
+	}
+	return startRows(ctx, p.Order(), func(rctx context.Context, emit func([]string) bool) (Stats, error) {
+		return p.ExecuteStreamCtx(rctx, emit, opts...)
+	}), nil
+}
+
+// allSeq adapts a Rows constructor to a range-over-func iterator: rows
+// stream as ([]string, nil) pairs and a terminal failure (including
+// cancellation) arrives as one final (nil, err) pair. The cursor is
+// always closed, whether the range completes or breaks early.
+func allSeq(open func() (*Rows, error)) iter.Seq2[[]string, error] {
+	return func(yield func([]string, error) bool) {
+		rows, err := open()
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		defer rows.Close()
+		for rows.Next() {
+			if !yield(rows.Row(), nil) {
+				return
+			}
+		}
+		if err := rows.Err(); err != nil {
+			yield(nil, err)
+		}
+	}
+}
+
+// All returns the query's answers as a range-over-func sequence backed by
+// a Rows cursor — `for row, err := range q.All(ctx)` — closing the cursor
+// however the loop exits. A terminal error (cancellation included) is
+// yielded as the final (nil, err) element; rows before it are valid.
+func (q *Query) All(ctx context.Context) iter.Seq2[[]string, error] {
+	return allSeq(func() (*Rows, error) { return q.Rows(ctx) })
+}
+
+// All is Query.All over the frozen plan with per-call ExecOptions.
+func (p *PreparedQuery) All(ctx context.Context, opts ...ExecOptions) iter.Seq2[[]string, error] {
+	return allSeq(func() (*Rows, error) { return p.Rows(ctx, opts...) })
+}

@@ -43,9 +43,38 @@
 //	res, _ = p.Execute()                                // warm: pure join work
 //	res, _ = p.Execute(xmjoin.ExecOptions{Limit: 10})   // per-call knobs
 //	db.Catalog().SetBudget(64 << 20)                    // cap resident index bytes (LRU)
+//
+// Execution is context-first: every run can be cancelled or deadlined,
+// and the Rows cursor pulls answers one at a time — the shape of a
+// serving handler, where a worst-case optimal join (whose baseline can be
+// polynomially larger, i.e. arbitrarily slower) must stop the moment the
+// client gives up. Cancellation stops every executor — serial or
+// morsel-parallel — within one morsel's work; the error matches both
+// ErrCancelled and the context's own error, and partial statistics come
+// back with Stats.Cancelled set:
+//
+//	func handle(w http.ResponseWriter, req *http.Request) {
+//		ctx, cancel := context.WithTimeout(req.Context(), 100*time.Millisecond)
+//		defer cancel()
+//		rows, err := p.Rows(ctx)           // runs the streaming join
+//		if err != nil { ... }
+//		defer rows.Close()                 // always releases the executor
+//		for rows.Next() {
+//			emit(w, rows.Row())            // backpressure: join paces the client
+//		}
+//		if err := rows.Err(); errors.Is(err, xmjoin.ErrCancelled) {
+//			// deadline hit: rows emitted so far are valid answers
+//		}
+//	}
+//
+// or, with Go 1.23 range-over-func:
+//
+//	for row, err := range p.All(ctx) { ... }
 package xmjoin
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -58,6 +87,27 @@ import (
 	"repro/internal/relational"
 	"repro/internal/twig"
 	"repro/internal/xmldb"
+)
+
+// Typed sentinel errors. Assembly errors wrap these (with the offending
+// name in the message), so callers branch with errors.Is instead of
+// matching strings.
+var (
+	// ErrUnknownTable reports a query naming a table the database does
+	// not hold.
+	ErrUnknownTable = errors.New("xmjoin: unknown table")
+	// ErrUnknownDocument reports a twig targeting a named document the
+	// database does not hold.
+	ErrUnknownDocument = errors.New("xmjoin: unknown document")
+	// ErrNoDocument reports a twig query against a database whose default
+	// document has not been loaded.
+	ErrNoDocument = errors.New("xmjoin: no XML document loaded")
+	// ErrCancelled reports a run abandoned because its context was
+	// cancelled or its deadline expired. The errors the execution methods
+	// return for cancelled runs match both this sentinel and the
+	// context's own error (context.Canceled / context.DeadlineExceeded),
+	// and travel alongside partial results with Stats.Cancelled set.
+	ErrCancelled = core.ErrCancelled
 )
 
 // Database holds XML documents (a default one plus any number of named
@@ -203,11 +253,11 @@ func (db *Database) QueryOn(twigs []TwigOn, tableNames ...string) (*Query, error
 			var ok bool
 			doc, ok = db.docs[t.Doc]
 			if !ok {
-				return nil, fmt.Errorf("xmjoin: unknown document %q", t.Doc)
+				return nil, fmt.Errorf("%w %q", ErrUnknownDocument, t.Doc)
 			}
 		}
 		if doc == nil {
-			return nil, fmt.Errorf("xmjoin: twig %s targets the default document but none is loaded", t.Twig)
+			return nil, fmt.Errorf("%w: twig %s targets the default document", ErrNoDocument, t.Twig)
 		}
 		inputs = append(inputs, core.TwigInput{Doc: doc, Pattern: p})
 	}
@@ -227,7 +277,7 @@ func (db *Database) resolveTables(names []string) ([]*relational.Table, error) {
 	for _, n := range names {
 		t, ok := db.tables[n]
 		if !ok {
-			return nil, fmt.Errorf("xmjoin: unknown table %q", n)
+			return nil, fmt.Errorf("%w %q", ErrUnknownTable, n)
 		}
 		tables = append(tables, t)
 	}
@@ -319,7 +369,7 @@ func (db *Database) QueryMulti(twigExprs []string, tableNames ...string) (*Query
 		patterns = append(patterns, p)
 	}
 	if len(patterns) > 0 && db.doc == nil {
-		return nil, fmt.Errorf("xmjoin: twig query given but no XML document loaded")
+		return nil, fmt.Errorf("%w: twig query given", ErrNoDocument)
 	}
 	tables, err := db.resolveTables(tableNames)
 	if err != nil {
@@ -439,36 +489,66 @@ func (q *Query) WithLimit(n int) *Query {
 // Exists reports whether the query has at least one answer, stopping the
 // streaming join at the first validated tuple — across all workers, when
 // combined with WithParallelism.
-func (q *Query) Exists() (bool, error) {
+func (q *Query) Exists() (bool, error) { return q.ExistsCtx(nil) }
+
+// ExistsCtx is Exists bounded by ctx. A true answer found before the
+// context ended is definitive and returned with a nil error; a run
+// cancelled before any answer returns false with an ErrCancelled-matching
+// error, since "no answer so far" proves nothing.
+func (q *Query) ExistsCtx(ctx context.Context) (bool, error) {
 	found := false
-	_, err := core.XJoinStream(q.q, q.opts, func(relational.Tuple) bool {
+	_, err := core.XJoinStream(q.q, q.execOptions(ctx), func(relational.Tuple) bool {
 		found = true
 		return false
 	})
-	if err != nil {
-		return false, err
+	if found {
+		return true, nil
 	}
-	return found, nil
+	return false, err
+}
+
+// execOptions layers a per-call context over the query's chained With*
+// options — the same single core.Options-building path PreparedQuery's
+// ExecOptions merge through (see buildExecOptions).
+func (q *Query) execOptions(ctx context.Context) core.Options {
+	return buildExecOptions(q.opts, ctx, nil)
 }
 
 // ExecXJoin evaluates the query with the worst-case optimal multi-model
 // join (Algorithm 1).
-func (q *Query) ExecXJoin() (*Result, error) {
-	r, err := core.XJoin(q.q, q.opts)
-	if err != nil {
+func (q *Query) ExecXJoin() (*Result, error) { return q.ExecXJoinCtx(nil) }
+
+// ExecXJoinCtx is ExecXJoin bounded by ctx: when the context is cancelled
+// or its deadline expires, every executor — serial or morsel-parallel —
+// stops within one morsel's work, and the call returns the partial result
+// found so far (Stats().Cancelled set) together with a non-nil error
+// matching both ErrCancelled and the context's error. Callers that only
+// care about complete answers can keep treating any non-nil error as
+// fatal; callers serving best-effort responses use the partial Result.
+func (q *Query) ExecXJoinCtx(ctx context.Context) (*Result, error) {
+	r, err := core.XJoin(q.q, q.execOptions(ctx))
+	if r == nil {
 		return nil, err
 	}
-	return &Result{db: q.db, r: r}, nil
+	return &Result{db: q.db, r: r}, err
 }
 
 // ExecBaseline evaluates the query with the per-model baseline
 // (Q1 hash joins, Q2 holistic twig match, then a combining join).
-func (q *Query) ExecBaseline() (*Result, error) {
-	r, err := core.Baseline(q.q)
-	if err != nil {
+func (q *Query) ExecBaseline() (*Result, error) { return q.ExecBaselineCtx(nil) }
+
+// ExecBaselineCtx is ExecBaseline bounded by ctx. The baseline is a
+// materializing pipeline, so cancellation is only checked between plan
+// steps (the whole relational Q1 hash-join chain, each twig match, each
+// combining join) — its latency is bounded by one materialized step,
+// which can be polynomially larger than the whole query's worst case.
+// That coarse bound is itself an argument for XJoin in serving paths.
+func (q *Query) ExecBaselineCtx(ctx context.Context) (*Result, error) {
+	r, err := core.Baseline(q.q, q.execOptions(ctx))
+	if r == nil {
 		return nil, err
 	}
-	return &Result{db: q.db, r: r}, nil
+	return &Result{db: q.db, r: r}, err
 }
 
 // Bounds computes the query's worst-case size bounds (Equation 1) on the
@@ -511,19 +591,14 @@ func (q *Query) Explain() (string, error) {
 // join, invoking emit for each validated answer (decoded to strings, in the
 // plan's attribute order) without materializing the result. Returning false
 // from emit stops the join. It returns the run's statistics.
-func (q *Query) ExecXJoinStream(emit func(row []string) bool) (core.Stats, error) {
-	var decoded []string
-	stats, err := core.XJoinStream(q.q, q.opts, func(t relational.Tuple) bool {
-		if decoded == nil {
-			decoded = make([]string, len(t))
-		}
-		for i, v := range t {
-			decoded[i] = xmldb.DisplayValue(q.db.dict, v)
-		}
-		return emit(decoded)
-	})
-	if err != nil {
-		return core.Stats{}, err
-	}
-	return *stats, nil
+func (q *Query) ExecXJoinStream(emit func(row []string) bool) (Stats, error) {
+	return q.ExecXJoinStreamCtx(nil, emit)
+}
+
+// ExecXJoinStreamCtx is ExecXJoinStream bounded by ctx; a cancelled run
+// returns the statistics of the completed portion (Cancelled set) with an
+// error matching ErrCancelled. emit is never called after the executor
+// observed the cancellation, so every row emitted is a valid answer.
+func (q *Query) ExecXJoinStreamCtx(ctx context.Context, emit func(row []string) bool) (Stats, error) {
+	return streamDecoded(q.db, q.q, q.execOptions(ctx), emit)
 }
