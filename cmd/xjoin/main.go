@@ -176,6 +176,10 @@ func run() error {
 		if *showStats || err != nil {
 			fmt.Printf("streamed=%d validation_removed=%d peak_stage=%d\n",
 				stats.Output, stats.ValidationRemoved, stats.PeakIntermediate)
+			if stats.LeafBatches > 0 {
+				fmt.Printf("scheduler: leaf_batches=%d splits=%d steals=%d\n",
+					stats.LeafBatches, stats.MorselSplits, stats.MorselSteals)
+			}
 			if stats.CatalogMisses > 0 || stats.CatalogHits > 0 {
 				fmt.Printf("catalog: entries=%d resident=%dB hits=%d misses=%d evictions=%d\n",
 					stats.CatalogEntries, stats.CatalogResidentBytes,
@@ -235,6 +239,10 @@ func run() error {
 		}
 		if len(s.StageSizes) > 0 {
 			fmt.Printf("stage sizes: %v\n", s.StageSizes)
+		}
+		if s.LeafBatches > 0 {
+			fmt.Printf("scheduler: leaf_batches=%d splits=%d steals=%d\n",
+				s.LeafBatches, s.MorselSplits, s.MorselSteals)
 		}
 		if s.TableIndexes > 0 {
 			fmt.Printf("table indexes: %d (~%d bytes)\n", s.TableIndexes, s.TableIndexBytes)

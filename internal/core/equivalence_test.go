@@ -222,6 +222,49 @@ func TestMorselXJoinLimitEquivalence(t *testing.T) {
 	}
 }
 
+// TestMorselADModesEquivalence crosses every A-D handling mode with every
+// interesting worker count on random multi-model instances: each mode's
+// morsel-parallel run must reproduce its own serial oracle exactly —
+// tuples in serial order and the executor counters that are defined to be
+// scheduling-independent, LeafBatches among them. Run under -race this is
+// the PR's whole-pipeline equivalence suite for the stealing scheduler.
+func TestMorselADModesEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(60614))
+	for trial := 0; trial < 10; trial++ {
+		inst, err := datagen.RandomMultiModel(rng, datagen.RandomConfig{Tables: 1 + rng.Intn(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := mustQuery(t, inst)
+		for _, mode := range []ADMode{ADLazy, ADPostHoc, ADMaterialized} {
+			serial, err := XJoin(q, Options{AD: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Stats.MorselSplits != 0 || serial.Stats.MorselSteals != 0 {
+				t.Fatalf("trial %d mode %s: serial run reports scheduler counters %d/%d",
+					trial, mode, serial.Stats.MorselSplits, serial.Stats.MorselSteals)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				par, err := XJoin(q, Options{AD: mode, Parallelism: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(par.Tuples, serial.Tuples) {
+					t.Fatalf("trial %d mode %s workers=%d: tuples differ (%d vs %d)",
+						trial, mode, workers, len(par.Tuples), len(serial.Tuples))
+				}
+				if par.Stats.LeafBatches != serial.Stats.LeafBatches ||
+					!reflect.DeepEqual(par.Stats.StageSizes, serial.Stats.StageSizes) ||
+					par.Stats.ValidationRemoved != serial.Stats.ValidationRemoved {
+					t.Fatalf("trial %d mode %s workers=%d: counters diverge:\nparallel %+v\nserial   %+v",
+						trial, mode, workers, par.Stats, serial.Stats)
+				}
+			}
+		}
+	}
+}
+
 // TestMorselSharedXMLAtomsRace hammers the virtual XML atoms (Tag/Edge,
 // the lazy structix region atoms, and the materialized AD oracle) under
 // -race: several morsel-parallel XJoins run concurrently over the same

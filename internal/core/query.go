@@ -309,6 +309,19 @@ type Stats struct {
 	Cancelled bool
 	// Q1Size and Q2Size are the baseline's per-model result sizes.
 	Q1Size, Q2Size int
+	// LeafBatches counts the key vectors the batched leaf-level loop
+	// delivered (XJoin only). Every leaf value arrives in exactly one
+	// batch, so completed runs report the same count regardless of
+	// executor or worker count.
+	LeafBatches int
+	// MorselSplits and MorselSteals describe the parallel scheduler's
+	// response to skew: sub-morsels re-queued by splitting a running
+	// task's remaining work, and tasks claimed from another worker's
+	// deque. Both are zero for serial runs and scheduling-dependent
+	// otherwise — they say nothing about the result, only about how the
+	// work moved between workers.
+	MorselSplits int
+	MorselSteals int
 	// TableIndexes and TableIndexBytes report the sorted-column indexes
 	// the run's table atoms held after execution: shape count and
 	// approximate heap bytes. Table atoms build these lazily per

@@ -84,6 +84,9 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 	stats.Order = gjStats.Order
 	stats.StageSizes = gjStats.StageSizes
 	stats.PeakIntermediate = gjStats.PeakIntermediate
+	stats.LeafBatches = gjStats.Batches
+	stats.MorselSplits = gjStats.Splits
+	stats.MorselSteals = gjStats.Steals
 	for _, s := range gjStats.StageSizes {
 		stats.TotalIntermediate += s
 	}
@@ -111,8 +114,8 @@ func xjoinStreamParallel(opts Options, atoms []wcoj.Atom, order []string, valida
 	var mu sync.Mutex
 	done := false
 	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc()},
-		func(w int) func(int, relational.Tuple) bool {
-			return func(_ int, t relational.Tuple) bool {
+		func(w int) func(wcoj.OrdKey, relational.Tuple) bool {
+			return func(_ wcoj.OrdKey, t relational.Tuple) bool {
 				for _, v := range validators {
 					if !v.hasWitness(t) {
 						removed[w]++

@@ -215,6 +215,7 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 	res.Stats.Order = gjStats.Order
 	res.Stats.StageSizes = gjStats.StageSizes
 	res.Stats.PeakIntermediate = gjStats.PeakIntermediate
+	res.Stats.LeafBatches = gjStats.Batches
 	res.Stats.Output = len(res.Tuples)
 	for _, s := range gjStats.StageSizes {
 		res.Stats.TotalIntermediate += s
@@ -256,8 +257,8 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	var accepted atomic.Int64
 	limit := int64(opts.Limit)
 	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc()},
-		func(w int) func(int, relational.Tuple) bool {
-			return func(m int, t relational.Tuple) bool {
+		func(w int) func(wcoj.OrdKey, relational.Tuple) bool {
+			return func(ord wcoj.OrdKey, t relational.Tuple) bool {
 				for _, v := range validators {
 					if !v.hasWitness(t) {
 						removed[w]++
@@ -271,10 +272,10 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 					if n > limit {
 						return false
 					}
-					col.Add(w, m, t)
+					col.Add(w, ord, t)
 					return n < limit
 				}
-				col.Add(w, m, t)
+				col.Add(w, ord, t)
 				return true
 			}
 		})
@@ -287,6 +288,9 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 		Order:            gjStats.Order,
 		StageSizes:       gjStats.StageSizes,
 		PeakIntermediate: gjStats.PeakIntermediate,
+		LeafBatches:      gjStats.Batches,
+		MorselSplits:     gjStats.Splits,
+		MorselSteals:     gjStats.Steals,
 	}}
 	for _, r := range removed {
 		res.Stats.ValidationRemoved += r

@@ -242,6 +242,70 @@ func Bushy(width int) (*Instance, error) {
 	return &Instance{Dict: dict, Doc: doc, Pattern: twig.MustParse("//a//b"), N: width}, nil
 }
 
+// SkewedConfig parameterizes Skewed.
+type SkewedConfig struct {
+	// Keys is the number of distinct first-attribute keys (default 64,
+	// minimum 2).
+	Keys int
+	// Rows is R's total row count (default 4096).
+	Rows int
+	// Fanout is the number of S rows joining each distinct b value
+	// (default 4).
+	Fanout int
+	// Zipf draws key frequencies from a Zipf(1.5) law over all keys
+	// instead of the default one-hot-key-owns-~90% distribution.
+	Zipf bool
+}
+
+func (c *SkewedConfig) defaults() {
+	if c.Keys < 2 {
+		c.Keys = 64
+	}
+	if c.Rows == 0 {
+		c.Rows = 4096
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 4
+	}
+}
+
+// Skewed builds the two-table chain R(a,b) ⋈ S(b,c) whose first attribute
+// is pathologically skewed — the adversary for morsel-parallel executors
+// that partition work by first-attribute key. By default one hot a-key
+// owns ~90% of R's rows (the rest spread uniformly over the remaining
+// keys); with Zipf set, key frequencies follow a Zipf(1.5) law instead.
+// Every R row carries a distinct b value and S fans each b out to Fanout
+// c values, so the join work under an a-key is proportional to that key's
+// row count: a per-key partitioning alone strands ~90% of the join on one
+// worker, and only re-splitting within the hot key restores balance.
+func Skewed(rng *rand.Rand, cfg SkewedConfig) []*relational.Table {
+	cfg.defaults()
+	var keyOf func() int
+	if cfg.Zipf {
+		z := rand.NewZipf(rng, 1.5, 1, uint64(cfg.Keys-1))
+		keyOf = func() int { return int(z.Uint64()) }
+	} else {
+		keyOf = func() int {
+			if rng.Intn(10) > 0 {
+				return 0
+			}
+			return 1 + rng.Intn(cfg.Keys-1)
+		}
+	}
+	r := relational.NewTable("R", relational.MustSchema("a", "b"))
+	s := relational.NewTable("S", relational.MustSchema("b", "c"))
+	for i := 0; i < cfg.Rows; i++ {
+		b := relational.Value(cfg.Keys + i)
+		r.MustAppend(relational.Value(keyOf()), b)
+		for j := 0; j < cfg.Fanout; j++ {
+			s.MustAppend(b, relational.Value(cfg.Keys+cfg.Rows+i*cfg.Fanout+j))
+		}
+	}
+	r.Dedup()
+	s.Dedup()
+	return []*relational.Table{r, s}
+}
+
 // RandomConfig parameterizes RandomMultiModel.
 type RandomConfig struct {
 	// NodeBudget bounds the document size (default 60).

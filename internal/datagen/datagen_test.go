@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/relational"
 	"repro/internal/twig"
 	"repro/internal/xmatch"
 )
@@ -130,5 +131,54 @@ func TestPaperTwigConstant(t *testing.T) {
 	}
 	if p.Len() != 8 {
 		t.Fatalf("paper twig nodes = %d", p.Len())
+	}
+}
+
+func TestSkewedShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ts := Skewed(rng, SkewedConfig{Keys: 32, Rows: 2000, Fanout: 3})
+	r, s := ts[0], ts[1]
+	if r.Name() != "R" || s.Name() != "S" {
+		t.Fatalf("table names = %s, %s", r.Name(), s.Name())
+	}
+	if r.Len() != 2000 {
+		t.Fatalf("R has %d rows, want 2000", r.Len())
+	}
+	if s.Len() != 3*2000 {
+		t.Fatalf("S has %d rows, want %d", s.Len(), 3*2000)
+	}
+	// The hot key must own roughly 90% of R's rows.
+	hot := 0
+	r.Rows(func(row relational.Tuple) bool {
+		if row[0] == 0 {
+			hot++
+		}
+		return true
+	})
+	if hot < r.Len()*80/100 || hot > r.Len()*97/100 {
+		t.Fatalf("hot key owns %d/%d rows, want ~90%%", hot, r.Len())
+	}
+	// Every R.b joins exactly Fanout S rows, so first-attribute skew
+	// translates directly into join-work skew.
+	if got := len(s.DistinctValues(0)); got != 2000 {
+		t.Fatalf("S has %d distinct b values, want 2000", got)
+	}
+}
+
+func TestSkewedZipf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ts := Skewed(rng, SkewedConfig{Keys: 32, Rows: 2000, Zipf: true})
+	counts := map[relational.Value]int{}
+	ts[0].Rows(func(row relational.Tuple) bool {
+		counts[row[0]]++
+		return true
+	})
+	// Zipf(1.5) over 32 keys: the head key dominates but several keys
+	// must appear — the point is a heavy tail, not one key.
+	if len(counts) < 4 {
+		t.Fatalf("Zipf mode produced only %d distinct keys", len(counts))
+	}
+	if counts[0] <= counts[1] {
+		t.Fatalf("Zipf head not dominant: key0=%d key1=%d", counts[0], counts[1])
 	}
 }

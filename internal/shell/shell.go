@@ -24,6 +24,8 @@ var ErrQuit = errors.New("shell: quit")
 type Shell struct {
 	db  *xmjoin.Database
 	out io.Writer
+	// stats controls the per-query statistics line (.stats on/off).
+	stats bool
 }
 
 // New returns a shell over a fresh database, writing results to out.
@@ -108,6 +110,18 @@ func (s *Shell) ExecuteCtx(ctx context.Context, line string) error {
 			return err
 		}
 		fmt.Fprint(s.out, res)
+		if s.stats && res.Stats != nil {
+			st := res.Stats
+			fmt.Fprintf(s.out, "-- %s: output=%d peak_stage=%d validation_removed=%d",
+				st.Algorithm, st.Output, st.PeakIntermediate, st.ValidationRemoved)
+			if st.LeafBatches > 0 {
+				fmt.Fprintf(s.out, " leaf_batches=%d", st.LeafBatches)
+			}
+			if st.MorselSplits > 0 || st.MorselSteals > 0 {
+				fmt.Fprintf(s.out, " splits=%d steals=%d", st.MorselSplits, st.MorselSteals)
+			}
+			fmt.Fprintln(s.out)
+		}
 		return nil
 	}
 	fields := strings.Fields(line)
@@ -140,6 +154,19 @@ func (s *Shell) ExecuteCtx(ctx context.Context, line string) error {
 			return err
 		}
 		fmt.Fprint(s.out, plan)
+		return nil
+	case ".stats":
+		switch {
+		case len(fields) == 1:
+			s.stats = !s.stats
+		case len(fields) == 2 && fields[1] == "on":
+			s.stats = true
+		case len(fields) == 2 && fields[1] == "off":
+			s.stats = false
+		default:
+			return errors.New("shell: usage: .stats [on|off]")
+		}
+		fmt.Fprintf(s.out, "stats %s\n", map[bool]string{true: "on", false: "off"}[s.stats])
 		return nil
 	case ".catalog":
 		return s.catalog(fields[1:])
@@ -234,6 +261,10 @@ const helpText = `commands:
   .catalog [budget N|reset] show the session's shared index catalog
                             (hits/misses/evictions/resident bytes), cap its
                             resident bytes, or drop every shared index
+  .stats [on|off]           print a statistics line after each query:
+                            output size, peak stage, validation removals,
+                            leaf batches, and (parallel runs under skew)
+                            morsel splits/steals
   .save DIR / .open DIR     persist / reopen the database
   .help / .quit
 queries (everything else):

@@ -223,3 +223,49 @@ func TestShellCatalog(t *testing.T) {
 		t.Fatal("bad .catalog accepted")
 	}
 }
+
+// TestShellStatsToggle: .stats turns the per-query statistics line on and
+// off, and the line carries the executor counters (leaf batches always for
+// a real join; splits/steals only when a parallel run shed work).
+func TestShellStatsToggle(t *testing.T) {
+	xmlPath, csvPath := writeFixtures(t)
+	var out strings.Builder
+	sh := New(&out)
+	query := `SELECT userID, price FROM R, TWIG '//orderLine[orderID]/price'`
+
+	for _, line := range []string{
+		".load xml " + xmlPath,
+		".load table R " + csvPath,
+		query, // stats off: no line
+		".stats on",
+		query, // stats on: line present
+	} {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	o := out.String()
+	if strings.Count(o, "-- xjoin:") != 1 {
+		t.Fatalf("want exactly one stats line (after .stats on):\n%s", o)
+	}
+	if !strings.Contains(o, "leaf_batches=") {
+		t.Fatalf("stats line missing leaf_batches:\n%s", o)
+	}
+	if strings.Contains(o, "splits=") {
+		t.Fatalf("serial run must not report splits/steals:\n%s", o)
+	}
+
+	out.Reset()
+	if err := sh.Execute(".stats off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Execute(query); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "-- xjoin:") {
+		t.Fatalf(".stats off kept printing:\n%s", out.String())
+	}
+	if err := sh.Execute(".stats sideways"); err == nil {
+		t.Fatal("bad .stats argument accepted")
+	}
+}

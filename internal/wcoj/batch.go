@@ -1,0 +1,163 @@
+package wcoj
+
+import "repro/internal/relational"
+
+// This file is the vectorized leaf of the streaming executors: instead of
+// aligning all cursors on one key at a time (leapfrogEach), the innermost
+// attribute's intersection runs batch-at-a-time — the lead cursor proposes
+// a vector of candidate keys via NextBatch and every other cursor filters
+// the vector by seek-probing, so survivors reach the consumer as ascending
+// runs. The algorithm is the run-at-a-time cursor idea of the radix-
+// triejoin and vectorized-WCOJ lines of work, restricted to the leaf depth
+// where it matters: deeper levels recurse per key anyway, but the leaf
+// visits every result tuple, and there the per-value virtual dispatch of
+// the scalar loop is most of the cost.
+
+// leafBatchSize is the candidate-vector width of the batched leaf loop:
+// wide enough to amortize the per-batch calls to nothing, narrow enough
+// that a batch stays in L1 and cancellation latency inside a batch stays
+// microscopic.
+const leafBatchSize = 64
+
+// leapfrogBatch intersects the open cursors like leapfrogEach but delivers
+// the result as ascending key vectors through f (using buf, len >=
+// leafBatchSize, as the vector storage — each call's slice is valid only
+// during the call). Values delivered are exactly leapfrogEach's, in the
+// same order; only the grouping differs. It reports false iff f stopped
+// the enumeration. seeks counts Seek probes issued, one per candidate
+// tested per non-lead cursor (plus lead skip-aheads) — a different (finer)
+// accounting than the scalar loop's, but deterministic for a given input.
+func leapfrogBatch(its []AtomIterator, seeks *int, buf []relational.Value, f func([]relational.Value) bool) bool {
+	if len(its) == 0 {
+		return true
+	}
+	lead := its[0]
+	if len(its) == 1 {
+		for {
+			n := NextBatch(lead, buf)
+			if n == 0 {
+				return true
+			}
+			if !f(buf[:n]) {
+				return false
+			}
+		}
+	}
+	for {
+		n := NextBatch(lead, buf)
+		if n == 0 {
+			return true
+		}
+		cur := buf[:n]
+		exhausted := false
+		for _, it := range its[1:] {
+			m := 0
+			for _, v := range cur {
+				it.Seek(v)
+				if seeks != nil {
+					*seeks++
+				}
+				if it.AtEnd() {
+					// Candidates past this point can't match, but the ones
+					// already kept must still be vetted by the remaining
+					// cursors — only the batch is cut short, not the filter.
+					exhausted = true
+					break
+				}
+				if it.Key() == v {
+					cur[m] = v
+					m++
+				}
+			}
+			cur = cur[:m]
+			if m == 0 {
+				break
+			}
+		}
+		if len(cur) > 0 && !f(cur) {
+			return false
+		}
+		if exhausted {
+			return true
+		}
+		// Skip-ahead: drag the lead past the largest key any filter cursor
+		// reached, so a sparse filter set crosses the lead's dense runs in
+		// one gallop instead of batch by batch.
+		if !lead.AtEnd() {
+			lo := lead.Key()
+			hi := lo
+			for _, it := range its[1:] {
+				if k := it.Key(); k > hi {
+					hi = k
+				}
+			}
+			if hi > lo {
+				lead.Seek(hi)
+				if seeks != nil {
+					*seeks++
+				}
+			}
+		}
+	}
+}
+
+// leapfrogBatchValues is leapfrogBatch specialized to all-slice cursors —
+// the TableAtom / value-set / projection case, which is every cursor of
+// the relational benchmarks — with the candidate probing running directly
+// on the backing arrays, no interface dispatch inside a batch. Same
+// delivery contract and the same seek accounting as leapfrogBatch.
+func leapfrogBatchValues(vs []*valuesIter, seeks *int, buf []relational.Value, f func([]relational.Value) bool) bool {
+	lead := vs[0]
+	for {
+		n := copy(buf, lead.vals[lead.pos:])
+		if n == 0 {
+			return true
+		}
+		lead.pos += n
+		cur := buf[:n]
+		exhausted := false
+		for _, it := range vs[1:] {
+			vals := it.vals
+			m := 0
+			for _, v := range cur {
+				it.Seek(v)
+				if seeks != nil {
+					*seeks++
+				}
+				if it.pos >= len(vals) {
+					exhausted = true
+					break
+				}
+				if vals[it.pos] == v {
+					cur[m] = v
+					m++
+				}
+			}
+			cur = cur[:m]
+			if m == 0 {
+				break
+			}
+		}
+		if len(cur) > 0 && !f(cur) {
+			return false
+		}
+		if exhausted {
+			return true
+		}
+		if lead.pos < len(lead.vals) {
+			lo := lead.vals[lead.pos]
+			hi := lo
+			for _, it := range vs[1:] {
+				if k := it.vals[it.pos]; k > hi {
+					hi = k
+				}
+			}
+			if hi > lo {
+				lead.Seek(hi)
+				if seeks != nil {
+					*seeks++
+				}
+			}
+		}
+	}
+}

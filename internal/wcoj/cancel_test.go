@@ -73,8 +73,8 @@ func TestParallelCancelShortCircuits(t *testing.T) {
 		var emitted atomic.Int64
 		stats, err := GenericJoinParallelMorsels(atoms, order,
 			ParallelOpts{Workers: workers, Cancel: &cancel},
-			func(int) func(int, relational.Tuple) bool {
-				return func(_ int, _ relational.Tuple) bool {
+			func(int) func(OrdKey, relational.Tuple) bool {
+				return func(_ OrdKey, _ relational.Tuple) bool {
 					emitted.Add(1)
 					cancel.Store(true)
 					return true
@@ -107,8 +107,8 @@ func TestParallelCancelNoGoroutineLeak(t *testing.T) {
 		cancel.Store(true) // cancelled before the run even starts
 		if _, err := GenericJoinParallelMorsels(atoms, order,
 			ParallelOpts{Workers: 8, Cancel: &cancel},
-			func(int) func(int, relational.Tuple) bool {
-				return func(int, relational.Tuple) bool { return true }
+			func(int) func(OrdKey, relational.Tuple) bool {
+				return func(OrdKey, relational.Tuple) bool { return true }
 			}); err != nil {
 			t.Fatal(err)
 		}

@@ -22,6 +22,19 @@ type GenericJoinStats struct {
 	Intersections int
 	// Seeks counts iterator Seek calls issued while leapfrogging.
 	Seeks int
+	// Batches counts the key vectors the batched leaf-level loop delivered
+	// (every leaf value arrives in exactly one batch, so for a completed
+	// run the count is serial-identical across executors).
+	Batches int
+	// Splits counts the sub-morsels the parallel executor re-queued by
+	// splitting a running task's remaining work within a first-attribute
+	// key — the recursive-morsel response to skew. Always 0 for serial
+	// runs; scheduling-dependent in parallel ones.
+	Splits int
+	// Steals counts tasks a parallel worker claimed from another worker's
+	// deque. Always 0 for serial and single-worker runs;
+	// scheduling-dependent otherwise.
+	Steals int
 }
 
 // Merge folds the counters of other — a partition of the same join's work,
@@ -46,6 +59,9 @@ func (s *GenericJoinStats) Merge(other *GenericJoinStats) {
 	s.Output += other.Output
 	s.Intersections += other.Intersections
 	s.Seeks += other.Seeks
+	s.Batches += other.Batches
+	s.Splits += other.Splits
+	s.Steals += other.Steals
 	s.recomputePeak()
 }
 

@@ -41,8 +41,17 @@
 //     morsel-driven parallel driver: the first attribute's intersection is
 //     cut into morsels and each worker streams the depth-first loop over
 //     its share, with O(workers × depth) memory and a shared atomic limit
-//     for global early termination. Use for large joins on multicore;
-//     tuple arrival order is scheduling-dependent.
+//     for global early termination. Morsels live in per-worker deques with
+//     Leis-style work stealing (owners pop LIFO for locality, starved
+//     workers steal FIFO from the fattest deque), and morsels are
+//     recursive: when a skewed key turns one morsel into most of the join,
+//     the worker grinding it sheds the untouched suffix of each
+//     enumeration level as sub-morsels for thieves, so speedup tracks the
+//     worker count even when one first-attribute key owns ~all the output.
+//     GenericJoinStats reports the scheduler's response as Splits/Steals
+//     (both zero in serial runs); ParallelOpts.DisableRecursiveSplit
+//     restores the fixed-morsel behaviour. Use for large joins on
+//     multicore; tuple arrival order is scheduling-dependent.
 //
 //   - GenericJoinParallel — the morsel driver plus in-order collection
 //     (output and statistics identical to GenericJoin). Use when parallel
@@ -51,6 +60,16 @@
 //   - LeapfrogJoin / LeapfrogTriejoin — the same join as unary leapfrog
 //     intersections driven trie-style; kept for comparison and for
 //     workloads with prebuilt TrieAtoms.
+//
+// The innermost attribute is intersected in batches: the lead cursor
+// proposes up to 64 candidate values in one NextBatch call and the other
+// cursors vet them by seeking, so per-value interface dispatch is paid
+// once per vector instead of once per value. Cursors opt into the fast
+// path by implementing BatchIterator (TableAtom column runs, value sets,
+// tries and the structix region cursors all do); everything else is
+// adapted transparently, and the loop is observably equivalent to the
+// tuple-at-a-time one — GenericJoinStats.Batches counts delivered
+// vectors and is identical across serial and parallel runs.
 //
 // Cancellation: every streaming driver can be abandoned mid-run through an
 // external *atomic.Bool — StreamOpts.Cancel for the serial executor,
@@ -62,7 +81,9 @@
 // A cancelled run returns its partial statistics with a nil error;
 // interpreting the abandonment (context deadline, client disconnect) is
 // the caller's job. Runs that pass no flag pay one nil pointer test per
-// partial tuple and allocate nothing. LeapfrogJoin materializes per-level
+// partial tuple and allocate nothing. Inside the batched leaf loop the
+// flag is honoured per emitted value, so batching never widens the
+// cancellation window. LeapfrogJoin materializes per-level
 // candidate sets and stays uncancellable; use the streaming drivers for
 // serving work.
 //
@@ -137,6 +158,22 @@ type AtomIterator interface {
 	Close()
 }
 
+// BatchIterator is the optional vectorized extension of AtomIterator:
+// cursors that can deliver a run of consecutive values in one call
+// implement it, and the executors' batched leaf loop uses it (through the
+// NextBatch helper) to amortize per-value interface dispatch. NextBatch
+// copies up to len(dst) values into dst starting with the current Key,
+// advances the cursor past the last value delivered, and returns the
+// count — 0 iff the cursor is AtEnd or dst is empty. It is observably
+// equivalent to the Key/Next loop it replaces; Seek and the other
+// AtomIterator methods keep working between batches. Cursors that cannot
+// do better than one value at a time simply don't implement it — the
+// NextBatch helper falls back to an adapter loop.
+type BatchIterator interface {
+	AtomIterator
+	NextBatch(dst []relational.Value) int
+}
+
 // valuesIter is the shared slice-backed AtomIterator: a cursor over an
 // ascending []Value (a ValueSet's backing array or one run of a TableAtom
 // column index). Instances are pooled so steady-state Open/Close performs
@@ -209,6 +246,34 @@ func (it *valuesIter) Seek(v relational.Value) {
 func (it *valuesIter) Close() {
 	it.vals = nil
 	valuesIterPool.Put(it)
+}
+
+// NextBatch fills dst with the cursor's next run of values — natively when
+// it implements BatchIterator, through a Key/Next adapter loop otherwise —
+// so every AtomIterator participates in the batched hot path without
+// changing: the adapter is exactly the loop the batch replaces. It returns
+// the number of values written; 0 means the cursor is exhausted (or dst is
+// empty).
+func NextBatch(it AtomIterator, dst []relational.Value) int {
+	if b, ok := it.(BatchIterator); ok {
+		return b.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) && !it.AtEnd() {
+		dst[n] = it.Key()
+		n++
+		it.Next()
+	}
+	return n
+}
+
+// NextBatch implements BatchIterator with a single bulk copy out of the
+// backing array — the reason TableAtom runs, value sets and the structix
+// projections all ride the vectorized leaf loop at memcpy speed.
+func (it *valuesIter) NextBatch(dst []relational.Value) int {
+	n := copy(dst, it.vals[it.pos:])
+	it.pos += n
+	return n
 }
 
 // closeAll closes every iterator in its.

@@ -13,12 +13,23 @@ import (
 // al., "Morsel-Driven Parallelism: A NUMA-Aware Query Evaluation Framework
 // for the Many-Core Age", SIGMOD 2014, applied to Generic Join): a driver
 // leapfrogs the first attribute's intersection once and packs the keys
-// into morsels — small contiguous runs of first-attribute values — on a
-// work queue, and each worker runs the streaming depth-first executor
-// (streamRun) over its morsels with worker-local cursors, binding buffers
-// and statistics. Per-worker memory stays O(depth); no stage is ever
-// materialized. A shared atomic emitted-counter and stop flag let
-// Limit/Exists short-circuit across all workers.
+// into morsels — small contiguous runs of first-attribute values — and
+// each worker runs the streaming depth-first executor (streamRun) over its
+// tasks with worker-local cursors, binding buffers and statistics.
+//
+// Scheduling is work-stealing over per-worker deques: the driver deals
+// root morsels round-robin, a worker pops its own deque newest-first
+// (depth-first locality) and steals oldest-first from its peers when dry.
+// Skew is handled by recursive morsels: a worker grinding a hot
+// first-attribute key notices — through a cheap periodic gate — that the
+// rest of the pool is starving, and re-splits the *remainder* of its own
+// subtree at whatever depth it is currently enumerating, re-queueing the
+// shed keys as sub-tasks (see streamRun's packing machinery). One giant
+// key therefore fans out across all workers instead of serializing onto
+// one, while cursor traffic — and so the merged statistics — stays
+// serial-identical. Per-worker memory stays O(depth) plus the transient
+// keys of any level being shed. A shared atomic emitted-counter and stop
+// flag let Limit/Exists short-circuit across all workers.
 
 // ParallelOpts tunes the morsel-driven parallel executor.
 type ParallelOpts struct {
@@ -39,7 +50,7 @@ type ParallelOpts struct {
 	// (the same one Limit and failing sinks flip), so an external party —
 	// the core layer's context watcher — can abandon the run by storing
 	// true: the driver stops queueing morsels and every worker stops
-	// within one partial tuple, then drains the queue and exits cleanly.
+	// within one partial tuple, then drains the queues and exits cleanly.
 	// Because the flag is shared, the executor also sets it itself on
 	// limit exhaustion, sink stop, or error; callers must treat it as
 	// owned by the run, not reuse it across runs.
@@ -49,11 +60,25 @@ type ParallelOpts struct {
 	// tuples and raises the shared stop flag on true. Requires Cancel;
 	// must be safe for concurrent calls (a context-error probe is).
 	Check func() bool
+	// DisableRecursiveSplit turns off within-key re-splitting (recursive
+	// morsels), leaving only first-attribute morsels plus stealing — the
+	// pre-skew-proof behaviour, kept for comparison benchmarks and as an
+	// escape hatch.
+	DisableRecursiveSplit bool
 }
 
 // maxMorselSize caps the adaptive morsel growth; beyond this, queue
 // overhead is already negligible and smaller morsels balance better.
 const maxMorselSize = 256
+
+// produceHi / produceLo throttle the driver: it pauses once produceHi
+// unclaimed tasks per worker sit queued and resumes below produceLo —
+// the backpressure the bounded channel of the pre-stealing scheduler
+// provided, so a huge first attribute is never materialized up front.
+const (
+	produceHi = 4
+	produceLo = 2
+)
 
 // ResolveWorkers maps a ParallelOpts.Workers value to the actual worker
 // count the executor will use, so callers can size per-worker state.
@@ -64,29 +89,249 @@ func ResolveWorkers(n int) int {
 	return n
 }
 
-// morsel is one unit of scheduled work: a run of consecutive
-// first-attribute keys, identified by its position in key order so
-// collectors can reassemble deterministic output.
-type morsel struct {
-	idx  int
-	keys []relational.Value
+// OrdKey locates one task's output within the serial executor's emission
+// sequence: the root morsel's index followed by one sub-index per
+// recursive split. Keys compare lexicographically with a parent prefix
+// sorting before (= emitting before) its children's extensions — a task
+// spawns sub-tasks only after its last own emission, in serial order of
+// their key ranges — so concatenating per-task output in OrdKey order
+// reproduces the serial tuple sequence exactly, splits or not.
+type OrdKey []int32
+
+// Less is the lexicographic order on OrdKeys, shorter prefix first.
+func (k OrdKey) Less(o OrdKey) bool {
+	n := len(k)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if k[i] != o[i] {
+			return k[i] < o[i]
+		}
+	}
+	return len(k) < len(o)
+}
+
+func (k OrdKey) equal(o OrdKey) bool {
+	if len(k) != len(o) {
+		return false
+	}
+	for i := range k {
+		if k[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// child extends k with one sub-index, always into a fresh array (siblings
+// must not share growth).
+func (k OrdKey) child(sub int32) OrdKey {
+	c := make(OrdKey, len(k)+1)
+	copy(c, k)
+	c[len(k)] = sub
+	return c
+}
+
+// task is one stealable unit of work: expand each key of the attribute at
+// depth len(prefix) under the bound prefix. Root tasks (the driver's
+// morsels) have an empty prefix; recursive splits carry deeper ones. The
+// slices are owned by the task (immutable once queued).
+type task struct {
+	ord    OrdKey
+	prefix []relational.Value
+	keys   []relational.Value
+}
+
+// taskDeque is one worker's queue: the owner pushes and pops at the tail
+// (newest first — it continues the subtree it just shed, cursors warm),
+// thieves take from the head (oldest first — the coarsest work). A plain
+// mutex is plenty at morsel granularity.
+type taskDeque struct {
+	mu    sync.Mutex
+	tasks []task
+}
+
+func (d *taskDeque) push(t task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *taskDeque) popTail() (task, bool) {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return task{}, false
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = task{}
+	d.tasks = d.tasks[:n-1]
+	d.mu.Unlock()
+	return t, true
+}
+
+func (d *taskDeque) popHead() (task, bool) {
+	d.mu.Lock()
+	if len(d.tasks) == 0 {
+		d.mu.Unlock()
+		return task{}, false
+	}
+	t := d.tasks[0]
+	d.tasks[0] = task{}
+	d.tasks = d.tasks[1:]
+	d.mu.Unlock()
+	return t, true
+}
+
+// stealScheduler coordinates one run's tasks across the worker pool.
+// Termination and parking run on three counters — pending (queued,
+// unclaimed), active (claimed, running) and waiters (workers parked) —
+// with one condition variable. The orderings that make it race-free:
+// a pusher bumps pending before reading waiters, a parker bumps waiters
+// (under the lock) before re-reading pending, so one of them always sees
+// the other (no lost wakeup); a claimer bumps active before dropping
+// pending, so no observer ever sees both counters at zero while work
+// exists. The run is over when the driver is done and both counters read
+// zero.
+type stealScheduler struct {
+	queues  []taskDeque
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending atomic.Int64
+	active  atomic.Int64
+	waiters atomic.Int64
+	done    atomic.Bool // driver finished producing root tasks
+	// throttled marks the driver parked on the cond waiting for queue
+	// drain; claimers wake it once pending drops below the low mark.
+	throttled atomic.Bool
+	steals    atomic.Int64
+	splits    atomic.Int64
+}
+
+func newStealScheduler(workers int) *stealScheduler {
+	s := &stealScheduler{queues: make([]taskDeque, workers)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push queues t on worker w's deque and wakes parked workers if any.
+func (s *stealScheduler) push(w int, t task) {
+	s.pending.Add(1)
+	s.queues[w].push(t)
+	if s.waiters.Load() > 0 {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// throttleProduce blocks the driver while the queues are full enough;
+// claim wakes it. A raised stop flag releases it immediately (the drain
+// keeps claiming, so the wakeups keep coming either way).
+func (s *stealScheduler) throttleProduce(stop *atomic.Bool) {
+	if s.pending.Load() < int64(produceHi*len(s.queues)) {
+		return
+	}
+	s.mu.Lock()
+	s.throttled.Store(true)
+	for s.pending.Load() >= int64(produceLo*len(s.queues)) && !stop.Load() {
+		s.cond.Wait()
+	}
+	s.throttled.Store(false)
+	s.mu.Unlock()
+}
+
+// produceDone marks the root-task stream complete and wakes everyone so
+// parked workers re-evaluate termination.
+func (s *stealScheduler) produceDone() {
+	s.done.Store(true)
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// claim converts a successful pop into a running task.
+func (s *stealScheduler) claim() {
+	s.active.Add(1)
+	if s.pending.Add(-1) < int64(produceLo*len(s.queues)) && s.throttled.Load() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// release retires a finished task, broadcasting when it was the last work
+// in the system so parked workers exit.
+func (s *stealScheduler) release() {
+	if s.active.Add(-1) == 0 && s.done.Load() && s.pending.Load() == 0 {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// shouldSplit reports whether a running task ought to shed work: some
+// worker is parked hungry and no queued task exists to feed it. This is
+// the split gate streamRun polls every splitPeriod partial tuples.
+func (s *stealScheduler) shouldSplit() bool {
+	return s.waiters.Load() > 0 && s.pending.Load() == 0
+}
+
+// next returns worker w's next claimed task: own deque first, then a
+// sweep of the peers (a steal), parking when no work is visible but the
+// run may still produce some. ok=false means the run is over.
+func (s *stealScheduler) next(w int) (task, bool) {
+	for {
+		if t, ok := s.queues[w].popTail(); ok {
+			s.claim()
+			return t, true
+		}
+		for i := 1; i < len(s.queues); i++ {
+			if t, ok := s.queues[(w+i)%len(s.queues)].popHead(); ok {
+				s.claim()
+				s.steals.Add(1)
+				return t, true
+			}
+		}
+		if s.done.Load() && s.pending.Load() == 0 && s.active.Load() == 0 {
+			return task{}, false
+		}
+		if s.pending.Load() > 0 {
+			// A task is mid-push or mid-claim; re-scan rather than park.
+			runtime.Gosched()
+			continue
+		}
+		s.mu.Lock()
+		s.waiters.Add(1)
+		for s.pending.Load() == 0 && !(s.done.Load() && s.active.Load() == 0) {
+			s.cond.Wait()
+		}
+		s.waiters.Add(-1)
+		s.mu.Unlock()
+	}
 }
 
 // GenericJoinParallelMorsels is the general morsel-driven entry point.
 // mkSink is invoked once per worker (worker ids 0..Workers-1, resolved via
 // ResolveWorkers); the returned sink receives, for every result tuple the
-// worker finds, the index of the morsel it belongs to and the transient
+// worker finds, the OrdKey of the task it belongs to and the transient
 // tuple (valid only during the call). Each worker's sink is called
-// sequentially, and a morsel is processed by exactly one worker, so sinks
-// may keep per-morsel state without locking; sinks of different workers
-// run concurrently. A sink returning false cancels the whole run. Results
-// within one morsel arrive in serial (lexicographic) order, and morsel
-// indexes increase with first-attribute key order, so concatenating
-// per-morsel output by index reproduces the serial executor's sequence.
+// sequentially, a task is processed by exactly one worker, and one task's
+// tuples arrive as one contiguous run per worker, so sinks may keep
+// per-task state without locking; sinks of different workers run
+// concurrently. A sink returning false cancels the whole run. Results
+// within one task arrive in serial (lexicographic) order and OrdKeys
+// order tasks by their position in the serial output, so concatenating
+// per-task output in OrdKey order reproduces the serial executor's
+// sequence — even when recursive splits carved a hot key's subtree into
+// many tasks.
 //
 // The returned statistics are the merged driver + worker counters; for a
-// run to completion they equal the serial executor's exactly.
-func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts, mkSink func(worker int) func(morsel int, t relational.Tuple) bool) (*GenericJoinStats, error) {
+// run to completion they equal the serial executor's exactly, except the
+// scheduling-dependent Splits and Steals counters (serially always 0).
+func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts, mkSink func(worker int) func(ord OrdKey, t relational.Tuple) bool) (*GenericJoinStats, error) {
 	pos := make(map[string]int, len(order))
 	for i, a := range order {
 		if _, dup := pos[a]; dup {
@@ -103,7 +348,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 		// extract. Run it through the serial loop against sink 0.
 		sink := mkSink(0)
 		return GenericJoinStreamOpts(atoms, order, StreamOpts{Cancel: opts.Cancel, Check: opts.Check}, func(t relational.Tuple) bool {
-			return sink(0, t)
+			return sink(nil, t)
 		})
 	}
 
@@ -128,15 +373,16 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 
 	// The driver performs exactly the serial executor's depth-0 work —
 	// one intersection over the first attribute's cursors — but instead
-	// of recursing under each key it packs keys into morsels.
+	// of recursing under each key it packs keys into root tasks, dealt
+	// round-robin across the worker deques.
 	driverStats := &GenericJoinStats{Order: append([]string(nil), order...)}
 	driverStats.StageSizes = make([]int, len(order))
-	ch := make(chan morsel, 2*workers)
+	sched := newStealScheduler(workers)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		defer close(ch)
+		defer sched.produceDone()
 		b := &prefixBinding{pos: pos}
 		var open []AtomIterator
 		for _, at := range byAttr[0] {
@@ -159,20 +405,28 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 		if adaptive {
 			size = 1
 		}
-		idx := 0
+		var idx int32
 		var keys []relational.Value
 		flush := func() {
 			if len(keys) == 0 {
 				return
 			}
-			ch <- morsel{idx: idx, keys: keys}
+			sched.throttleProduce(stop)
+			sched.push(int(idx)%workers, task{ord: OrdKey{idx}, keys: keys})
 			idx++
 			keys = nil
-			if adaptive && idx%(4*workers) == 0 && size < maxMorselSize {
+			if adaptive && int(idx)%(4*workers) == 0 && size < maxMorselSize {
 				size *= 2
+				// Clamp growth to the keys-per-worker seen so far: without
+				// it a short first attribute rides out in a few oversized
+				// tail morsels and leaves most workers idle from the start
+				// (recursive splitting can repair that, but not for free).
+				if perWorker := int(idx) / workers; size > perWorker {
+					size = perWorker
+				}
 			}
 		}
-		leapfrogEach(open, &driverStats.Seeks, func(v relational.Value) bool {
+		collect := func(v relational.Value) bool {
 			if stop.Load() {
 				return false
 			}
@@ -185,7 +439,25 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 				flush()
 			}
 			return true
-		})
+		}
+		if len(order) == 1 {
+			// Single-attribute joins: the first attribute is also the
+			// leaf, which the serial executor enumerates batched; match
+			// its cursor-op sequence so merged statistics stay
+			// serial-identical.
+			buf := make([]relational.Value, leafBatchSize)
+			leapfrogBatch(open, &driverStats.Seeks, buf, func(vs []relational.Value) bool {
+				driverStats.Batches++
+				for _, v := range vs {
+					if !collect(v) {
+						return false
+					}
+				}
+				return true
+			})
+		} else {
+			leapfrogEach(open, &driverStats.Seeks, collect)
+		}
 		flush()
 		closeAll(open)
 	}()
@@ -198,7 +470,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 			stats := &workerStats[w]
 			stats.StageSizes = make([]int, len(order))
 			sink := mkSink(w)
-			cur := -1 // morsel being processed, for the emit closure
+			var curOrd OrdKey
 			r := newStreamRun(order, byAttr, pos, stats, func(t relational.Tuple) bool {
 				if opts.Limit > 0 {
 					n := emitted.Add(1)
@@ -207,7 +479,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 						return false
 					}
 					stats.Output++
-					if !sink(cur, t) {
+					if !sink(curOrd, t) {
 						stop.Store(true)
 						return false
 					}
@@ -218,7 +490,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 					return true
 				}
 				stats.Output++
-				if !sink(cur, t) {
+				if !sink(curOrd, t) {
 					stop.Store(true)
 					return false
 				}
@@ -228,23 +500,48 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 			if opts.Cancel != nil {
 				r.check = opts.Check
 			}
-			for m := range ch {
-				// Keep draining after a stop so the driver never blocks.
+			var nextSub int32
+			if !opts.DisableRecursiveSplit && workers > 1 {
+				r.splitGate = sched.shouldSplit
+				r.spawn = func(prefix, keys []relational.Value) {
+					nextSub++
+					sched.push(w, task{ord: curOrd.child(nextSub), prefix: prefix, keys: keys})
+					sched.splits.Add(1)
+				}
+			}
+			for {
+				tk, ok := sched.next(w)
+				if !ok {
+					return
+				}
 				if stop.Load() {
+					sched.release() // drain: discard without running
 					continue
 				}
-				cur = m.idx
-				for _, v := range m.keys {
+				curOrd, nextSub = tk.ord, 0
+				r.wantSplit, r.sinceGate = false, 0
+				depth := len(tk.prefix)
+				for i, v := range tk.keys {
 					if stop.Load() {
 						break
 					}
-					r.binding = append(r.binding[:0], v)
-					r.rec(1)
+					r.binding = append(r.binding[:0], tk.prefix...)
+					r.binding = append(r.binding, v)
+					r.rec(depth + 1)
 					if r.openErr != nil {
 						fail(r.openErr)
 						break
 					}
+					if r.wantSplit && r.spawn != nil && i+1 < len(tk.keys) {
+						// Shed this task's own tail in one push: the keys
+						// after i become a task ordered after every
+						// sub-task key i's subtree just spawned (spawn
+						// increments nextSub past them).
+						r.spawn(tk.prefix, tk.keys[i+1:])
+						break
+					}
 				}
+				sched.release()
 			}
 		}(w)
 	}
@@ -255,6 +552,8 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 	for w := range workerStats {
 		driverStats.Merge(&workerStats[w])
 	}
+	driverStats.Splits = int(sched.splits.Load())
+	driverStats.Steals = int(sched.steals.Load())
 	return driverStats, nil
 }
 
@@ -272,13 +571,13 @@ func GenericJoinParallelStream(atoms []Atom, order []string, workers int, yield 
 // GenericJoinParallelStreamOpts is GenericJoinParallelStream with full
 // control over morsel size and the global emission limit.
 func GenericJoinParallelStreamOpts(atoms []Atom, order []string, opts ParallelOpts, yield func(relational.Tuple) bool) (*GenericJoinStats, error) {
-	return GenericJoinParallelMorsels(atoms, order, opts, func(int) func(int, relational.Tuple) bool {
-		return func(_ int, t relational.Tuple) bool { return yield(t) }
+	return GenericJoinParallelMorsels(atoms, order, opts, func(int) func(OrdKey, relational.Tuple) bool {
+		return func(_ OrdKey, t relational.Tuple) bool { return yield(t) }
 	})
 }
 
 // GenericJoinParallel evaluates the join with the morsel-driven parallel
-// executor and collects the result, reassembled in morsel order so tuples
+// executor and collects the result, reassembled in task order so tuples
 // and statistics are identical to the serial executor's (workers == 0 uses
 // GOMAXPROCS; workers <= 1 degrades to the serial streaming executor).
 // Unlike the former breadth-first implementation this never materializes
@@ -295,12 +594,12 @@ func GenericJoinParallel(atoms []Atom, order []string, workers int) (*GenericJoi
 
 // GenericJoinParallelOpts is GenericJoinParallel with full options. With a
 // Limit the output is exactly min(Limit, |result|) tuples — a
-// scheduling-dependent subset of the full answer, still in morsel order.
+// scheduling-dependent subset of the full answer, still in task order.
 func GenericJoinParallelOpts(atoms []Atom, order []string, opts ParallelOpts) (*GenericJoinResult, error) {
 	col := NewMorselCollector(ResolveWorkers(opts.Workers))
-	stats, err := GenericJoinParallelMorsels(atoms, order, opts, func(w int) func(int, relational.Tuple) bool {
-		return func(m int, t relational.Tuple) bool {
-			col.Add(w, m, t)
+	stats, err := GenericJoinParallelMorsels(atoms, order, opts, func(w int) func(OrdKey, relational.Tuple) bool {
+		return func(ord OrdKey, t relational.Tuple) bool {
+			col.Add(w, ord, t)
 			return true
 		}
 	})
@@ -312,46 +611,47 @@ func GenericJoinParallelOpts(atoms []Atom, order []string, opts ParallelOpts) (*
 
 // MorselCollector reassembles the tuples of a GenericJoinParallelMorsels
 // run into the serial executor's order: each worker accumulates cloned
-// tuples per morsel, and Tuples concatenates the chunks by morsel index.
+// tuples per task, and Tuples concatenates the chunks in OrdKey order.
 // Callers that filter (validation, limits) decide per tuple whether to
 // Add. Add is safe for concurrent use by *different* workers — state is
-// worker-local — and relies on each worker's morsel indexes arriving in
-// runs; Tuples must only be called after the run finishes.
+// worker-local — and relies on each worker's task OrdKeys arriving in
+// contiguous runs (the sink contract); Tuples must only be called after
+// the run finishes.
 type MorselCollector struct {
-	perWorker [][]morselChunk
+	perWorker [][]taskChunk
 }
 
-// morselChunk is one morsel's collected tuples, tagged for reassembly.
-type morselChunk struct {
-	idx    int
+// taskChunk is one task's collected tuples, tagged for reassembly.
+type taskChunk struct {
+	ord    OrdKey
 	tuples []relational.Tuple
 }
 
 // NewMorselCollector sizes a collector for the resolved worker count.
 func NewMorselCollector(workers int) *MorselCollector {
-	return &MorselCollector{perWorker: make([][]morselChunk, workers)}
+	return &MorselCollector{perWorker: make([][]taskChunk, workers)}
 }
 
-// Add records a clone of t as output of the given morsel, from the given
-// worker.
-func (c *MorselCollector) Add(worker, morsel int, t relational.Tuple) {
+// Add records a clone of t as output of the task identified by ord, from
+// the given worker.
+func (c *MorselCollector) Add(worker int, ord OrdKey, t relational.Tuple) {
 	chunks := c.perWorker[worker]
-	if len(chunks) == 0 || chunks[len(chunks)-1].idx != morsel {
-		chunks = append(chunks, morselChunk{idx: morsel})
+	if len(chunks) == 0 || !chunks[len(chunks)-1].ord.equal(ord) {
+		chunks = append(chunks, taskChunk{ord: ord})
 		c.perWorker[worker] = chunks
 	}
 	last := &chunks[len(chunks)-1]
 	last.tuples = append(last.tuples, t.Clone())
 }
 
-// Tuples returns every collected tuple in morsel order (nil when nothing
+// Tuples returns every collected tuple in task order (nil when nothing
 // was collected, matching the serial executors' empty result).
 func (c *MorselCollector) Tuples() []relational.Tuple {
-	var all []morselChunk
+	var all []taskChunk
 	for _, chunks := range c.perWorker {
 		all = append(all, chunks...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].idx < all[j].idx })
+	sort.Slice(all, func(i, j int) bool { return all[i].ord.Less(all[j].ord) })
 	var out []relational.Tuple
 	for _, ch := range all {
 		out = append(out, ch.tuples...)

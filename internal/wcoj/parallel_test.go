@@ -331,6 +331,9 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 		"Output":           true,
 		"Intersections":    true,
 		"Seeks":            true,
+		"Batches":          true,
+		"Splits":           true,
+		"Steals":           true,
 	}
 	rt := reflect.TypeOf(GenericJoinStats{})
 	for i := 0; i < rt.NumField(); i++ {
@@ -338,11 +341,12 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 			t.Errorf("GenericJoinStats gained field %q: add a rule to Merge and to this test", rt.Field(i).Name)
 		}
 	}
-	a := GenericJoinStats{StageSizes: []int{5, 2}, Output: 3, Intersections: 4, Seeks: 9}
-	b := GenericJoinStats{Order: []string{"x", "y"}, StageSizes: []int{1, 7}, Output: 2, Intersections: 1, Seeks: 6}
+	a := GenericJoinStats{StageSizes: []int{5, 2}, Output: 3, Intersections: 4, Seeks: 9, Batches: 2, Splits: 1, Steals: 3}
+	b := GenericJoinStats{Order: []string{"x", "y"}, StageSizes: []int{1, 7}, Output: 2, Intersections: 1, Seeks: 6, Batches: 5, Splits: 2, Steals: 4}
 	a.Merge(&b)
 	if !reflect.DeepEqual(a.StageSizes, []int{6, 9}) || a.Output != 5 ||
 		a.Intersections != 5 || a.Seeks != 15 || a.PeakIntermediate != 9 ||
+		a.Batches != 7 || a.Splits != 3 || a.Steals != 7 ||
 		!reflect.DeepEqual(a.Order, []string{"x", "y"}) {
 		t.Fatalf("merged = %+v", a)
 	}

@@ -12,6 +12,21 @@ import (
 // over their own private state. A run owns its iterator scratch, binding
 // buffer and statistics; only the atoms (whose Open must be safe for
 // concurrent use) and the optional stop flag are shared.
+//
+// Two optional behaviours ride on the same loop:
+//
+//   - the leaf depth (the last attribute) enumerates batched: its
+//     intersection runs through leapfrogBatch, delivering key vectors, and
+//     tuples are emitted from a tight per-value loop that still honours the
+//     stop flag per value and the check backstop per checkInterval values;
+//
+//   - a parallel worker may set splitGate/spawn, turning the run
+//     splittable: when the gate reports starving workers, every
+//     enumeration level packs its remaining keys into sub-tasks handed to
+//     spawn — instead of expanding them — on the way out of the recursion,
+//     so the remainder of a hot subtree fans out across the pool. Packing
+//     reuses the very enumeration that was already running, so cursor
+//     traffic (and therefore merged statistics) stays serial-identical.
 type streamRun struct {
 	order  []string
 	byAttr [][]Atom
@@ -20,6 +35,9 @@ type streamRun struct {
 	its     [][]AtomIterator
 	binding relational.Tuple
 	b       *prefixBinding
+	// batch is the leaf-level key-vector buffer; it shares one allocation
+	// with binding (see newStreamRun).
+	batch []relational.Value
 	// emit receives each full binding; it is responsible for Output
 	// accounting (the morsel workers only count tuples that win the
 	// global limit race).
@@ -29,8 +47,9 @@ type streamRun struct {
 	// worker exhausted the shared limit, failed, had its sink return
 	// false — or, when the caller supplied the flag (StreamOpts.Cancel /
 	// ParallelOpts.Cancel), an external context watcher asked the whole
-	// run to abandon. Checked once per partial tuple, so cancellation
-	// latency is bounded by one key's work at each depth.
+	// run to abandon. Checked once per partial tuple — inside leaf batches
+	// too — so cancellation latency is bounded by one key's work at each
+	// depth, never by a batch.
 	stop *atomic.Bool
 	// check, when non-nil (it requires stop), is the scheduler-independent
 	// cancellation backstop: polled every checkInterval partial tuples, a
@@ -40,30 +59,152 @@ type streamRun struct {
 	// full preemption quantum, during which a fast join finishes anyway.
 	check      func() bool
 	sinceCheck int
+
+	// splitGate, when non-nil, is polled every splitPeriod partial tuples;
+	// a true return (the scheduler reporting starving workers and an empty
+	// queue) flips wantSplit for the rest of the current task.
+	splitGate func() bool
+	// spawn hands a packed sub-task — a cloned prefix and an owned run of
+	// keys for the attribute at len(prefix) — to the scheduler. Sub-tasks
+	// are spawned in serial output order.
+	spawn     func(prefix, keys []relational.Value)
+	wantSplit bool
+	sinceGate int
+	// packing state: while packing, enumeration at packDepth collects keys
+	// into packKeys (flushed to spawn in subMorselSize chunks under the
+	// cloned packPrefix) instead of recursing below them.
+	packing    bool
+	packDepth  int
+	packPrefix []relational.Value
+	packKeys   []relational.Value
 }
 
 // checkInterval is how many partial tuples may pass between check polls:
 // large enough that the poll (an atomic context-error load) vanishes in
 // the join work, small enough that cancellation latency stays well under
-// a millisecond of exploration.
+// a millisecond of exploration. The leaf loop advances the counter by
+// whole batches (leafBatchSize << checkInterval), preserving the cadence.
 const checkInterval = 1024
+
+// splitPeriod is how many partial tuples may pass between split-gate
+// polls: two atomic loads every splitPeriod values bounds gate overhead
+// under half a percent while a starving pool still gets fed within a few
+// microseconds of work.
+const splitPeriod = 256
+
+// subMorselSize is how many keys one packed sub-task carries. Small
+// enough to fan a hot subtree across every worker, large enough that
+// scheduling overhead stays marginal against a key's expansion work.
+const subMorselSize = 64
 
 // newStreamRun builds a run over the grouped atoms. pos maps attributes to
 // order positions (shared, read-only).
 func newStreamRun(order []string, byAttr [][]Atom, pos map[string]int, stats *GenericJoinStats, emit func(relational.Tuple) bool) *streamRun {
+	// binding (cap len(order), never grows past it) and the leaf batch
+	// buffer share one allocation; the full slice expressions keep append
+	// from ever crossing the boundary.
+	vbuf := make([]relational.Value, len(order)+leafBatchSize)
+	nAtoms := 0
+	for _, g := range byAttr {
+		nAtoms += len(g)
+	}
+	backing := make([]AtomIterator, nAtoms)
 	r := &streamRun{
 		order:   order,
 		byAttr:  byAttr,
 		stats:   stats,
 		its:     make([][]AtomIterator, len(order)),
-		binding: make(relational.Tuple, 0, len(order)),
+		binding: relational.Tuple(vbuf[:0:len(order)]),
+		batch:   vbuf[len(order):],
 		b:       &prefixBinding{pos: pos},
 		emit:    emit,
 	}
+	off := 0
 	for i := range r.its {
-		r.its[i] = make([]AtomIterator, 0, len(byAttr[i]))
+		n := len(byAttr[i])
+		r.its[i] = backing[off : off : off+n]
+		off += n
 	}
 	return r
+}
+
+// poll runs the per-partial-tuple cancellation checks; false abandons the
+// enumeration.
+func (r *streamRun) poll() bool {
+	if r.stop == nil {
+		return true
+	}
+	if r.stop.Load() {
+		return false
+	}
+	if r.check != nil {
+		if r.sinceCheck++; r.sinceCheck >= checkInterval {
+			r.sinceCheck = 0
+			if r.check() {
+				r.stop.Store(true)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// gate advances the split-gate counter by n partial tuples and flips
+// wantSplit when the scheduler wants work shed.
+func (r *streamRun) gate(n int) {
+	if r.splitGate == nil || r.wantSplit {
+		return
+	}
+	if r.sinceGate += n; r.sinceGate >= splitPeriod {
+		r.sinceGate = 0
+		if r.splitGate() {
+			r.wantSplit = true
+		}
+	}
+}
+
+// beginPack starts packing the remainder of the enumeration at depth: the
+// current binding prefix is cloned (the live buffer keeps mutating) and
+// subsequent values at this depth collect into sub-tasks instead of
+// recursing.
+func (r *streamRun) beginPack(depth int) {
+	r.packing = true
+	r.packDepth = depth
+	r.packPrefix = append([]relational.Value(nil), r.binding[:depth]...)
+	r.packKeys = r.packKeys[:0]
+}
+
+// pack buffers one key of the packing level, flushing a sub-task per
+// subMorselSize keys. It reports false when the run was cancelled (packing
+// performs no emission of its own, so it must poll the stop flag itself).
+func (r *streamRun) pack(v relational.Value) bool {
+	if !r.poll() {
+		return false
+	}
+	r.packKeys = append(r.packKeys, v)
+	if len(r.packKeys) >= subMorselSize {
+		r.flushPack()
+	}
+	return true
+}
+
+// flushPack spawns the buffered keys as one sub-task.
+func (r *streamRun) flushPack() {
+	if len(r.packKeys) == 0 {
+		return
+	}
+	keys := append([]relational.Value(nil), r.packKeys...)
+	r.packKeys = r.packKeys[:0]
+	r.spawn(r.packPrefix, keys)
+}
+
+// endPack closes a packing episode opened at depth, if one is active.
+func (r *streamRun) endPack(depth int) {
+	if r.packing && r.packDepth == depth {
+		r.flushPack()
+		r.packing = false
+		r.packPrefix = nil
+	}
 }
 
 // rec expands the attribute at depth under the bindings accumulated so far
@@ -74,20 +215,10 @@ func (r *streamRun) rec(depth int) bool {
 	// The stop check covers the leaf depth too, so once the flag is up no
 	// further tuple is emitted — post-cancel emissions are bounded by the
 	// one call already in flight per worker, not by a key-run's tail.
-	if r.stop != nil {
-		if r.stop.Load() {
-			return false
-		}
-		if r.check != nil {
-			if r.sinceCheck++; r.sinceCheck >= checkInterval {
-				r.sinceCheck = 0
-				if r.check() {
-					r.stop.Store(true)
-					return false
-				}
-			}
-		}
+	if !r.poll() {
+		return false
 	}
+	r.gate(1)
 	if depth == len(r.order) {
 		return r.emit(r.binding)
 	}
@@ -109,15 +240,104 @@ func (r *streamRun) rec(depth int) bool {
 		open = append(open, it)
 	}
 	r.stats.Intersections++
+	if depth == len(r.order)-1 {
+		cont := r.leafLoop(open, depth)
+		r.endPack(depth)
+		closeAll(open)
+		return cont
+	}
 	cont := leapfrogEach(open, &r.stats.Seeks, func(v relational.Value) bool {
 		r.stats.StageSizes[depth]++
+		if r.packing {
+			return r.pack(v)
+		}
+		if r.wantSplit && r.spawn != nil {
+			// The scheduler wants work: from here on this level's keys
+			// become sub-tasks. The enumeration itself continues — it is
+			// exactly the cursor traffic the serial executor would do — but
+			// the recursion below each key moves to the pool.
+			r.beginPack(depth)
+			return r.pack(v)
+		}
 		r.binding = append(r.binding, v)
 		c := r.rec(depth + 1)
 		r.binding = r.binding[:len(r.binding)-1]
 		return c
 	})
+	r.endPack(depth)
 	closeAll(open)
 	return cont
+}
+
+// leafLoop enumerates the last attribute's intersection batched,
+// dispatching to the all-slice fast path when every cursor is a
+// valuesIter. Emission stays per value (the stop flag is consulted before
+// every tuple, exactly like the scalar loop), and when the run is packing
+// the delivered vectors are packed instead of emitted.
+func (r *streamRun) leafLoop(open []AtomIterator, depth int) bool {
+	deliver := func(vs []relational.Value) bool {
+		r.stats.Batches++
+		if r.packing || (r.wantSplit && r.spawn != nil) {
+			if !r.packing {
+				r.beginPack(depth)
+			}
+			for _, v := range vs {
+				r.stats.StageSizes[depth]++
+				if !r.pack(v) {
+					return false
+				}
+			}
+			return true
+		}
+		base := len(r.binding)
+		r.binding = append(r.binding, 0)
+		for _, v := range vs {
+			if r.stop != nil && r.stop.Load() {
+				r.binding = r.binding[:base]
+				return false
+			}
+			r.stats.StageSizes[depth]++
+			r.binding[base] = v
+			if !r.emit(r.binding) {
+				r.binding = r.binding[:base]
+				return false
+			}
+		}
+		r.binding = r.binding[:base]
+		// The checkInterval backstop and the split gate tick per value
+		// even though they are only consulted between batches.
+		if r.stop != nil && r.check != nil {
+			if r.sinceCheck += len(vs); r.sinceCheck >= checkInterval {
+				r.sinceCheck = 0
+				if r.check() {
+					r.stop.Store(true)
+					return false
+				}
+			}
+		}
+		r.gate(len(vs))
+		return true
+	}
+	// The fast-path cursor list lives in a fixed stack array (it never
+	// escapes leapfrogBatchValues), so the dispatch costs no allocation;
+	// joins with more leaf cursors than the array take the generic path.
+	var arr [8]*valuesIter
+	if len(open) >= 2 && len(open) <= len(arr) {
+		vs := arr[:0]
+		allValues := true
+		for _, it := range open {
+			vi, ok := it.(*valuesIter)
+			if !ok {
+				allValues = false
+				break
+			}
+			vs = append(vs, vi)
+		}
+		if allValues {
+			return leapfrogBatchValues(vs, &r.stats.Seeks, r.batch, deliver)
+		}
+	}
+	return leapfrogBatch(open, &r.stats.Seeks, r.batch, deliver)
 }
 
 // StreamOpts tunes the serial streaming executor. The zero value is the
@@ -127,11 +347,11 @@ type StreamOpts struct {
 	// Cancel, when non-nil, is an external cancellation flag: once it reads
 	// true the executor abandons the enumeration after at most one key's
 	// worth of work per depth (the flag is checked before every partial
-	// tuple's intersection) and returns the statistics accumulated so far
-	// with a nil error — cancellation is the caller's protocol, not an
-	// executor failure. The core layer points this at a flag flipped by a
-	// context watcher; the nil fast path costs a single pointer test per
-	// partial tuple and allocates nothing.
+	// tuple's intersection, and per value inside leaf batches) and returns
+	// the statistics accumulated so far with a nil error — cancellation is
+	// the caller's protocol, not an executor failure. The core layer points
+	// this at a flag flipped by a context watcher; the nil fast path costs
+	// a single pointer test per partial tuple and allocates nothing.
 	Cancel *atomic.Bool
 	// Check, when non-nil (Cancel must be set too), is polled every
 	// checkInterval partial tuples; a true return raises Cancel for the
@@ -147,10 +367,10 @@ type StreamOpts struct {
 // attribute at a time in the given order — the paper's Algorithm 1 main
 // loop — depth-first, without materializing any stage: at each depth the
 // candidate values are the leapfrogged intersection of the cursors every
-// atom mentioning the attribute opens under the bindings so far. Result
-// tuples are emitted in lexicographic order of the attribute order; emit
-// receives a transient tuple and returning false stops the enumeration
-// early.
+// atom mentioning the attribute opens under the bindings so far (the last
+// depth runs batched, see BatchIterator). Result tuples are emitted in
+// lexicographic order of the attribute order; emit receives a transient
+// tuple and returning false stops the enumeration early.
 //
 // Every attribute of every atom must appear in order, and every attribute
 // of order must occur in at least one atom. The returned StageSizes count

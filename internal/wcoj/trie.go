@@ -235,6 +235,19 @@ func (it *trieRangeIter) Seek(v relational.Value) {
 	it.pos = it.trie.seekRow(it.pos, it.hi, it.level, v)
 }
 
+// NextBatch implements BatchIterator: it fills dst with consecutive distinct
+// values of the level, hopping value runs inline instead of paying a
+// Key/Next interface-call pair per value.
+func (it *trieRangeIter) NextBatch(dst []relational.Value) int {
+	n := 0
+	for n < len(dst) && it.pos < it.hi {
+		dst[n] = it.trie.value(it.pos, it.level)
+		n++
+		it.pos = it.trie.runEnd(it.pos, it.hi, it.level)
+	}
+	return n
+}
+
 func (it *trieRangeIter) Close() {
 	it.trie = nil
 	trieRangeIterPool.Put(it)

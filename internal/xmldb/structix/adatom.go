@@ -239,6 +239,21 @@ func (it *stabIter) Seek(v relational.Value) {
 	it.settle()
 }
 
+// NextBatch implements wcoj.BatchIterator: it fills dst with consecutive
+// admitted values, running the stab-admission walk inline instead of paying
+// one interface call per value.
+func (it *stabIter) NextBatch(dst []relational.Value) int {
+	n := 0
+	for n < len(dst) && it.pos < len(it.tr.vals) {
+		if stabs(it.doc, it.tr.runs[it.pos], it.anc) {
+			dst[n] = it.tr.vals[it.pos]
+			n++
+		}
+		it.pos++
+	}
+	return n
+}
+
 func (it *stabIter) Close() {
 	it.doc, it.tr, it.anc = nil, nil, nil
 	stabPool.Put(it)
@@ -270,6 +285,14 @@ func (it *bufIter) Next()                 { it.pos++ }
 func (it *bufIter) Seek(v relational.Value) {
 	vals := it.vals
 	it.pos += sort.Search(len(vals)-it.pos, func(i int) bool { return vals[it.pos+i] >= v })
+}
+
+// NextBatch implements wcoj.BatchIterator: one bulk copy off the sorted
+// buffer instead of a Key/Next call pair per value.
+func (it *bufIter) NextBatch(dst []relational.Value) int {
+	n := copy(dst, it.vals[it.pos:])
+	it.pos += n
+	return n
 }
 
 func (it *bufIter) Close() { bufPool.Put(it) }

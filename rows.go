@@ -10,17 +10,26 @@ import (
 	"repro/internal/core"
 )
 
-// rowsBuffer is the Rows channel capacity: enough to decouple producer
-// and consumer scheduling hiccups, small enough that an abandoned cursor
-// holds only a handful of decoded rows and the executor stays paced by
-// the consumer (backpressure).
-const rowsBuffer = 16
+// The Rows channel carries chunks of rows, not single rows: crossing a
+// channel (and waking the consumer) per row is most of a cursor's overhead
+// on fast joins, so the producer coalesces. rowsChunkCap bounds a chunk
+// and rowsBuffer the chunks in flight, so an unread cursor suspends the
+// join after at most rowsBuffer*rowsChunkCap decoded rows plus one pending
+// chunk (backpressure). The producer ramps its flush threshold 1, 2, 4, …
+// rowsChunkCap so the first answer still crosses immediately — first-row
+// latency stays one row's work, only the steady state is batched.
+const (
+	rowsChunkCap = 64
+	rowsBuffer   = 4
+)
 
 // Rows is a pull-based cursor over a streaming join — the database/sql
 // shape of the engine. The executor runs in one managed goroutine,
-// producing validated answers into a small buffer; Next blocks until the
-// next answer (backpressure: an unread cursor suspends the join after
-// rowsBuffer rows rather than enumerating a worst-case result), and Close
+// producing validated answers into a small buffer of row chunks; Next
+// blocks until the next answer (backpressure: an unread cursor suspends
+// the join after a few hundred rows rather than enumerating a worst-case
+// result), NextBatch drains a chunk at a time for consumers that can take
+// answers in runs, and Close
 // — or the context given at creation ending — stops the executor within
 // one morsel's work and releases its pooled iterators. Always call Close;
 // it is idempotent, runs fine after Next returned false, and is the only
@@ -40,10 +49,12 @@ type Rows struct {
 	parent context.Context // the caller's context, for Err/Close semantics
 	cancel context.CancelFunc
 	cols   []string
-	rows   chan []string
+	rows   chan [][]string
 	done   chan struct{} // closed after stats/err are written
 	close  sync.Once
 
+	batch    [][]string // current chunk being drained by Next
+	bpos     int
 	cur      []string
 	finished bool
 	stats    Stats
@@ -61,24 +72,52 @@ func startRows(ctx context.Context, cols []string, run func(ctx context.Context,
 		parent: ctx,
 		cancel: cancel,
 		cols:   cols,
-		rows:   make(chan []string, rowsBuffer),
+		rows:   make(chan [][]string, rowsBuffer),
 		done:   make(chan struct{}),
 	}
 	go func() {
-		stats, err := run(rctx, func(row []string) bool {
-			// The executor reuses its row buffer; the cursor hands rows
-			// to another goroutine, so each crosses as its own copy.
-			cp := make([]string, len(row))
-			copy(cp, row)
-			select {
-			case r.rows <- cp:
+		var (
+			pending [][]string // chunk under construction
+			cells   []string   // one backing block for the chunk's cells
+			target  = 1        // flush threshold, ramping to rowsChunkCap
+		)
+		flush := func() bool {
+			if len(pending) == 0 {
 				return true
+			}
+			select {
+			case r.rows <- pending:
 			case <-rctx.Done():
 				// Close or the caller's context: stop the executor; the
 				// run function reports the cancellation through err.
 				return false
 			}
+			pending, cells = nil, nil
+			if target < rowsChunkCap {
+				target *= 2
+			}
+			return true
+		}
+		stats, err := run(rctx, func(row []string) bool {
+			// The executor reuses its row buffer; the cursor hands rows to
+			// another goroutine, so each crosses as its own copy — carved
+			// from one per-chunk block, so a chunk costs two allocations
+			// however many rows it carries.
+			if pending == nil {
+				pending = make([][]string, 0, target)
+				cells = make([]string, 0, target*len(row))
+			}
+			off := len(cells)
+			cells = append(cells, row...)
+			pending = append(pending, cells[off:len(cells):len(cells)])
+			if len(pending) >= target {
+				return flush()
+			}
+			return true
 		})
+		// Answers produced before an error or cancellation are still valid;
+		// deliver the partial chunk before ending the stream.
+		flush()
 		r.stats, r.err = stats, err
 		close(r.rows)
 		close(r.done)
@@ -97,14 +136,46 @@ func (r *Rows) Next() bool {
 	if r.finished {
 		return false
 	}
-	row, ok := <-r.rows
+	if r.bpos >= len(r.batch) {
+		batch, ok := <-r.rows
+		if !ok {
+			r.finished = true
+			r.batch, r.cur = nil, nil
+			return false
+		}
+		r.batch, r.bpos = batch, 0
+	}
+	r.cur = r.batch[r.bpos]
+	r.bpos++
+	return true
+}
+
+// NextBatch advances by a whole chunk: it returns the executor's next run
+// of answers — every element a complete validated row, in the same order
+// Next would yield them — or nil when the cursor is exhausted (consult Err,
+// as after Next returning false). Chunks are never empty and their size is
+// the producer's batching (up to 64 rows), not a caller contract. The
+// returned rows are the caller's to keep. Row and Scan track Next only;
+// after NextBatch they return nothing until the next Next. Mixing the two
+// is fine: NextBatch first drains whatever the last partially consumed
+// chunk still holds.
+func (r *Rows) NextBatch() [][]string {
+	if r.finished {
+		return nil
+	}
+	r.cur = nil
+	if r.bpos < len(r.batch) {
+		b := r.batch[r.bpos:]
+		r.batch, r.bpos = nil, 0
+		return b
+	}
+	batch, ok := <-r.rows
 	if !ok {
 		r.finished = true
-		r.cur = nil
-		return false
+		r.batch = nil
+		return nil
 	}
-	r.cur = row
-	return true
+	return batch
 }
 
 // Row returns the current answer (decoded strings in Columns order). The

@@ -297,3 +297,98 @@ func settles(n int) bool {
 	}
 	return runtime.NumGoroutine() <= n
 }
+
+// TestRowsNextBatch pins the chunked cursor surface: NextBatch must yield
+// exactly the rows Next would, in the same order, chunks non-empty, nil at
+// the end; mixing the two drains partially consumed chunks first; and the
+// returned rows stay valid after further advances (caller-keep contract).
+func TestRowsNextBatch(t *testing.T) {
+	db := deepChainDB(t, 60) // enough rows to span several chunks
+	q, err := db.Query("//a//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want [][]string
+	if _, err := q.ExecXJoinStream(func(row []string) bool {
+		want = append(want, append([]string(nil), row...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 10 {
+		t.Fatalf("workload too small for a batching test: %d rows", len(want))
+	}
+
+	// Pure NextBatch drain.
+	rows, err := q.Rows(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got [][]string
+	for {
+		batch := rows.NextBatch()
+		if batch == nil {
+			break
+		}
+		if len(batch) == 0 {
+			t.Fatal("NextBatch returned an empty non-nil chunk")
+		}
+		got = append(got, batch...)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextBatch yielded %d rows, stream %d", len(got), len(want))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("row %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if rows.NextBatch() != nil {
+		t.Fatal("NextBatch after exhaustion returned rows")
+	}
+
+	// Mixed consumption: two Next calls, then NextBatch must pick up from
+	// the third row without skipping the partially consumed chunk.
+	rows2, err := q.Rows(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows2.Close()
+	for i := 0; i < 2; i++ {
+		if !rows2.Next() {
+			t.Fatal("cursor exhausted early")
+		}
+		if got := rows2.Row(); got[0] != want[i][0] || got[len(got)-1] != want[i][len(got)-1] {
+			t.Fatalf("Next row %d = %v, want %v", i, got, want[i])
+		}
+	}
+	if rows2.Row() == nil {
+		t.Fatal("Row nil after successful Next")
+	}
+	n := 2
+	for {
+		batch := rows2.NextBatch()
+		if batch == nil {
+			break
+		}
+		for _, row := range batch {
+			if row[0] != want[n][0] {
+				t.Fatalf("mixed consumption diverged at row %d: %v want %v", n, row, want[n])
+			}
+			n++
+		}
+	}
+	if rows2.Row() != nil {
+		t.Fatal("Row still set after NextBatch; it tracks Next only")
+	}
+	if n != len(want) {
+		t.Fatalf("mixed consumption yielded %d rows, want %d", n, len(want))
+	}
+}

@@ -44,6 +44,14 @@
 //	res, _ = p.Execute(xmjoin.ExecOptions{Limit: 10})   // per-call knobs
 //	db.Catalog().SetBudget(64 << 20)                    // cap resident index bytes (LRU)
 //
+// Every run reports Stats: the paper's per-stage intermediate sizes
+// against their worst-case bounds, catalog hit/miss counters, and the
+// executor's own counters — LeafBatches counts the value vectors the
+// batched leaf loop delivered (identical for serial and parallel runs
+// over the same plan), while MorselSplits and MorselSteals expose how
+// the morsel scheduler responded to skew under WithParallelism (both
+// zero serially).
+//
 // Execution is context-first: every run can be cancelled or deadlined,
 // and the Rows cursor pulls answers one at a time — the shape of a
 // serving handler, where a worst-case optimal join (whose baseline can be
