@@ -17,6 +17,13 @@
 // e.g. -timeout 500ms): when it expires the join stops within one
 // morsel's work, the answers found so far are printed, a "cancelled"
 // line reports the partial statistics, and the exit status is 1.
+//
+// Exit status distinguishes the failure class: 1 for cancellation, bad
+// input and ordinary errors; 2 for internal engine errors (a recovered
+// executor panic, reported with its stack cause). A run degraded by
+// catalog budget pressure exits 0 and reports the reason on a
+// "degraded:" line — the answers are complete, only the execution
+// strategy changed.
 package main
 
 import (
@@ -42,6 +49,9 @@ func (t *tableFlags) Set(s string) error {
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "xjoin:", err)
+		if errors.Is(err, xmjoin.ErrInternal) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -202,9 +212,10 @@ func run() error {
 		return fmt.Errorf("unknown -algo %q", *algo)
 	}
 	if err != nil {
-		// A cancelled run still carries the answers found so far plus
-		// partial statistics; report them, then exit non-zero below.
-		if !errors.Is(err, xmjoin.ErrCancelled) || res == nil {
+		// A cancelled (or internally failed) run still carries the answers
+		// found so far plus partial statistics; report them, then exit
+		// non-zero below — 1 for cancellation, 2 for internal errors.
+		if res == nil || !(errors.Is(err, xmjoin.ErrCancelled) || errors.Is(err, xmjoin.ErrInternal)) {
 			return err
 		}
 		cancelledErr = err
@@ -231,6 +242,12 @@ func run() error {
 		s := res.Stats()
 		if s.Cancelled {
 			fmt.Printf("cancelled=true (partial stats; %d answers before cancellation)\n", res.Len())
+		}
+		if s.Internal {
+			fmt.Printf("internal=true (partial stats; %d answers before the failure)\n", res.Len())
+		}
+		if s.Degraded != "" {
+			fmt.Printf("degraded: %s\n", s.Degraded)
 		}
 		fmt.Printf("algorithm=%s peak_intermediate=%d total_intermediate=%d validation_removed=%d\n",
 			s.Algorithm, s.PeakIntermediate, s.TotalIntermediate, s.ValidationRemoved)

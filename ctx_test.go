@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // TestSentinelErrors pins the typed error contract: every assembly error
@@ -96,6 +98,7 @@ func deepChainDB(t testing.TB, depth int) *Database {
 // with the Cancelled marker, and the prepared surface honours both the
 // ctx argument and ExecOptions.Context through the shared options path.
 func TestExecCtxVariants(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	db := figure1DB(t)
 	q, err := db.Query("/invoices/orderLine[orderID][ISBN]/price", "R")
 	if err != nil {
@@ -140,6 +143,7 @@ func TestExecCtxVariants(t *testing.T) {
 // TestCancelMidRunPublic cancels a deep-chain enumeration through the
 // public streaming API and checks the partial-stats contract.
 func TestCancelMidRunPublic(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	db := deepChainDB(t, 400)
 	q, err := db.Query("//a//b")
 	if err != nil {

@@ -29,6 +29,87 @@
 // dropped.
 package cachehook
 
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBuildCancelled reports that a lazy index build observed its run's
+// cancellation probe and abandoned the build. The partially built
+// structure is discarded and the cache slot stays unbuilt, so the next
+// caller rebuilds from scratch. Executors absorb this sentinel as a stop
+// signal rather than surfacing it: the run then ends with whatever caused
+// the stop (context cancellation, a sibling failure, a satisfied limit).
+var ErrBuildCancelled = errors.New("cachehook: index build cancelled")
+
+// ErrBudgetExceeded reports that an admission probe refused a build whose
+// estimated footprint alone exceeds the manager's whole byte budget.
+// Callers with a cheaper fallback (e.g. core degrading a lazy A-D index
+// to post-hoc validation) should degrade for the run instead of evicting
+// hot entries to admit a one-shot giant index.
+var ErrBudgetExceeded = errors.New("cachehook: index build exceeds cache budget")
+
+// Admitter is implemented by cache managers that can refuse a build
+// before it runs. Owners consult it with a pre-build size estimate; a
+// returned error (wrapping ErrBudgetExceeded) means the entry must not be
+// built or registered.
+type Admitter interface {
+	// Admit reports whether an entry of approximately bytes heap bytes may
+	// be built. label names the entry for diagnostics.
+	Admit(label string, bytes int64) error
+}
+
+// BuildControl carries per-run controls into lazy index builds triggered
+// from Atom.Open paths. The zero value disables both probes.
+type BuildControl struct {
+	// Check, when non-nil, reports whether the run was cancelled; builds
+	// poll it every ~1024 nodes/rows and abandon with ErrBuildCancelled.
+	Check func() bool
+	// Admit, when non-nil, is consulted with a size estimate before an
+	// expensive build; a non-nil result aborts with ErrBudgetExceeded.
+	Admit Admitter
+}
+
+// Cancelled reports whether the run behind this control asked to stop.
+func (c BuildControl) Cancelled() bool { return c.Check != nil && c.Check() }
+
+// BuildOnce is a retryable variant of sync.Once for lazy cache entries:
+// a build that returns an error or panics leaves the slot unbuilt, so the
+// next caller retries instead of finding a poisoned Once wedged on a nil
+// entry forever. Concurrent callers serialize on a mutex; after the first
+// success, Do is a single atomic load.
+type BuildOnce struct {
+	mu   sync.Mutex
+	done atomic.Bool
+}
+
+// Do runs build unless a previous call already succeeded. It returns
+// (true, nil) when this call performed the build, (false, nil) when the
+// entry was already built, and (false, err) when build failed — in which
+// case the slot stays unbuilt and a later Do retries. A panic in build
+// propagates and likewise leaves the slot retryable. The built flag is
+// published before Do returns, so post-publish checks (e.g. the
+// drop-after-build race in TableAtom.DropIndexes) order correctly.
+func (o *BuildOnce) Do(build func() error) (built bool, err error) {
+	if o.done.Load() {
+		return false, nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.done.Load() {
+		return false, nil
+	}
+	if err := build(); err != nil {
+		return false, err
+	}
+	o.done.Store(true)
+	return true, nil
+}
+
+// Done reports whether some Do call completed successfully.
+func (o *BuildOnce) Done() bool { return o.done.Load() }
+
 // Observer receives build notifications from cache-entry owners. An
 // implementation must be safe for concurrent use.
 type Observer interface {

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cachehook"
+	"repro/internal/faultpoint"
 	"repro/internal/relational"
 	"repro/internal/wcoj"
 	"repro/internal/xmldb"
@@ -72,9 +73,11 @@ type Catalog struct {
 }
 
 // ixEntry is one per-document Indexes slot: the map slot installs under
-// srcMu, the eager build runs in once outside it.
+// srcMu, the eager build runs in once outside it. The once is retryable —
+// a build killed by a panic (a corrupt document, an injected fault) leaves
+// the slot unbuilt for the next caller instead of poisoning it.
 type ixEntry struct {
-	once sync.Once
+	once cachehook.BuildOnce
 	ix   *xmldb.Indexes
 }
 
@@ -118,9 +121,15 @@ func (c *Catalog) Indexes(doc *xmldb.Document) *xmldb.Indexes {
 		c.ixs[doc] = e
 	}
 	c.srcMu.Unlock()
-	e.once.Do(func() {
+	_, _ = e.once.Do(func() error {
+		if err := faultpoint.Inject("catalog.indexes.build"); err != nil {
+			// Indexes has no error return; the panic is recovered (and the
+			// slot left retryable) by the caller's isolation boundary.
+			panic(err)
+		}
 		e.ix = xmldb.NewIndexes(doc)
 		e.ix.SetCacheObserver(c)
+		return nil
 	})
 	c.countSource(ok)
 	return e.ix
@@ -158,6 +167,21 @@ func (c *Catalog) SetBudget(bytes int64) {
 
 // Budget returns the current byte budget (<= 0 = unlimited).
 func (c *Catalog) Budget() int64 { return c.budget.Load() }
+
+// Admit implements cachehook.Admitter: it rejects a lazily built entry
+// whose estimated footprint alone exceeds the whole budget, wrapping
+// cachehook.ErrBudgetExceeded so callers can degrade (e.g. fall back from
+// lazy to post-hoc A-D filtering) instead of building an index that would
+// immediately thrash every other resident entry. Entries that fit the
+// budget individually are always admitted — eviction handles aggregate
+// pressure — so admission never rejects what eviction could accommodate.
+func (c *Catalog) Admit(label string, bytes int64) error {
+	if budget := c.budget.Load(); budget > 0 && bytes > budget {
+		return fmt.Errorf("catalog: %s (~%dB) exceeds budget %dB: %w",
+			label, bytes, budget, cachehook.ErrBudgetExceeded)
+	}
+	return nil
+}
 
 // Stats is a snapshot of the catalog's counters.
 type Stats struct {

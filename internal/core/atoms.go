@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/cachehook"
 	"repro/internal/relational"
 	"repro/internal/twig"
 	"repro/internal/wcoj"
@@ -61,13 +62,24 @@ func NewEdgeAtom(ix *xmldb.Indexes, parentTag, childTag string) *EdgeAtom {
 // time, making hot edges the LRU's first victims). Racing resolutions
 // store equivalent snapshots, so plain atomics suffice.
 func (a *EdgeAtom) edgeIndex() *xmldb.EdgeIndex {
+	e, _ := a.edgeIndexCtl(cachehook.BuildControl{})
+	return e
+}
+
+// edgeIndexCtl is edgeIndex under a run-scoped build control: a cold
+// resolve may build the edge index, so the control's cancellation probe
+// applies; a warm hit never fails.
+func (a *EdgeAtom) edgeIndexCtl(ctl cachehook.BuildControl) (*xmldb.EdgeIndex, error) {
 	gen := a.ix.Gen()
 	if s := a.ref.Load(); s != nil && s.gen == gen && a.uses.Add(1)&255 != 0 {
-		return s.e
+		return s.e, nil
 	}
-	e := a.ix.Edge(a.parentTag, a.childTag)
+	e, err := a.ix.EdgeCtl(a.parentTag, a.childTag, ctl)
+	if err != nil {
+		return nil, err
+	}
 	a.ref.Store(&edgeSnap{gen: gen, e: e})
-	return e
+	return e, nil
 }
 
 // Name implements wcoj.Atom.
@@ -81,9 +93,14 @@ func (a *EdgeAtom) Attrs() []string { return []string{a.parentTag, a.childTag} }
 func (a *EdgeAtom) Size() int { return a.edgeIndex().PairCount }
 
 // Open implements wcoj.Atom: the returned cursor seeks over the edge
-// index's sorted value lists without materializing anything per call.
+// index's sorted value lists without materializing anything per call. A
+// cold Open may build the edge index, so the binding's build control
+// (cancellation) applies to exactly that call.
 func (a *EdgeAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {
-	edge := a.edgeIndex()
+	edge, err := a.edgeIndexCtl(bindingBuildControl(b))
+	if err != nil {
+		return nil, err
+	}
 	switch attr {
 	case a.childTag:
 		if pv, ok := b.Get(a.parentTag); ok {

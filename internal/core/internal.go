@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/cachehook"
+	"repro/internal/wcoj"
+)
+
+// ErrInternal reports that a run was aborted by an engine defect — a panic
+// in an executor goroutine or an index build — rather than by the query,
+// the data, or the caller's context. The panic is recovered at the
+// executor boundary (sibling workers are cancelled, pooled iterators
+// released, no goroutine leaks), so the process and the shared catalog
+// stay usable; the error wraps the recovered *wcoj.PanicError, whose
+// captured stack identifies the defect:
+//
+//	errors.Is(err, core.ErrInternal) // "the engine, not the query, failed"
+//	var pe *wcoj.PanicError
+//	errors.As(err, &pe)              // pe.Value, pe.Stack
+//
+// Like cancellation, an internal error travels alongside the partial
+// result and statistics gathered before the failure, with Stats.Internal
+// set.
+var ErrInternal = errors.New("core: internal execution error")
+
+// ErrBudgetExceeded reports that a lazily built index was refused because
+// its estimated footprint alone exceeds the shared catalog's byte budget.
+// XJoin and XJoinStream handle it internally when the configuration can
+// degrade (see Stats.Degraded); it surfaces to callers only when no
+// cheaper execution shape exists.
+var ErrBudgetExceeded = cachehook.ErrBudgetExceeded
+
+// internalError wraps the recovered failure so errors.Is matches the
+// package sentinel and errors.As still reaches the *wcoj.PanicError.
+type internalError struct{ cause error }
+
+func (e *internalError) Error() string   { return "core: internal execution error: " + e.cause.Error() }
+func (e *internalError) Unwrap() []error { return []error{ErrInternal, e.cause} }
+
+// Internal wraps a recovered executor failure into the package's internal
+// error.
+func Internal(cause error) error {
+	if cause == nil {
+		return ErrInternal
+	}
+	return &internalError{cause: cause}
+}
+
+// isPanic reports whether err carries a recovered executor panic.
+func isPanic(err error) bool {
+	var pe *wcoj.PanicError
+	return errors.As(err, &pe)
+}
+
+// bindingBuildControl extracts the run-scoped build control an executor
+// threaded onto its binding (see wcoj.BuildController); atoms opened
+// outside an executor build unconditionally.
+func bindingBuildControl(b wcoj.Binding) cachehook.BuildControl {
+	if bc, ok := b.(wcoj.BuildController); ok {
+		return bc.BuildControl()
+	}
+	return cachehook.BuildControl{}
+}
+
+// buildControl assembles the control handed to the executors' index
+// builds: catalog budget admission, but only when the configuration has a
+// degradation path — the lazily built structural indexes behind ADLazy
+// and LazyPC are exactly the structures admission guards, and a rejected
+// build then falls back to the post-hoc shape (see degradeOptions).
+// Configurations with no fallback build unconditionally: refusing them
+// would turn budget pressure into a hard failure instead of a slower run.
+func (q *Query) buildControl(opts Options) cachehook.BuildControl {
+	cfg := opts.atomConfig()
+	if q.cat != nil && (cfg.ad == ADLazy || cfg.lazyPC) {
+		return cachehook.BuildControl{Admit: q.cat}
+	}
+	return cachehook.BuildControl{}
+}
+
+// degradeOptions decides the budget-pressure fallback: when a run failed
+// because a lazily built index alone exceeds the catalog budget, and the
+// configuration has a cheaper shape, return the degraded options — A-D
+// filtering moved to the final validation (ADPostHoc) and P-C edges on the
+// materialized per-edge value indexes — plus the reason recorded in
+// Stats.Degraded. The degraded configuration carries no Admit control, so
+// the retry cannot fail the same way.
+func degradeOptions(q *Query, opts Options, err error) (Options, string, bool) {
+	if err == nil || !errors.Is(err, ErrBudgetExceeded) {
+		return opts, "", false
+	}
+	cfg := opts.atomConfig()
+	if cfg.ad != ADLazy && !cfg.lazyPC {
+		return opts, "", false
+	}
+	opts.AD = ADPostHoc
+	opts.LazyPC = false
+	return opts, err.Error(), true
+}

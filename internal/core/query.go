@@ -129,10 +129,9 @@ func NewQueryInputsCatalog(twigs []TwigInput, tables []*relational.Table, cat *c
 		}
 		ix, ok := ixCache[in.Doc]
 		if !ok {
-			if cat != nil {
-				ix = cat.Indexes(in.Doc)
-			} else {
-				ix = xmldb.NewIndexes(in.Doc)
+			var err error
+			if ix, err = buildIndexes(cat, in.Doc); err != nil {
+				return nil, err
 			}
 			ixCache[in.Doc] = ix
 		}
@@ -148,6 +147,23 @@ func NewQueryInputsCatalog(twigs []TwigInput, tables []*relational.Table, cat *c
 		q.twigs = append(q.twigs, twigPart{pattern: in.Pattern, ix: ix, six: six})
 	}
 	return q, nil
+}
+
+// buildIndexes resolves the value-level indexes for doc — from the shared
+// catalog, or privately for standalone queries. The eager per-tag build is
+// an isolation boundary: a panic inside it (a corrupt document, an
+// injected fault) is recovered into an error matching ErrInternal, and the
+// catalog's retryable build slot stays clean for the next caller.
+func buildIndexes(cat *catalog.Catalog, doc *xmldb.Document) (ix *xmldb.Indexes, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = Internal(fmt.Errorf("index build panic: %v", v))
+		}
+	}()
+	if cat != nil {
+		return cat.Indexes(doc), nil
+	}
+	return xmldb.NewIndexes(doc), nil
 }
 
 // atoms returns (building and caching on first use) the executor atom set
@@ -307,6 +323,18 @@ type Stats struct {
 	// that finished, including ones stopped early by Limit or an emit
 	// callback.
 	Cancelled bool
+	// Internal marks a run aborted by a recovered engine panic: the other
+	// fields describe the completed portion and the run's error matches
+	// ErrInternal (wrapping the *wcoj.PanicError with the captured stack).
+	// The process, the query and the shared catalog stay usable.
+	Internal bool
+	// Degraded, when non-empty, records why this run fell back from its
+	// requested lazy configuration to the post-hoc shape: a lazily built
+	// structural index alone exceeded the catalog's byte budget (the text
+	// is the admission error). The run's results are identical to the
+	// requested configuration's — only the execution strategy changed —
+	// and ADMode reports the mode actually run ("posthoc").
+	Degraded string
 	// Q1Size and Q2Size are the baseline's per-model result sizes.
 	Q1Size, Q2Size int
 	// LeafBatches counts the key vectors the batched leaf-level loop

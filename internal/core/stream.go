@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/cachehook"
 	"repro/internal/relational"
 	"repro/internal/wcoj"
 )
@@ -28,11 +29,30 @@ import (
 // Stats.Cancelled set, alongside an error matching ErrCancelled and the
 // context's own error. Cancellation latency is bounded by one morsel's
 // work; emit is never called after the executor observed the flag.
+//
+// Failure semantics mirror XJoin: a recovered engine panic returns the
+// statistics of the completed portion with Stats.Internal set, alongside
+// an error matching ErrInternal; a budget-refused index build reruns in
+// the degraded configuration (Stats.Degraded), but — since emitted tuples
+// cannot be recalled — only when nothing was emitted yet; otherwise
+// ErrBudgetExceeded surfaces with the partial statistics.
 func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Stats, error) {
+	stats, err := xjoinStreamRun(q, opts, "", emit)
+	if stats == nil || stats.Output == 0 {
+		if dopts, reason, ok := degradeOptions(q, opts, err); ok {
+			return xjoinStreamRun(q, dopts, reason, emit)
+		}
+	}
+	return stats, err
+}
+
+// xjoinStreamRun is one XJoinStream attempt under a fixed configuration;
+// degraded carries the budget-fallback reason (empty for a first attempt).
+func xjoinStreamRun(q *Query, opts Options, degraded string, emit func(relational.Tuple) bool) (*Stats, error) {
 	algo := "xjoin-stream"
 	guard, gerr := newCancelGuard(opts.Context)
 	if gerr != nil {
-		return &Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Cancelled: true}, gerr
+		return &Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Cancelled: true, Degraded: degraded}, gerr
 	}
 	defer guard.stop()
 	atoms := q.atoms(opts.atomConfig())
@@ -51,7 +71,7 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 		return nil, err
 	}
 
-	stats := &Stats{Algorithm: algo, ADMode: q.adModeLabel(opts)}
+	stats := &Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Degraded: degraded}
 	var validators []*validator
 	if !opts.SkipValidation {
 		for _, tw := range q.twigs {
@@ -61,10 +81,11 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 
 	var gjStats *wcoj.GenericJoinStats
 	var err error
+	bctl := q.buildControl(opts)
 	if opts.Parallelism < 0 || opts.Parallelism > 1 {
-		gjStats, err = xjoinStreamParallel(opts, atoms, order, validators, stats, guard, emit)
+		gjStats, err = xjoinStreamParallel(opts, atoms, order, validators, stats, guard, bctl, emit)
 	} else {
-		gjStats, err = wcoj.GenericJoinStreamOpts(atoms, order, wcoj.StreamOpts{Cancel: guard.cancelFlag(), Check: guard.checkFunc()}, func(t relational.Tuple) bool {
+		gjStats, err = wcoj.GenericJoinStreamOpts(atoms, order, wcoj.StreamOpts{Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: bctl}, func(t relational.Tuple) bool {
 			for _, v := range validators {
 				if !v.hasWitness(t) {
 					stats.ValidationRemoved++
@@ -79,7 +100,15 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 		})
 	}
 	if err != nil {
-		return nil, err
+		if isPanic(err) {
+			// The statistics gathered before the isolated panic describe the
+			// completed portion, like a cancelled run's.
+			stats.Internal = true
+			return stats, Internal(err)
+		}
+		// Partial statistics ride along (the degradation wrapper needs
+		// stats.Output; callers get the completed portion's counters).
+		return stats, err
 	}
 	stats.Order = gjStats.Order
 	stats.StageSizes = gjStats.StageSizes
@@ -104,7 +133,7 @@ func XJoinStream(q *Query, opts Options, emit func(relational.Tuple) bool) (*Sta
 // is serialized under a mutex, which also guards the Output counter that
 // enforces Limit, so at most min(Limit, |answers|) tuples are emitted and
 // the first false from emit cancels every worker.
-func xjoinStreamParallel(opts Options, atoms []wcoj.Atom, order []string, validators []*validator, stats *Stats, guard *cancelGuard, emit func(relational.Tuple) bool) (*wcoj.GenericJoinStats, error) {
+func xjoinStreamParallel(opts Options, atoms []wcoj.Atom, order []string, validators []*validator, stats *Stats, guard *cancelGuard, bctl cachehook.BuildControl, emit func(relational.Tuple) bool) (*wcoj.GenericJoinStats, error) {
 	pworkers := opts.Parallelism
 	if pworkers < 0 {
 		pworkers = 0
@@ -113,7 +142,7 @@ func xjoinStreamParallel(opts Options, atoms []wcoj.Atom, order []string, valida
 	removed := make([]int, workers)
 	var mu sync.Mutex
 	done := false
-	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc()},
+	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: bctl},
 		func(w int) func(wcoj.OrdKey, relational.Tuple) bool {
 			return func(_ wcoj.OrdKey, t relational.Tuple) bool {
 				for _, v := range validators {
@@ -139,11 +168,11 @@ func xjoinStreamParallel(opts Options, atoms []wcoj.Atom, order []string, valida
 				return true
 			}
 		})
-	if err != nil {
-		return nil, err
-	}
 	for _, r := range removed {
 		stats.ValidationRemoved += r
+	}
+	if err != nil {
+		return nil, err
 	}
 	return gjStats, nil
 }

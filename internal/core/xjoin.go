@@ -157,13 +157,32 @@ func (o Options) algoLabel() string {
 // XJoin evaluates the query with Algorithm 1: a worst-case optimal
 // attribute-at-a-time expansion over all atoms of both models, followed by
 // structural validation of the twig on the candidate answers.
+//
+// Failure semantics: a run aborted by its context returns the partial
+// result with an error matching ErrCancelled; a run aborted by a
+// recovered engine panic returns the partial result with an error
+// matching ErrInternal; a lazily built index refused by the catalog
+// budget transparently reruns in the degraded post-hoc configuration
+// (Stats.Degraded records why), so ErrBudgetExceeded only surfaces when
+// no cheaper shape exists.
 func XJoin(q *Query, opts Options) (*Result, error) {
 	algo := opts.algoLabel()
+	res, err := xjoinRun(q, opts, algo, "")
+	if dopts, reason, ok := degradeOptions(q, opts, err); ok {
+		return xjoinRun(q, dopts, algo, reason)
+	}
+	return res, err
+}
+
+// xjoinRun is one XJoin attempt under a fixed configuration; degraded
+// carries the budget-fallback reason into the run's statistics (empty for
+// a first attempt).
+func xjoinRun(q *Query, opts Options, algo, degraded string) (*Result, error) {
 	guard, gerr := newCancelGuard(opts.Context)
 	if gerr != nil {
 		// Already over before any join work: an empty partial result
 		// carrying the Cancelled marker, alongside the error.
-		return &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Cancelled: true}}, gerr
+		return &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Cancelled: true, Degraded: degraded}}, gerr
 	}
 	defer guard.stop()
 	atoms := q.atoms(opts.atomConfig())
@@ -183,7 +202,7 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 	}
 
 	if opts.Parallelism < 0 || opts.Parallelism > 1 {
-		return xjoinParallel(q, opts, atoms, order, algo, guard)
+		return xjoinParallel(q, opts, atoms, order, algo, degraded, guard)
 	}
 
 	// Serial path: stream candidate tuples out of the iterator-based
@@ -197,8 +216,8 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 			validators[i] = newValidator(tw.ix, tw.pattern, order)
 		}
 	}
-	res := &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts)}}
-	gjStats, err := wcoj.GenericJoinStreamOpts(atoms, order, wcoj.StreamOpts{Cancel: guard.cancelFlag(), Check: guard.checkFunc()}, func(t relational.Tuple) bool {
+	res := &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Degraded: degraded}}
+	gjStats, err := wcoj.GenericJoinStreamOpts(atoms, order, wcoj.StreamOpts{Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: q.buildControl(opts)}, func(t relational.Tuple) bool {
 		for _, v := range validators {
 			if !v.hasWitness(t) {
 				res.Stats.ValidationRemoved++
@@ -209,6 +228,14 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 		return opts.Limit <= 0 || len(res.Tuples) < opts.Limit
 	})
 	if err != nil {
+		if isPanic(err) {
+			// The panic was isolated at the executor boundary; the tuples
+			// validated before it are a correct partial answer.
+			res.Attrs = order
+			res.Stats.Internal = true
+			res.Stats.Output = len(res.Tuples)
+			return res, Internal(err)
+		}
 		return nil, err
 	}
 	res.Attrs = gjStats.Order
@@ -237,7 +264,7 @@ func XJoin(q *Query, opts Options) (*Result, error) {
 // atomic counter. Validated tuples are collected per morsel and
 // reassembled in morsel order, which for an unlimited run is exactly the
 // serial executor's output sequence.
-func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, algo string, guard *cancelGuard) (*Result, error) {
+func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, algo, degraded string, guard *cancelGuard) (*Result, error) {
 	pworkers := opts.Parallelism
 	if pworkers < 0 {
 		pworkers = 0
@@ -256,7 +283,7 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	removed := make([]int, workers)
 	var accepted atomic.Int64
 	limit := int64(opts.Limit)
-	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc()},
+	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: q.buildControl(opts)},
 		func(w int) func(wcoj.OrdKey, relational.Tuple) bool {
 			return func(ord wcoj.OrdKey, t relational.Tuple) bool {
 				for _, v := range validators {
@@ -280,11 +307,22 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 			}
 		})
 	if err != nil {
+		if isPanic(err) {
+			// All workers have joined, so the collector is quiescent; the
+			// tuples validated before the failure are a correct partial
+			// answer.
+			res := &Result{Attrs: order, Tuples: col.Tuples(), Stats: Stats{
+				Algorithm: algo, ADMode: q.adModeLabel(opts), Degraded: degraded, Internal: true,
+			}}
+			res.Stats.Output = len(res.Tuples)
+			return res, Internal(err)
+		}
 		return nil, err
 	}
 	res := &Result{Attrs: gjStats.Order, Tuples: col.Tuples(), Stats: Stats{
 		Algorithm:        algo,
 		ADMode:           q.adModeLabel(opts),
+		Degraded:         degraded,
 		Order:            gjStats.Order,
 		StageSizes:       gjStats.StageSizes,
 		PeakIntermediate: gjStats.PeakIntermediate,
@@ -341,7 +379,15 @@ func addIndexStats(atoms []wcoj.Atom, stats *Stats) {
 // returned options are safe to reuse — by value — for any number of
 // concurrent XJoin/XJoinStream calls over q; index builds stay lazy and
 // are shared through the query's (or its catalog's) structures.
+//
+// A pre-cancelled Options.Context fails fast with an error matching
+// ErrCancelled before any plan or atom work.
 func Prepare(q *Query, opts Options) (Options, error) {
+	if ctx := opts.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return opts, Cancelled(err)
+		}
+	}
 	if opts.Order == nil {
 		order, err := chooseOrderErr(q, opts.Strategy)
 		if err != nil {

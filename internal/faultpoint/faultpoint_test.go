@@ -1,0 +1,76 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisabledFastPath(t *testing.T) {
+	Reset()
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("Inject with no plan: %v", err)
+	}
+	if Hits("anything") != 0 {
+		t.Fatalf("Hits with no plan: %d", Hits("anything"))
+	}
+}
+
+func TestErrSkipTimes(t *testing.T) {
+	boom := errors.New("boom")
+	Install(Rule{Name: "p", Skip: 1, Times: 2, Err: boom})
+	defer Reset()
+	got := []error{Inject("p"), Inject("p"), Inject("p"), Inject("p")}
+	want := []error{nil, boom, boom, nil}
+	for i := range got {
+		if !errors.Is(got[i], want[i]) && got[i] != want[i] {
+			t.Fatalf("hit %d: got %v want %v", i+1, got[i], want[i])
+		}
+	}
+	if Hits("p") != 4 {
+		t.Fatalf("Hits = %d, want 4", Hits("p"))
+	}
+	if Hits("other") != 0 {
+		t.Fatalf("Hits(other) = %d, want 0", Hits("other"))
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	Install(Rule{Name: "p", Panic: "kaboom", Times: 1})
+	defer Reset()
+	func() {
+		defer func() {
+			if v := recover(); v != "kaboom" {
+				t.Fatalf("recover = %v, want kaboom", v)
+			}
+		}()
+		Inject("p")
+		t.Fatal("Inject did not panic")
+	}()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("retired rule still acts: %v", err)
+	}
+}
+
+func TestInstallReplacesPlan(t *testing.T) {
+	Install(Rule{Name: "a", Err: errors.New("x")})
+	Install(Rule{Name: "b", Err: errors.New("y")})
+	defer Reset()
+	if err := Inject("a"); err != nil {
+		t.Fatalf("old plan still active: %v", err)
+	}
+	if err := Inject("b"); err == nil {
+		t.Fatal("new plan not active")
+	}
+}
+
+// BenchmarkInjectDisabled pins the cost every instrumented hot path pays
+// in production: with no plan installed, Inject is one atomic pointer
+// load and a nil test.
+func BenchmarkInjectDisabled(b *testing.B) {
+	Reset()
+	for i := 0; i < b.N; i++ {
+		if err := Inject("bench.point"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

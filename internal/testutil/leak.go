@@ -1,0 +1,63 @@
+// Package testutil holds small test-only helpers shared across the
+// repository's suites.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and registers a cleanup
+// that fails the test if, after a settle window, more goroutines are alive
+// than before — the engine's contract that every executor joins its
+// workers and the Rows cursor never leaks its producer. The settle loop
+// tolerates runtime-internal goroutines winding down (GC workers, timer
+// scavenger) by polling with backoff before judging; on failure it dumps
+// the live stacks so the leaked goroutine is identifiable.
+//
+// Call it first in a test (before spawning anything):
+//
+//	func TestX(t *testing.T) {
+//		testutil.CheckGoroutines(t)
+//		...
+//	}
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			runtime.GC()
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			t.Errorf("goroutine leak: %d before, %d after settle\n%s",
+				before, after, interestingStacks())
+		}
+	})
+}
+
+// interestingStacks renders the live goroutine stacks, dropping the
+// testing harness's own goroutines so the report points at the leak.
+func interestingStacks() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var keep []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.Contains(g, "testing.") || strings.Contains(g, "runtime.Stack") {
+			continue
+		}
+		keep = append(keep, g)
+	}
+	sort.Strings(keep)
+	return fmt.Sprintf("%d live goroutines of interest:\n%s", len(keep), strings.Join(keep, "\n\n"))
+}

@@ -3,6 +3,7 @@ package wcoj
 import (
 	"fmt"
 
+	"repro/internal/cachehook"
 	"repro/internal/relational"
 )
 
@@ -130,10 +131,13 @@ func atomsByAttr(atoms []Atom, order []string, pos map[string]int) ([][]Atom, er
 }
 
 // prefixBinding adapts a partial tuple over a prefix of the global order to
-// the Binding interface.
+// the Binding interface. It also carries the run's build control (see
+// BuildController): atoms opening under it can poll the run's
+// cancellation and budget-admission probes from inside lazy index builds.
 type prefixBinding struct {
 	pos   map[string]int
 	tuple relational.Tuple
+	ctl   cachehook.BuildControl
 }
 
 func (b *prefixBinding) Get(attr string) (relational.Value, bool) {
@@ -143,6 +147,9 @@ func (b *prefixBinding) Get(attr string) (relational.Value, bool) {
 	}
 	return b.tuple[i], true
 }
+
+// BuildControl implements BuildController.
+func (b *prefixBinding) BuildControl() cachehook.BuildControl { return b.ctl }
 
 // IntersectValueSets intersects sorted distinct value sets with a k-way
 // leapfrog over their cursors.

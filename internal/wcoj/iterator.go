@@ -93,6 +93,25 @@
 // concurrent (lock-guarded lazy build, pooled cursors), so they run
 // unchanged under the morsel-parallel drivers.
 //
+// Failure semantics: the streaming drivers never let a fault escape as a
+// crash or a leak. A panic anywhere in a run — an atom's Open or Seek, a
+// worker's enumeration, the caller's emit callback — is recovered at the
+// executor boundary and returned as a *PanicError (value plus captured
+// stack); the recovering executor flips the shared stop flag so sibling
+// workers drain within one morsel's work, every opened cursor is closed
+// exactly once (pooled iterators go back to their pools, never doubly),
+// and all goroutines join before the driver returns. Lazily built indexes
+// participate in cancellation through StreamOpts.Build / ParallelOpts.Build
+// (a cachehook.BuildControl threaded onto the binding, recoverable via the
+// BuildController interface): builds poll it every ~1024 rows/nodes and
+// abandon with cachehook.ErrBuildCancelled, which the executors absorb as
+// a stop signal — an abandoned build is indistinguishable from an early
+// limit stop, and the discarded partial structure leaves its shared slot
+// retryable. A build refused by the control's admission policy
+// (cachehook.ErrBudgetExceeded) is the one build error that propagates as
+// the run's error, so callers can rerun in a cheaper configuration. As
+// with cancellation, partial statistics accompany every failure return.
+//
 // Atoms are designed to be borrowed, not owned: a process-lifetime catalog
 // (internal/catalog) can hand the same TableAtom (and the XML atoms'
 // backing indexes) to many queries at once, and the lazily built index

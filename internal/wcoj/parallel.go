@@ -1,11 +1,14 @@
 package wcoj
 
 import (
+	"errors"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cachehook"
+	"repro/internal/faultpoint"
 	"repro/internal/relational"
 )
 
@@ -65,6 +68,11 @@ type ParallelOpts struct {
 	// pre-skew-proof behaviour, kept for comparison benchmarks and as an
 	// escape hatch.
 	DisableRecursiveSplit bool
+	// Build carries run-scoped controls into lazy index builds (see
+	// StreamOpts.Build); every worker and the driver compose it with the
+	// shared stop flag, so one worker's failure also aborts the builds its
+	// siblings are in the middle of.
+	Build cachehook.BuildControl
 }
 
 // maxMorselSize caps the adaptive morsel growth; beyond this, queue
@@ -347,7 +355,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 		// Degenerate nullary join: one empty tuple, no parallelism to
 		// extract. Run it through the serial loop against sink 0.
 		sink := mkSink(0)
-		return GenericJoinStreamOpts(atoms, order, StreamOpts{Cancel: opts.Cancel, Check: opts.Check}, func(t relational.Tuple) bool {
+		return GenericJoinStreamOpts(atoms, order, StreamOpts{Cancel: opts.Cancel, Check: opts.Check, Build: opts.Build}, func(t relational.Tuple) bool {
 			return sink(nil, t)
 		})
 	}
@@ -357,6 +365,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 	if stop == nil {
 		stop = new(atomic.Bool)
 	}
+	sched := newStealScheduler(workers)
 	var (
 		emitted atomic.Int64
 		errMu   sync.Mutex
@@ -369,6 +378,27 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 		}
 		errMu.Unlock()
 		stop.Store(true)
+		// Wake a throttled driver or parked workers so the stop is seen
+		// even when no further claim/release traffic would broadcast.
+		sched.mu.Lock()
+		sched.cond.Broadcast()
+		sched.mu.Unlock()
+	}
+	// One composed build control serves the driver and every worker: a
+	// lazy build aborts when the shared stop flag rises (limit, sink stop,
+	// a sibling's panic) or the caller's probes fire.
+	bctl := opts.Build
+	{
+		inner, check := bctl.Check, opts.Check
+		bctl.Check = func() bool {
+			if stop.Load() {
+				return true
+			}
+			if check != nil && check() {
+				return true
+			}
+			return inner != nil && inner()
+		}
 	}
 
 	// The driver performs exactly the serial executor's depth-0 work —
@@ -377,24 +407,37 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 	// round-robin across the worker deques.
 	driverStats := &GenericJoinStats{Order: append([]string(nil), order...)}
 	driverStats.StageSizes = make([]int, len(order))
-	sched := newStealScheduler(workers)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer sched.produceDone()
-		b := &prefixBinding{pos: pos}
+		// Single close point plus panic isolation: a panic anywhere in the
+		// driver — an atom's Open, a lazy build, the leapfrog — fails the
+		// run instead of crashing the process, and the depth-0 cursors
+		// opened so far are still released exactly once.
 		var open []AtomIterator
+		defer func() {
+			if v := recover(); v != nil {
+				fail(newPanicError(v))
+			}
+			closeAll(open)
+		}()
+		b := &prefixBinding{pos: pos, ctl: bctl}
 		for _, at := range byAttr[0] {
 			it, err := at.Open(order[0], b)
 			if err != nil {
-				fail(err)
-				closeAll(open)
+				if errors.Is(err, cachehook.ErrBuildCancelled) {
+					// The build saw the run stopping; not a failure of its
+					// own (see streamRun.rec).
+					stop.Store(true)
+				} else {
+					fail(err)
+				}
 				return
 			}
 			if it.AtEnd() {
 				it.Close()
-				closeAll(open)
 				return
 			}
 			open = append(open, it)
@@ -459,7 +502,6 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 			leapfrogEach(open, &driverStats.Seeks, collect)
 		}
 		flush()
-		closeAll(open)
 	}()
 
 	workerStats := make([]GenericJoinStats, workers)
@@ -500,26 +542,45 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 			if opts.Cancel != nil {
 				r.check = opts.Check
 			}
+			r.b.ctl = bctl
 			var nextSub int32
 			if !opts.DisableRecursiveSplit && workers > 1 {
 				r.splitGate = sched.shouldSplit
 				r.spawn = func(prefix, keys []relational.Value) {
+					if err := faultpoint.Inject("wcoj.morsel.split"); err != nil {
+						panic(err)
+					}
 					nextSub++
 					sched.push(w, task{ord: curOrd.child(nextSub), prefix: prefix, keys: keys})
 					sched.splits.Add(1)
 				}
 			}
-			for {
-				tk, ok := sched.next(w)
-				if !ok {
-					return
-				}
+			// runTask expands one claimed task. The defers run LIFO: a
+			// panic anywhere in the expansion — an atom, a lazy build, the
+			// sink — is recovered first (failing the run, raising the shared
+			// stop flag, closing the cursors the recursion holds open so
+			// pooled iterators return exactly once), and the scheduler
+			// release runs second. A claimed task is therefore always
+			// released, panic or not; a lost release would leave active
+			// nonzero forever and deadlock every sibling parked in next().
+			runTask := func(tk task) {
+				defer sched.release()
+				defer func() {
+					if v := recover(); v != nil {
+						fail(newPanicError(v))
+						r.closeOpen()
+					}
+				}()
 				if stop.Load() {
-					sched.release() // drain: discard without running
-					continue
+					return // drain: discard without running
+				}
+				if err := faultpoint.Inject("wcoj.morsel.dequeue"); err != nil {
+					fail(err)
+					return
 				}
 				curOrd, nextSub = tk.ord, 0
 				r.wantSplit, r.sinceGate = false, 0
+				r.openErr = nil
 				depth := len(tk.prefix)
 				for i, v := range tk.keys {
 					if stop.Load() {
@@ -541,7 +602,22 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 						break
 					}
 				}
-				sched.release()
+			}
+			// The outer recover is the backstop for a panic outside any
+			// claimed task (sink construction, the scheduler itself): no
+			// release is owed there, only failing the run so the driver
+			// and siblings stop.
+			defer func() {
+				if v := recover(); v != nil {
+					fail(newPanicError(v))
+				}
+			}()
+			for {
+				tk, ok := sched.next(w)
+				if !ok {
+					return
+				}
+				runTask(tk)
 			}
 		}(w)
 	}

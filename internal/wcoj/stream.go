@@ -1,8 +1,11 @@
 package wcoj
 
 import (
+	"errors"
 	"sync/atomic"
 
+	"repro/internal/cachehook"
+	"repro/internal/faultpoint"
 	"repro/internal/relational"
 )
 
@@ -207,6 +210,47 @@ func (r *streamRun) endPack(depth int) {
 	}
 }
 
+// buildControl composes the caller's build control with the run's own
+// stop flag and check backstop, so a lazy index build triggered from an
+// Open aborts for any reason the enumeration itself would stop — external
+// cancellation, a sibling worker's failure, a satisfied limit. Must be
+// called after stop/check are wired.
+func (r *streamRun) buildControl(base cachehook.BuildControl) cachehook.BuildControl {
+	stop, check, inner := r.stop, r.check, base.Check
+	if stop == nil && check == nil && inner == nil {
+		return base
+	}
+	base.Check = func() bool {
+		if stop != nil && stop.Load() {
+			return true
+		}
+		if check != nil && check() {
+			return true
+		}
+		return inner != nil && inner()
+	}
+	return base
+}
+
+// closeDepth closes the cursors recorded open at depth and marks the
+// depth empty, so a later closeOpen never returns a pooled iterator
+// twice.
+func (r *streamRun) closeDepth(depth int) {
+	closeAll(r.its[depth])
+	r.its[depth] = r.its[depth][:0]
+}
+
+// closeOpen closes every cursor the run still holds — the panic-cleanup
+// path. rec keeps r.its[depth] exactly in sync with the cursors it has
+// open (resetting the depth right after its normal closeAll), so this
+// releases precisely the leaked cursors of an abandoned recursion, each
+// once.
+func (r *streamRun) closeOpen() {
+	for d := range r.its {
+		r.closeDepth(d)
+	}
+}
+
 // rec expands the attribute at depth under the bindings accumulated so far
 // (r.binding holds depth values). It reports false when the enumeration
 // stopped early — emit declined, the run was cancelled, or an Open failed
@@ -223,27 +267,43 @@ func (r *streamRun) rec(depth int) bool {
 		return r.emit(r.binding)
 	}
 	r.b.tuple = r.binding
-	open := r.its[depth][:0]
+	r.its[depth] = r.its[depth][:0]
 	for _, at := range r.byAttr[depth] {
 		it, err := at.Open(r.order[depth], r.b)
+		if err == nil {
+			err = faultpoint.Inject("wcoj.atom.open")
+		}
 		if err != nil {
+			if it != nil {
+				it.Close()
+			}
+			r.closeDepth(depth)
+			if errors.Is(err, cachehook.ErrBuildCancelled) {
+				// A lazy build observed the run stopping and abandoned; the
+				// run ends as whatever raised the stop (cancellation, limit,
+				// a sibling's failure) — not as an error of its own.
+				if r.stop != nil {
+					r.stop.Store(true)
+				}
+				return false
+			}
 			r.openErr = err
-			closeAll(open)
 			return false
 		}
 		if it.AtEnd() {
 			// Empty candidate set: no intersection to perform.
 			it.Close()
-			closeAll(open)
+			r.closeDepth(depth)
 			return true
 		}
-		open = append(open, it)
+		r.its[depth] = append(r.its[depth], it)
 	}
+	open := r.its[depth]
 	r.stats.Intersections++
 	if depth == len(r.order)-1 {
 		cont := r.leafLoop(open, depth)
 		r.endPack(depth)
-		closeAll(open)
+		r.closeDepth(depth)
 		return cont
 	}
 	cont := leapfrogEach(open, &r.stats.Seeks, func(v relational.Value) bool {
@@ -265,7 +325,7 @@ func (r *streamRun) rec(depth int) bool {
 		return c
 	})
 	r.endPack(depth)
-	closeAll(open)
+	r.closeDepth(depth)
 	return cont
 }
 
@@ -361,6 +421,14 @@ type StreamOpts struct {
 	// within ~one thousand partial tuples. The core layer passes a
 	// direct context-error probe.
 	Check func() bool
+	// Build carries run-scoped controls (a cancellation probe and a
+	// budget-admission probe) into the lazy index builds Atom.Open may
+	// trigger. The executor composes Build.Check with Cancel/Check, so
+	// builds stop for every reason the enumeration would; a build aborted
+	// that way is absorbed as a stop, while a refused admission
+	// (cachehook.ErrBudgetExceeded) surfaces as the run's error so the
+	// caller can degrade and retry.
+	Build cachehook.BuildControl
 }
 
 // GenericJoinStream evaluates the natural join of atoms by expanding one
@@ -382,7 +450,7 @@ func GenericJoinStream(atoms []Atom, order []string, emit func(relational.Tuple)
 
 // GenericJoinStreamOpts is GenericJoinStream with executor options — the
 // cancellable form every context-aware core path drives.
-func GenericJoinStreamOpts(atoms []Atom, order []string, opts StreamOpts, emit func(relational.Tuple) bool) (*GenericJoinStats, error) {
+func GenericJoinStreamOpts(atoms []Atom, order []string, opts StreamOpts, emit func(relational.Tuple) bool) (_ *GenericJoinStats, err error) {
 	pos := make(map[string]int, len(order))
 	for i, a := range order {
 		if _, dup := pos[a]; dup {
@@ -405,7 +473,23 @@ func GenericJoinStreamOpts(atoms []Atom, order []string, opts StreamOpts, emit f
 	if opts.Cancel != nil {
 		r.check = opts.Check
 	}
-	r.rec(0)
+	r.b.ctl = r.buildControl(opts.Build)
+	// The serial path is panic-isolated like the workers: a panic in an
+	// atom, a lazy build, or the emit callback closes whatever cursors the
+	// recursion holds open (returning pooled iterators exactly once) and
+	// surfaces as a *PanicError instead of unwinding into the caller.
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				r.closeOpen()
+				err = newPanicError(v)
+			}
+		}()
+		r.rec(0)
+	}()
+	if err != nil {
+		return nil, err
+	}
 	if r.openErr != nil {
 		return nil, r.openErr
 	}

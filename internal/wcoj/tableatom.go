@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cachehook"
+	"repro/internal/faultpoint"
 	"repro/internal/relational"
 )
 
@@ -40,12 +41,13 @@ type TableAtom struct {
 }
 
 // colEntry is one lazily built index slot: the map slot is installed under
-// the atom mutex, the build runs in once outside it, and done publishes
-// completion to IndexInfo (atomic store inside the build happens-before a
-// load observing true).
+// the atom mutex and the build runs in once outside it. once is a
+// retryable BuildOnce — a build abandoned by a cancellation check (or
+// killed by a panic) leaves the slot unbuilt, so the next Open rebuilds
+// instead of finding a poisoned sync.Once wedged on a nil index; its done
+// flag publishes completion to IndexInfo.
 type colEntry struct {
-	once sync.Once
-	done atomic.Bool
+	once cachehook.BuildOnce
 	// dropped marks an entry discarded by DropIndexes while its build was
 	// still in flight: the builder releases its own ticket on completion,
 	// so the catalog never accounts for an orphaned structure.
@@ -121,6 +123,9 @@ func (a *TableAtom) Open(attr string, b Binding) (AtomIterator, error) {
 		// at 32), so refuse loudly.
 		return nil, fmt.Errorf("wcoj: atom %s has %d columns; TableAtom supports at most 64", a.Name(), len(a.attrs))
 	}
+	if err := faultpoint.Inject("wcoj.table.open"); err != nil {
+		return nil, err
+	}
 	// Hash the bound values in column order without materializing the key.
 	var mask uint64
 	h := relational.HashSeed
@@ -133,7 +138,10 @@ func (a *TableAtom) Open(attr string, b Binding) (AtomIterator, error) {
 			h = relational.HashValue(h, v)
 		}
 	}
-	ix := a.index(target, mask)
+	ix, err := a.indexCtl(target, mask, buildControlOf(b))
+	if err != nil {
+		return nil, err
+	}
 	for _, g := range ix.buckets[h] {
 		if ix.groupMatches(g, a.attrs, target, mask, b) {
 			return openValues(ix.run(g)), nil
@@ -186,7 +194,7 @@ func (a *TableAtom) IndexInfo() TableIndexInfo {
 	defer a.mu.Unlock()
 	var info TableIndexInfo
 	for _, e := range a.indexes {
-		if !e.done.Load() {
+		if !e.once.Done() {
 			continue
 		}
 		info.Indexes++
@@ -231,7 +239,7 @@ func (a *TableAtom) DropIndexes() {
 		// setting done — whichever side observes the other releases the
 		// ticket (Release is idempotent, so both doing it is fine).
 		e.dropped.Store(true)
-		if e.done.Load() && e.ticket != nil {
+		if e.once.Done() && e.ticket != nil {
 			e.ticket.Release()
 		}
 	}
@@ -262,16 +270,27 @@ func (a *TableAtom) Precompute(target string, bound ...string) error {
 		}
 		mask |= 1 << uint(c)
 	}
-	a.index(tc, mask)
-	return nil
+	_, err := a.indexCtl(tc, mask, cachehook.BuildControl{})
+	return err
 }
 
 // index returns (building on first use) the sorted-column index for the
-// given target column and bound-column mask. The build runs outside the
-// atom mutex behind the entry's once, and the catalog notification runs
-// inside the once with no locks held — the catalog may synchronously evict
-// other entries of this same atom, whose drop callbacks take the mutex.
+// given target column and bound-column mask, with no build control — the
+// unconditional form warm-up paths use. It cannot fail: without a
+// cancellation probe or an active fault plan the build always completes.
 func (a *TableAtom) index(target int, mask uint64) *colIndex {
+	ix, _ := a.indexCtl(target, mask, cachehook.BuildControl{})
+	return ix
+}
+
+// indexCtl is index with a run-scoped build control: the build polls
+// ctl.Check every colBuildCheckRows rows and abandons with
+// cachehook.ErrBuildCancelled, leaving the slot unbuilt for the next
+// caller. The build runs outside the atom mutex behind the entry's
+// (retryable) once, and the catalog notification runs inside it with no
+// locks held — the catalog may synchronously evict other entries of this
+// same atom, whose drop callbacks take the mutex.
+func (a *TableAtom) indexCtl(target int, mask uint64, ctl cachehook.BuildControl) (*colIndex, error) {
 	shape := indexShape{target: target, mask: mask}
 	a.mu.Lock()
 	e, ok := a.indexes[shape]
@@ -280,31 +299,40 @@ func (a *TableAtom) index(target int, mask uint64) *colIndex {
 		a.indexes[shape] = e
 	}
 	a.mu.Unlock()
-	built := false
-	e.once.Do(func() {
+	built, err := e.once.Do(func() error {
+		if err := faultpoint.Inject("wcoj.table.index.build"); err != nil {
+			return err
+		}
 		var boundCols []int
 		for i := range a.attrs {
 			if i != target && mask&(1<<uint(i)) != 0 {
 				boundCols = append(boundCols, i)
 			}
 		}
-		e.ix = buildColIndex(a.table, target, boundCols)
+		ix, err := buildColIndex(a.table, target, boundCols, ctl.Check)
+		if err != nil {
+			return err
+		}
+		e.ix = ix
 		if a.obs != nil {
 			label := fmt.Sprintf("table[%s t=%d m=%#x]", a.table.Name(), target, mask)
 			e.ticket = a.obs.Built(label, e.ix.approxBytes(), func() { a.dropEntry(shape, e) })
 		}
-		e.done.Store(true)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if built {
 		if e.dropped.Load() && e.ticket != nil {
 			// DropIndexes discarded this entry mid-build; undo the
 			// registration so the catalog does not account for an orphan.
 			e.ticket.Release()
 		}
-		built = true
-	})
-	if !built && e.ticket != nil && e.reuses.Add(1)&15 == 1 {
+	} else if e.ticket != nil && e.reuses.Add(1)&15 == 1 {
 		e.ticket.Touch()
 	}
-	return e.ix
+	return e.ix, nil
 }
 
 // dropEntry is the catalog's eviction callback for one shape: it removes
@@ -318,9 +346,17 @@ func (a *TableAtom) dropEntry(shape indexShape, e *colEntry) {
 	a.mu.Unlock()
 }
 
+// colBuildCheckRows is how many rows a column-index build processes
+// between cancellation polls — the same order of magnitude as the
+// executor's checkInterval, so a cancelled cold run returns within one
+// backstop budget instead of after the whole build.
+const colBuildCheckRows = 1024
+
 // buildColIndex groups the table's rows by the bound columns' values and
-// sorts/dedups each group's target values into one flat array.
-func buildColIndex(t *relational.Table, target int, boundCols []int) *colIndex {
+// sorts/dedups each group's target values into one flat array. check,
+// when non-nil, is polled every colBuildCheckRows rows; a true return
+// abandons the build with cachehook.ErrBuildCancelled.
+func buildColIndex(t *relational.Table, target int, boundCols []int, check func() bool) (*colIndex, error) {
 	ix := &colIndex{
 		buckets: make(map[uint64][]int32),
 		stride:  len(boundCols),
@@ -329,6 +365,9 @@ func buildColIndex(t *relational.Table, target int, boundCols []int) *colIndex {
 	groupVals := make([][]relational.Value, 0, 16)
 	key := make([]relational.Value, len(boundCols))
 	for r := 0; r < n; r++ {
+		if check != nil && r%colBuildCheckRows == 0 && check() {
+			return nil, cachehook.ErrBuildCancelled
+		}
 		for i, c := range boundCols {
 			key[i] = t.Value(r, c)
 		}
@@ -361,7 +400,7 @@ func buildColIndex(t *relational.Table, target int, boundCols []int) *colIndex {
 		ix.vals = append(ix.vals, vals[:w]...)
 		ix.off = append(ix.off, int32(len(ix.vals)))
 	}
-	return ix
+	return ix, nil
 }
 
 func equalKey(a, b []relational.Value) bool {

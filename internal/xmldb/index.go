@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cachehook"
+	"repro/internal/faultpoint"
 	"repro/internal/relational"
 )
 
@@ -37,11 +38,13 @@ type Indexes struct {
 }
 
 // edgeEntry is one lazily built edge index slot: the map entry is installed
-// under the mutex, the build runs outside it exactly once, and concurrent
-// requesters of the same pair block on the Once rather than on each other's
+// under the mutex, the build runs outside it behind the entry's retryable
+// once (a build abandoned by a cancellation check, or killed by a panic,
+// leaves the slot unbuilt for the next caller), and concurrent requesters
+// of the same pair serialize on the entry rather than on each other's
 // unrelated builds.
 type edgeEntry struct {
-	once   sync.Once
+	once   cachehook.BuildOnce
 	e      *EdgeIndex
 	ticket cachehook.Ticket
 }
@@ -117,8 +120,22 @@ type EdgeIndex struct {
 
 // Edge returns (building if needed) the edge index for parentTag/childTag.
 // Safe for concurrent use; all callers observe the same index instance
-// until an eviction drops it, after which the next call rebuilds.
+// until an eviction drops it, after which the next call rebuilds. This
+// unconditional form cannot fail; cancellable callers use EdgeCtl.
 func (ix *Indexes) Edge(parentTag, childTag string) *EdgeIndex {
+	e, _ := ix.EdgeCtl(parentTag, childTag, cachehook.BuildControl{})
+	return e
+}
+
+// edgeBuildCheckNodes is how many child nodes an edge-index build
+// processes between cancellation polls.
+const edgeBuildCheckNodes = 1024
+
+// EdgeCtl is Edge with a run-scoped build control: the build polls
+// ctl.Check every edgeBuildCheckNodes nodes and abandons with
+// cachehook.ErrBuildCancelled, discarding the partial structure without
+// corrupting the shared slot — the next caller rebuilds from scratch.
+func (ix *Indexes) EdgeCtl(parentTag, childTag string, ctl cachehook.BuildControl) (*EdgeIndex, error) {
 	key := [2]string{parentTag, childTag}
 	ix.mu.Lock()
 	ent, ok := ix.edges[key]
@@ -127,19 +144,28 @@ func (ix *Indexes) Edge(parentTag, childTag string) *EdgeIndex {
 		ix.edges[key] = ent
 	}
 	ix.mu.Unlock()
-	built := false
-	ent.once.Do(func() {
-		ent.e = buildEdgeIndex(ix.doc, parentTag, childTag)
+	built, err := ent.once.Do(func() error {
+		if err := faultpoint.Inject("xmldb.edge.build"); err != nil {
+			return err
+		}
+		e, err := buildEdgeIndex(ix.doc, parentTag, childTag, ctl.Check)
+		if err != nil {
+			return err
+		}
+		ent.e = e
 		if ix.obs != nil {
 			ent.ticket = ix.obs.Built("edge["+parentTag+"/"+childTag+"]", ent.e.approxBytes(),
 				func() { ix.dropEdge(key, ent) })
 		}
-		built = true
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	if !built && ent.ticket != nil {
 		ent.ticket.Touch()
 	}
-	return ent.e
+	return ent.e, nil
 }
 
 // dropEdge is the catalog's eviction callback: it removes the entry iff it
@@ -171,7 +197,7 @@ func (e *EdgeIndex) approxBytes() int64 {
 	return b
 }
 
-func buildEdgeIndex(doc *Document, parentTag, childTag string) *EdgeIndex {
+func buildEdgeIndex(doc *Document, parentTag, childTag string, check func() bool) (*EdgeIndex, error) {
 	e := &EdgeIndex{
 		ParentTag: parentTag,
 		ChildTag:  childTag,
@@ -180,7 +206,10 @@ func buildEdgeIndex(doc *Document, parentTag, childTag string) *EdgeIndex {
 	}
 	p2c := make(map[relational.Value][]relational.Value)
 	c2p := make(map[relational.Value][]relational.Value)
-	for _, child := range doc.NodesByTag(childTag) {
+	for i, child := range doc.NodesByTag(childTag) {
+		if check != nil && i%edgeBuildCheckNodes == 0 && check() {
+			return nil, cachehook.ErrBuildCancelled
+		}
 		p := doc.Parent(child)
 		if p == NoNode || doc.Tag(p) != parentTag {
 			continue
@@ -198,7 +227,7 @@ func buildEdgeIndex(doc *Document, parentTag, childTag string) *EdgeIndex {
 	for cv, ps := range c2p {
 		e.c2p[cv] = relational.NewValueSet(ps)
 	}
-	return e
+	return e, nil
 }
 
 func keysSet(m map[relational.Value][]relational.Value) *relational.ValueSet {

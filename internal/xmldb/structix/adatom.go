@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cachehook"
+	"repro/internal/faultpoint"
 	"repro/internal/relational"
 	"repro/internal/wcoj"
 	"repro/internal/xmldb"
@@ -32,13 +34,34 @@ type runsSnap struct {
 }
 
 func (r *runsRef) get(ix *Index, tag string) *TagRuns {
+	tr, _ := r.getCtl(ix, tag, cachehook.BuildControl{})
+	return tr
+}
+
+// getCtl is get with a run-scoped build control: a cold resolve may build
+// the tag runs, so the control's cancellation/admission probes apply; a
+// warm hit never fails.
+func (r *runsRef) getCtl(ix *Index, tag string, ctl cachehook.BuildControl) (*TagRuns, error) {
 	gen := ix.Gen()
 	if s := r.p.Load(); s != nil && s.gen == gen && r.uses.Add(1)&255 != 0 {
-		return s.tr
+		return s.tr, nil
 	}
-	tr := ix.Tag(tag)
+	tr, err := ix.TagCtl(tag, ctl)
+	if err != nil {
+		return nil, err
+	}
 	r.p.Store(&runsSnap{gen: gen, tr: tr})
-	return tr
+	return tr, nil
+}
+
+// buildControlFrom extracts the run's build control riding on the
+// binding, when the executor threaded one (see wcoj.BuildController);
+// a plain binding builds unconditionally.
+func buildControlFrom(b wcoj.Binding) cachehook.BuildControl {
+	if bc, ok := b.(wcoj.BuildController); ok {
+		return bc.BuildControl()
+	}
+	return cachehook.BuildControl{}
 }
 
 // RegionADAtom is the lazy virtual relation of one cut ancestor-descendant
@@ -114,23 +137,41 @@ func satMul(a, b int) int {
 	return a * b
 }
 
-// Open implements wcoj.Atom.
+// Open implements wcoj.Atom. A cold Open may build the tag runs or the
+// edge projection, so the binding's build control (cancellation, budget
+// admission) applies to exactly those calls.
 func (a *RegionADAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {
+	if err := faultpoint.Inject("structix.ad.open"); err != nil {
+		return nil, err
+	}
+	ctl := buildControlFrom(b)
 	switch attr {
 	case a.descTag:
 		if av, ok := b.Get(a.ancTag); ok {
-			anc := a.ancRuns.get(a.ix, a.ancTag).Run(av)
+			tr, err := a.ancRuns.getCtl(a.ix, a.ancTag, ctl)
+			if err != nil {
+				return nil, err
+			}
+			anc := tr.Run(av)
 			if len(anc) == 0 {
 				return wcoj.OpenValues(nil), nil
 			}
-			return a.openDescendants(anc), nil
+			return a.openDescendants(anc, ctl)
 		}
-		return wcoj.OpenValues(a.ix.adProjFor(a.ancTag, a.descTag).descs), nil
+		p, err := a.ix.adProjForCtl(a.ancTag, a.descTag, ctl)
+		if err != nil {
+			return nil, err
+		}
+		return wcoj.OpenValues(p.descs), nil
 	case a.ancTag:
 		if dv, ok := b.Get(a.descTag); ok {
-			return a.openAncestors(dv), nil
+			return a.openAncestors(dv, ctl)
 		}
-		return wcoj.OpenValues(a.ix.adProjFor(a.ancTag, a.descTag).ancs), nil
+		p, err := a.ix.adProjForCtl(a.ancTag, a.descTag, ctl)
+		if err != nil {
+			return nil, err
+		}
+		return wcoj.OpenValues(p.ancs), nil
 	default:
 		return nil, fmt.Errorf("structix: atom %s has no attribute %q", a.name, attr)
 	}
@@ -145,10 +186,13 @@ func (a *RegionADAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, err
 // when they are large (deep documents, where most values qualify anyway)
 // the stab-scan cursor walks the value array instead — either way no pair
 // set is ever stored.
-func (a *RegionADAtom) openDescendants(anc []xmldb.NodeID) wcoj.AtomIterator {
+func (a *RegionADAtom) openDescendants(anc []xmldb.NodeID, ctl cachehook.BuildControl) (wcoj.AtomIterator, error) {
 	doc := a.ix.doc
 	descs := doc.NodesByTag(a.descTag)
-	tr := a.descRuns.get(a.ix, a.descTag)
+	tr, err := a.descRuns.getCtl(a.ix, a.descTag, ctl)
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	maxEnd := int32(-1)
 	var windows [][2]int
@@ -166,7 +210,7 @@ func (a *RegionADAtom) openDescendants(anc []xmldb.NodeID) wcoj.AtomIterator {
 		}
 	}
 	if total == 0 {
-		return wcoj.OpenValues(nil)
+		return wcoj.OpenValues(nil), nil
 	}
 	if total <= tr.Len()/8 {
 		it := getBuf()
@@ -176,17 +220,21 @@ func (a *RegionADAtom) openDescendants(anc []xmldb.NodeID) wcoj.AtomIterator {
 			}
 		}
 		it.finish()
-		return it
+		return it, nil
 	}
-	return openStab(doc, tr, anc)
+	return openStab(doc, tr, anc), nil
 }
 
 // openAncestors walks the parent chain of every node valued dv, collecting
 // the values of ancTag ancestors into a pooled sorted buffer.
-func (a *RegionADAtom) openAncestors(dv relational.Value) wcoj.AtomIterator {
+func (a *RegionADAtom) openAncestors(dv relational.Value, ctl cachehook.BuildControl) (wcoj.AtomIterator, error) {
 	doc := a.ix.doc
+	tr, err := a.descRuns.getCtl(a.ix, a.descTag, ctl)
+	if err != nil {
+		return nil, err
+	}
 	it := getBuf()
-	for _, d := range a.descRuns.get(a.ix, a.descTag).Run(dv) {
+	for _, d := range tr.Run(dv) {
 		for p := doc.Parent(d); p != xmldb.NoNode; p = doc.Parent(p) {
 			if doc.Tag(p) == a.ancTag {
 				it.vals = append(it.vals, doc.Value(p))
@@ -194,7 +242,7 @@ func (a *RegionADAtom) openAncestors(dv relational.Value) wcoj.AtomIterator {
 		}
 	}
 	it.finish()
-	return it
+	return it, nil
 }
 
 // stabIter is the lazy descendant-values cursor: it walks the descendant
@@ -234,6 +282,11 @@ func (it *stabIter) Next() {
 }
 
 func (it *stabIter) Seek(v relational.Value) {
+	if err := faultpoint.Inject("structix.stab.seek"); err != nil {
+		// Seek has no error return; surfacing the injected fault as a panic
+		// exercises the executors' recovery paths.
+		panic(err)
+	}
 	vals := it.tr.vals
 	it.pos += sort.Search(len(vals)-it.pos, func(i int) bool { return vals[it.pos+i] >= v })
 	it.settle()

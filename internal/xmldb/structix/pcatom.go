@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cachehook"
+	"repro/internal/faultpoint"
 	"repro/internal/relational"
 	"repro/internal/wcoj"
 	"repro/internal/xmldb"
@@ -53,19 +55,33 @@ func (a *RegionPCAtom) Index() *Index { return a.ix }
 // core.EdgeAtom.Size for the planner's bound estimates.
 func (a *RegionPCAtom) Size() int { return a.ix.pcProjFor(a.parentTag, a.childTag).pairs }
 
-// Open implements wcoj.Atom.
+// Open implements wcoj.Atom. A cold Open may build the tag runs or the
+// edge projection, so the binding's build control (cancellation, budget
+// admission) applies to exactly those calls.
 func (a *RegionPCAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, error) {
+	if err := faultpoint.Inject("structix.pc.open"); err != nil {
+		return nil, err
+	}
+	ctl := buildControlFrom(b)
 	switch attr {
 	case a.childTag:
 		if pv, ok := b.Get(a.parentTag); ok {
-			return a.openChildren(pv), nil
+			return a.openChildren(pv, ctl)
 		}
-		return wcoj.OpenValues(a.ix.pcProjFor(a.parentTag, a.childTag).childs), nil
+		p, err := a.ix.pcProjForCtl(a.parentTag, a.childTag, ctl)
+		if err != nil {
+			return nil, err
+		}
+		return wcoj.OpenValues(p.childs), nil
 	case a.parentTag:
 		if cv, ok := b.Get(a.childTag); ok {
-			return a.openParents(cv), nil
+			return a.openParents(cv, ctl)
 		}
-		return wcoj.OpenValues(a.ix.pcProjFor(a.parentTag, a.childTag).parents), nil
+		p, err := a.ix.pcProjForCtl(a.parentTag, a.childTag, ctl)
+		if err != nil {
+			return nil, err
+		}
+		return wcoj.OpenValues(p.parents), nil
 	default:
 		return nil, fmt.Errorf("structix: atom %s has no attribute %q", a.name, attr)
 	}
@@ -79,11 +95,15 @@ func (a *RegionPCAtom) Open(attr string, b wcoj.Binding) (wcoj.AtomIterator, err
 // order) and a Level equality check admits exactly the direct children.
 // The latter wins when the parent has many children of other tags; the
 // former when its subtree is deep in childTag descendants.
-func (a *RegionPCAtom) openChildren(pv relational.Value) wcoj.AtomIterator {
+func (a *RegionPCAtom) openChildren(pv relational.Value, ctl cachehook.BuildControl) (wcoj.AtomIterator, error) {
 	doc := a.ix.doc
 	childs := doc.NodesByTag(a.childTag)
+	tr, err := a.parentRuns.getCtl(a.ix, a.parentTag, ctl)
+	if err != nil {
+		return nil, err
+	}
 	it := getBuf()
-	for _, p := range a.parentRuns.get(a.ix, a.parentTag).Run(pv) {
+	for _, p := range tr.Run(pv) {
 		pn := doc.Node(p)
 		lo := sort.Search(len(childs), func(i int) bool { return doc.Node(childs[i]).Start > pn.Start })
 		hi := lo + sort.Search(len(childs)-lo, func(i int) bool { return doc.Node(childs[lo+i]).Start > pn.End })
@@ -103,7 +123,7 @@ func (a *RegionPCAtom) openChildren(pv relational.Value) wcoj.AtomIterator {
 		}
 	}
 	it.finish()
-	return it
+	return it, nil
 }
 
 // openParents collects the parentTag values of the parents of childTag
@@ -116,9 +136,13 @@ func (a *RegionPCAtom) openChildren(pv relational.Value) wcoj.AtomIterator {
 // Level equality check decides parenthood without dereferencing a single
 // parent pointer: sequential scans of two sorted lists replace per-node
 // random access into the node array.
-func (a *RegionPCAtom) openParents(cv relational.Value) wcoj.AtomIterator {
+func (a *RegionPCAtom) openParents(cv relational.Value, ctl cachehook.BuildControl) (wcoj.AtomIterator, error) {
 	doc := a.ix.doc
-	run := a.childRuns.get(a.ix, a.childTag).Run(cv)
+	tr, err := a.childRuns.getCtl(a.ix, a.childTag, ctl)
+	if err != nil {
+		return nil, err
+	}
+	run := tr.Run(cv)
 	it := getBuf()
 	parents := doc.NodesByTag(a.parentTag)
 	if len(run) >= 4 && len(parents) <= 4*len(run)+16 {
@@ -153,5 +177,5 @@ func (a *RegionPCAtom) openParents(cv relational.Value) wcoj.AtomIterator {
 		}
 	}
 	it.finish()
-	return it
+	return it, nil
 }

@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cachehook"
+	"repro/internal/faultpoint"
 	"repro/internal/relational"
 	"repro/internal/xmldb"
 )
@@ -77,14 +78,32 @@ type Index struct {
 }
 
 // tagEntry is one lazily built per-tag slot: once guards the build for
-// callers that need the result, done publishes completion to Info (an
-// atomic store inside the build happens-before an atomic load observing
-// true, so Info may read tr without taking the Once).
+// callers that need the result and publishes completion to Info through
+// its done flag (the atomic store inside Do happens-before a load
+// observing true, so Info may read tr without serializing on the build).
+// once is a retryable BuildOnce: a build abandoned by a cancellation
+// check, refused by the budget admitter, or killed by a panic leaves the
+// slot unbuilt — the next caller rebuilds instead of finding a poisoned
+// sync.Once wedged on a nil structure.
 type tagEntry struct {
-	once   sync.Once
-	done   atomic.Bool
+	once   cachehook.BuildOnce
 	tr     *TagRuns
 	ticket cachehook.Ticket
+}
+
+// buildCheckNodes is how many nodes a structix build processes between
+// cancellation polls — matched to the executors' checkInterval backstop,
+// so a cold run cancelled mid-build returns within the same budget as one
+// cancelled mid-enumeration.
+const buildCheckNodes = 1024
+
+// admitBuild consults the run's admission probe with a pre-build size
+// estimate; without a probe every build is admitted.
+func admitBuild(ctl cachehook.BuildControl, label string, bytes int64) error {
+	if ctl.Admit == nil {
+		return nil
+	}
+	return ctl.Admit.Admit(label, bytes)
 }
 
 // New returns an empty index over doc; all structures build lazily.
@@ -149,8 +168,20 @@ func (t *TagRuns) Run(v relational.Value) []xmldb.NodeID {
 // Tag returns (building if needed) the runs of one tag. Concurrent callers
 // of the same tag get the same structure (until an eviction drops it, after
 // which the next call rebuilds); the index lock is held only for the map
-// access, never during a build.
+// access, never during a build. This unconditional form cannot fail;
+// cancellable/budget-aware callers (the atoms' Open paths) use TagCtl.
 func (x *Index) Tag(tag string) *TagRuns {
+	tr, _ := x.TagCtl(tag, cachehook.BuildControl{})
+	return tr
+}
+
+// TagCtl is Tag with a run-scoped build control: the build is refused
+// up front when its estimated footprint alone exceeds the admitter's
+// budget (cachehook.ErrBudgetExceeded — core degrades the run), polls
+// ctl.Check every buildCheckNodes nodes and abandons with
+// cachehook.ErrBuildCancelled. Either way the partial structure is
+// discarded and the shared slot stays unbuilt for the next caller.
+func (x *Index) TagCtl(tag string, ctl cachehook.BuildControl) (*TagRuns, error) {
 	x.mu.Lock()
 	e, ok := x.tags[tag]
 	if !ok {
@@ -158,23 +189,37 @@ func (x *Index) Tag(tag string) *TagRuns {
 		x.tags[tag] = e
 	}
 	x.mu.Unlock()
-	built := false
-	e.once.Do(func() {
-		e.tr = buildTagRuns(x.doc, tag)
+	built, err := e.once.Do(func() error {
+		if err := faultpoint.Inject("structix.tag.build"); err != nil {
+			return err
+		}
+		label := "structix tag[" + tag + "]"
+		// Upper estimate (every value distinct): per node one NodeID, one
+		// value slot and one run header.
+		if err := admitBuild(ctl, label, int64(len(x.doc.NodesByTag(tag)))*36+48); err != nil {
+			return err
+		}
+		tr, err := buildTagRuns(x.doc, tag, ctl.Check)
+		if err != nil {
+			return err
+		}
+		e.tr = tr
 		if x.obs != nil {
-			e.ticket = x.obs.Built("structix tag["+tag+"]", tagRunsBytes(e.tr), x.evictDrop(func() {
+			e.ticket = x.obs.Built(label, tagRunsBytes(e.tr), x.evictDrop(func() {
 				if x.tags[tag] == e {
 					delete(x.tags, tag)
 				}
 			}))
 		}
-		e.done.Store(true)
-		built = true
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	if !built && e.ticket != nil {
 		e.ticket.Touch()
 	}
-	return e.tr
+	return e.tr, nil
 }
 
 // tagRunsBytes estimates one tag-run structure's heap footprint (the
@@ -188,10 +233,13 @@ func tagRunsBytes(tr *TagRuns) int64 {
 	return b
 }
 
-func buildTagRuns(doc *xmldb.Document, tag string) *TagRuns {
+func buildTagRuns(doc *xmldb.Document, tag string, check func() bool) (*TagRuns, error) {
 	nodes := doc.NodesByTag(tag)
 	byVal := make(map[relational.Value][]xmldb.NodeID)
-	for _, id := range nodes {
+	for i, id := range nodes {
+		if check != nil && i%buildCheckNodes == 0 && check() {
+			return nil, cachehook.ErrBuildCancelled
+		}
 		v := doc.Value(id)
 		byVal[v] = append(byVal[v], id) // document order preserved
 	}
@@ -206,7 +254,7 @@ func buildTagRuns(doc *xmldb.Document, tag string) *TagRuns {
 	for _, v := range tr.vals {
 		tr.runs = append(tr.runs, byVal[v])
 	}
-	return tr
+	return tr, nil
 }
 
 // stabs reports whether any node of run lies strictly inside the region of
@@ -234,14 +282,18 @@ func stabs(doc *xmldb.Document, run, anc []xmldb.NodeID) bool {
 // vice versa — what the materialized ADAtom calls ancs/descs, computed in
 // O(n log n) without touching any pair.
 type adProj struct {
-	once   sync.Once
-	done   atomic.Bool
+	once   cachehook.BuildOnce
 	ancs   []relational.Value
 	descs  []relational.Value
 	ticket cachehook.Ticket
 }
 
 func (x *Index) adProjFor(ancTag, descTag string) *adProj {
+	p, _ := x.adProjForCtl(ancTag, descTag, cachehook.BuildControl{})
+	return p
+}
+
+func (x *Index) adProjForCtl(ancTag, descTag string, ctl cachehook.BuildControl) (*adProj, error) {
 	key := [2]string{ancTag, descTag}
 	x.mu.Lock()
 	p, ok := x.ad[key]
@@ -250,24 +302,35 @@ func (x *Index) adProjFor(ancTag, descTag string) *adProj {
 		x.ad[key] = p
 	}
 	x.mu.Unlock()
-	built := false
-	p.once.Do(func() {
-		p.build(x.doc, ancTag, descTag)
+	built, err := p.once.Do(func() error {
+		if err := faultpoint.Inject("structix.ad.build"); err != nil {
+			return err
+		}
+		label := "structix ad[" + ancTag + "//" + descTag + "]"
+		est := int64(len(x.doc.NodesByTag(ancTag))+len(x.doc.NodesByTag(descTag)))*8 + 48
+		if err := admitBuild(ctl, label, est); err != nil {
+			return err
+		}
+		if err := p.build(x.doc, ancTag, descTag, ctl.Check); err != nil {
+			return err
+		}
 		if x.obs != nil {
 			bytes := int64(len(p.ancs)+len(p.descs))*8 + 48
-			p.ticket = x.obs.Built("structix ad["+ancTag+"//"+descTag+"]", bytes, x.evictDrop(func() {
+			p.ticket = x.obs.Built(label, bytes, x.evictDrop(func() {
 				if x.ad[key] == p {
 					delete(x.ad, key)
 				}
 			}))
 		}
-		p.done.Store(true)
-		built = true
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	if !built && p.ticket != nil {
 		p.ticket.Touch()
 	}
-	return p
+	return p, nil
 }
 
 // ADProjSizes reports the cached A-D edge projection's cardinalities
@@ -278,13 +341,13 @@ func (x *Index) ADProjSizes(ancTag, descTag string) (ancs, descs int, ok bool) {
 	x.mu.Lock()
 	p := x.ad[[2]string{ancTag, descTag}]
 	x.mu.Unlock()
-	if p == nil || !p.done.Load() {
+	if p == nil || !p.once.Done() {
 		return 0, 0, false
 	}
 	return len(p.ancs), len(p.descs), true
 }
 
-func (p *adProj) build(doc *xmldb.Document, ancTag, descTag string) {
+func (p *adProj) build(doc *xmldb.Document, ancTag, descTag string, check func() bool) error {
 	// Descendant side: one preorder pass with a stack of open ancestor
 	// regions (their End positions). Node IDs ascend in document order, so
 	// popping regions that closed before the current start keeps the stack
@@ -293,6 +356,9 @@ func (p *adProj) build(doc *xmldb.Document, ancTag, descTag string) {
 	var descs []relational.Value
 	n := doc.Len()
 	for i := 0; i < n; i++ {
+		if check != nil && i%buildCheckNodes == 0 && check() {
+			return cachehook.ErrBuildCancelled
+		}
 		nd := doc.Node(xmldb.NodeID(i))
 		for len(stack) > 0 && stack[len(stack)-1] < nd.Start {
 			stack = stack[:len(stack)-1]
@@ -304,13 +370,15 @@ func (p *adProj) build(doc *xmldb.Document, ancTag, descTag string) {
 			stack = append(stack, nd.End)
 		}
 	}
-	p.descs = sortDedup(descs)
 
 	// Ancestor side: an ancestor matches iff the first descendant start
 	// after its own start still falls inside its region.
 	descNodes := doc.NodesByTag(descTag)
 	var ancs []relational.Value
-	for _, a := range doc.NodesByTag(ancTag) {
+	for i, a := range doc.NodesByTag(ancTag) {
+		if check != nil && i%buildCheckNodes == 0 && check() {
+			return cachehook.ErrBuildCancelled
+		}
 		an := doc.Node(a)
 		k := sort.Search(len(descNodes), func(i int) bool {
 			return doc.Node(descNodes[i]).Start > an.Start
@@ -319,13 +387,16 @@ func (p *adProj) build(doc *xmldb.Document, ancTag, descTag string) {
 			ancs = append(ancs, an.Value)
 		}
 	}
+	// Assign only on success, so an abandoned build leaves no partial state
+	// behind on the shared (retryable) slot.
+	p.descs = sortDedup(descs)
 	p.ancs = sortDedup(ancs)
+	return nil
 }
 
 // pcProj caches one P-C edge's exact unbound projections and pair count.
 type pcProj struct {
-	once    sync.Once
-	done    atomic.Bool
+	once    cachehook.BuildOnce
 	parents []relational.Value
 	childs  []relational.Value
 	pairs   int
@@ -333,6 +404,11 @@ type pcProj struct {
 }
 
 func (x *Index) pcProjFor(parentTag, childTag string) *pcProj {
+	p, _ := x.pcProjForCtl(parentTag, childTag, cachehook.BuildControl{})
+	return p
+}
+
+func (x *Index) pcProjForCtl(parentTag, childTag string, ctl cachehook.BuildControl) (*pcProj, error) {
 	key := [2]string{parentTag, childTag}
 	x.mu.Lock()
 	p, ok := x.pc[key]
@@ -341,39 +417,57 @@ func (x *Index) pcProjFor(parentTag, childTag string) *pcProj {
 		x.pc[key] = p
 	}
 	x.mu.Unlock()
-	built := false
-	p.once.Do(func() {
-		p.build(x.doc, parentTag, childTag)
+	built, err := p.once.Do(func() error {
+		if err := faultpoint.Inject("structix.pc.build"); err != nil {
+			return err
+		}
+		label := "structix pc[" + parentTag + "/" + childTag + "]"
+		est := int64(len(x.doc.NodesByTag(childTag)))*16 + 48
+		if err := admitBuild(ctl, label, est); err != nil {
+			return err
+		}
+		if err := p.build(x.doc, parentTag, childTag, ctl.Check); err != nil {
+			return err
+		}
 		if x.obs != nil {
 			bytes := int64(len(p.parents)+len(p.childs))*8 + 48
-			p.ticket = x.obs.Built("structix pc["+parentTag+"/"+childTag+"]", bytes, x.evictDrop(func() {
+			p.ticket = x.obs.Built(label, bytes, x.evictDrop(func() {
 				if x.pc[key] == p {
 					delete(x.pc, key)
 				}
 			}))
 		}
-		p.done.Store(true)
-		built = true
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	if !built && p.ticket != nil {
 		p.ticket.Touch()
 	}
-	return p
+	return p, nil
 }
 
-func (p *pcProj) build(doc *xmldb.Document, parentTag, childTag string) {
+func (p *pcProj) build(doc *xmldb.Document, parentTag, childTag string, check func() bool) error {
 	var parents, childs []relational.Value
-	for _, c := range doc.NodesByTag(childTag) {
+	pairs := 0
+	for i, c := range doc.NodesByTag(childTag) {
+		if check != nil && i%buildCheckNodes == 0 && check() {
+			return cachehook.ErrBuildCancelled
+		}
 		pa := doc.Parent(c)
 		if pa == xmldb.NoNode || doc.Tag(pa) != parentTag {
 			continue
 		}
-		p.pairs++
+		pairs++
 		parents = append(parents, doc.Value(pa))
 		childs = append(childs, doc.Value(c))
 	}
+	// Assign only on success (see adProj.build).
+	p.pairs = pairs
 	p.parents = sortDedup(parents)
 	p.childs = sortDedup(childs)
+	return nil
 }
 
 // sortDedup sorts vals in place and drops duplicates.
@@ -413,21 +507,21 @@ func (x *Index) Info() Info {
 	defer x.mu.Unlock()
 	var info Info
 	for _, e := range x.tags {
-		if !e.done.Load() {
+		if !e.once.Done() {
 			continue
 		}
 		info.TagRuns++
 		info.ApproxBytes += tagRunsBytes(e.tr)
 	}
 	for _, p := range x.ad {
-		if !p.done.Load() {
+		if !p.once.Done() {
 			continue
 		}
 		info.EdgeProjections++
 		info.ApproxBytes += int64(len(p.ancs)+len(p.descs))*8 + 2*hdr
 	}
 	for _, p := range x.pc {
-		if !p.done.Load() {
+		if !p.once.Done() {
 			continue
 		}
 		info.EdgeProjections++

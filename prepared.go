@@ -42,6 +42,18 @@ func (q *Query) Prepare() (*PreparedQuery, error) {
 	return &PreparedQuery{db: q.db, q: q.q, opts: opts}, nil
 }
 
+// PrepareCtx is Prepare bounded by ctx: an already-cancelled context (or
+// an expired deadline) fails fast with an error matching ErrCancelled,
+// before any plan resolution or atom warming.
+func (q *Query) PrepareCtx(ctx context.Context) (*PreparedQuery, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, core.Cancelled(err)
+		}
+	}
+	return q.Prepare()
+}
+
 // Prepare assembles and freezes a query in one step — the common serving
 // call. Plan options beyond the defaults are chosen by building the query
 // explicitly: db.Query(...).WithStrategy(...).Prepare().
@@ -53,6 +65,16 @@ func (db *Database) Prepare(twigExpr string, tableNames ...string) (*PreparedQue
 	return q.Prepare()
 }
 
+// PrepareCtx is Database.Prepare bounded by ctx; see Query.PrepareCtx.
+func (db *Database) PrepareCtx(ctx context.Context, twigExpr string, tableNames ...string) (*PreparedQuery, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, core.Cancelled(err)
+		}
+	}
+	return db.Prepare(twigExpr, tableNames...)
+}
+
 // PrepareOn is Prepare over multi-document twig inputs (see QueryOn).
 func (db *Database) PrepareOn(twigs []TwigOn, tableNames ...string) (*PreparedQuery, error) {
 	q, err := db.QueryOn(twigs, tableNames...)
@@ -60,6 +82,16 @@ func (db *Database) PrepareOn(twigs []TwigOn, tableNames ...string) (*PreparedQu
 		return nil, err
 	}
 	return q.Prepare()
+}
+
+// PrepareOnCtx is PrepareOn bounded by ctx; see Query.PrepareCtx.
+func (db *Database) PrepareOnCtx(ctx context.Context, twigs []TwigOn, tableNames ...string) (*PreparedQuery, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, core.Cancelled(err)
+		}
+	}
+	return db.PrepareOn(twigs, tableNames...)
 }
 
 // execOpts merges per-call knobs over the frozen plan through the shared

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultpoint"
 )
 
 // The Rows channel carries chunks of rows, not single rows: crossing a
@@ -76,6 +77,17 @@ func startRows(ctx context.Context, cols []string, run func(ctx context.Context,
 		done:   make(chan struct{}),
 	}
 	go func() {
+		// The closes run unconditionally — a panic anywhere in the executor
+		// (or in the caller's emit path) must still end the stream, or Next
+		// and Close would block forever on a dead producer. The recovered
+		// panic surfaces through Err as an ErrInternal-matching error.
+		defer func() {
+			if v := recover(); v != nil {
+				r.err = core.Internal(fmt.Errorf("rows executor panic: %v", v))
+			}
+			close(r.rows)
+			close(r.done)
+		}()
 		var (
 			pending [][]string // chunk under construction
 			cells   []string   // one backing block for the chunk's cells
@@ -84,6 +96,9 @@ func startRows(ctx context.Context, cols []string, run func(ctx context.Context,
 		flush := func() bool {
 			if len(pending) == 0 {
 				return true
+			}
+			if err := faultpoint.Inject("xmjoin.rows.send"); err != nil {
+				panic(err)
 			}
 			select {
 			case r.rows <- pending:
@@ -119,8 +134,6 @@ func startRows(ctx context.Context, cols []string, run func(ctx context.Context,
 		// deliver the partial chunk before ending the stream.
 		flush()
 		r.stats, r.err = stats, err
-		close(r.rows)
-		close(r.done)
 	}()
 	return r
 }
@@ -199,9 +212,10 @@ func (r *Rows) Scan(dests ...*string) error {
 
 // Err returns the error that ended the iteration: nil while rows are
 // still being produced, nil after a clean end, an ErrCancelled-matching
-// error when the creation context ended mid-run, or the executor's
-// failure. Like sql.Rows, a Close before exhaustion does not itself
-// produce an error.
+// error when the creation context ended mid-run, an ErrInternal-matching
+// error when the executor died on a recovered panic (rows delivered
+// before it remain valid answers), or the executor's failure. Like
+// sql.Rows, a Close before exhaustion does not itself produce an error.
 func (r *Rows) Err() error {
 	select {
 	case <-r.done:

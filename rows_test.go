@@ -6,11 +6,14 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // TestRowsMatchesExec pins the cursor against the materializing executor:
 // same rows, same order, plus the Scan/Columns/Stats surface.
 func TestRowsMatchesExec(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	db := figure1DB(t)
 	q, err := db.Query("/invoices/orderLine[orderID][ISBN]/price", "R")
 	if err != nil {
@@ -97,6 +100,7 @@ func TestRowsMatchesExec(t *testing.T) {
 // report no error, and leave statistics describing a cancelled partial
 // run.
 func TestRowsEarlyCloseReleasesExecutor(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	db := deepChainDB(t, 400)
 	q, err := db.Query("//a//b")
 	if err != nil {
@@ -137,6 +141,7 @@ func TestRowsEarlyCloseReleasesExecutor(t *testing.T) {
 // (the caller's context died, unlike a plain Close), and the executor
 // goroutine must exit even if Close is never called.
 func TestRowsCtxCancelStopsExecutor(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	db := deepChainDB(t, 400)
 	q, err := db.Query("//a//b")
 	if err != nil {

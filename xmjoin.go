@@ -78,6 +78,38 @@
 // or, with Go 1.23 range-over-func:
 //
 //	for row, err := range p.All(ctx) { ... }
+//
+// # Failure semantics
+//
+// The engine separates three failure classes, each a typed sentinel, each
+// delivered alongside whatever partial work completed:
+//
+//   - Cancellation (ErrCancelled): the caller's context ended. Every
+//     executor — serial, morsel-parallel, the Rows goroutine, and the
+//     lazy index builds themselves (polled every ~1024 nodes/rows) —
+//     stops within a bounded amount of work. Partial results carry
+//     Stats.Cancelled; an abandoned index build is discarded without
+//     corrupting its shared slot and rebuilds cleanly on the next run.
+//
+//   - Internal errors (ErrInternal): a panic in an engine-owned goroutine
+//     or index build. The panic is recovered at the executor boundary:
+//     sibling workers are cancelled, pooled iterators released, no
+//     goroutine leaks, and — because build slots are retryable, never
+//     poisoned — the database and its shared catalog keep serving
+//     subsequent queries. Partial results carry Stats.Internal; the
+//     wrapped error exposes the panic value and captured stack.
+//
+//   - Budget pressure (ErrBudgetExceeded): a lazily built structural
+//     index alone would exceed the catalog's byte budget. Rather than
+//     evicting hot entries to admit it, the run transparently degrades to
+//     the post-hoc configuration (A-D edges checked by final validation,
+//     materialized per-edge P-C indexes) and records why in
+//     Stats.Degraded — identical answers, different cost. The error
+//     surfaces only when the configuration has no cheaper shape, or when
+//     a streaming run already emitted rows it cannot recall.
+//
+// Queries, data errors and invalid plans return ordinary errors eagerly;
+// the classes above are the runtime ones a serving loop should branch on.
 package xmjoin
 
 import (
@@ -116,6 +148,18 @@ var (
 	// context's own error (context.Canceled / context.DeadlineExceeded),
 	// and travel alongside partial results with Stats.Cancelled set.
 	ErrCancelled = core.ErrCancelled
+	// ErrInternal reports a run aborted by an engine defect — a panic in
+	// an executor goroutine or an index build — recovered at the executor
+	// boundary. The process, the database and its catalog stay usable;
+	// partial results travel alongside with Stats.Internal set, and the
+	// wrapped *wcoj.PanicError carries the captured stack.
+	ErrInternal = core.ErrInternal
+	// ErrBudgetExceeded reports a lazily built index refused because its
+	// estimated footprint alone exceeds the catalog's byte budget. Runs
+	// that can degrade to a cheaper execution shape do so transparently
+	// (Stats.Degraded records why); the error surfaces only when no
+	// fallback exists.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
 )
 
 // Database holds XML documents (a default one plus any number of named
