@@ -5,13 +5,20 @@
 //
 //	xjoin -xml doc.xml -table R=orders.csv -twig '/invoices/orderLine[orderID]/price' \
 //	      [-algo xjoin|xjoin+|baseline] [-ad lazy|posthoc|materialized] \
-//	      [-project userID,ISBN] [-bounds] [-stats] \
-//	      [-parallel N] [-limit N] [-exists] [-timeout D]
+//	      [-project userID,ISBN] [-bounds] [-stats] [-analyze] \
+//	      [-parallel N] [-limit N] [-exists] [-timeout D] [-metrics addr]
 //
 // Each -table flag (repeatable) loads NAME=FILE.csv; the CSV header names
 // the columns. Attributes with equal names across tables and twig tags
 // join. With -bounds the worst-case size bounds are printed; with -stats
 // the per-stage intermediate sizes.
+//
+// -analyze executes the query under a trace and prints the span tree —
+// plan selection, every lazy index build the run admitted, and execution
+// with per-level join counters. -metrics addr serves the process metrics
+// registry in Prometheus text format at /metrics (plus /debug/pprof and
+// /debug/vars) for the life of the process; the bound address is printed
+// to stderr, so -metrics 127.0.0.1:0 picks a free port.
 //
 // -timeout bounds the run with a context deadline (any time.Duration,
 // e.g. -timeout 500ms): when it expires the join stops within one
@@ -36,6 +43,7 @@ import (
 
 	xmjoin "repro"
 	"repro/internal/cli"
+	"repro/internal/obs"
 )
 
 type tableFlags []string
@@ -71,11 +79,21 @@ func run() error {
 	exists := flag.Bool("exists", false, "print true/false for answer existence and exit (stops at the first answer)")
 	stream := flag.Bool("stream", false, "stream answers instead of materializing (xjoin only)")
 	explain := flag.Bool("explain", false, "print the plan before executing")
+	analyze := flag.Bool("analyze", false, "execute under a trace and print the span tree (plan, lazy index builds, per-level counters)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics (Prometheus text format), /debug/pprof and /debug/vars on this address (e.g. :9090 or 127.0.0.1:0)")
 	projectList := flag.String("project", "", "comma-separated output attributes (default: all)")
 	showBounds := flag.Bool("bounds", false, "print worst-case size bounds")
 	showStats := flag.Bool("stats", false, "print execution statistics")
 	flag.Var(&tables, "table", "NAME=FILE.csv (repeatable)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, err := obs.Serve(*metricsAddr, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+	}
 
 	db := xmjoin.NewDatabase()
 	if *xmlPath != "" {
@@ -129,6 +147,18 @@ func run() error {
 	}
 	q.WithLimit(limit)
 
+	var tr *xmjoin.Trace
+	if *analyze {
+		tr = xmjoin.NewTrace(*twigExpr + " " + strings.Join(names, " "))
+		q.WithTrace(tr)
+	}
+	printTrace := func() {
+		if tr != nil {
+			tr.Finish()
+			fmt.Print(tr.Render())
+		}
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -147,6 +177,7 @@ func run() error {
 			return fmt.Errorf("unknown -algo %q", *algo)
 		}
 		ok, err := q.ExistsCtx(ctx)
+		printTrace()
 		if err != nil {
 			return err
 		}
@@ -180,10 +211,20 @@ func run() error {
 			fmt.Println(strings.Join(row, ","))
 			return true
 		})
-		if err != nil && !errors.Is(err, xmjoin.ErrCancelled) {
-			return err
-		}
+		printTrace()
+		// Report the partial-statistics block for every failure class, not
+		// just cancellation — a budget-refused or internally failed run
+		// otherwise exits with no record of how far it got.
 		if *showStats || err != nil {
+			if stats.Cancelled {
+				fmt.Println("cancelled=true (partial stats)")
+			}
+			if stats.Internal {
+				fmt.Println("internal=true (partial stats)")
+			}
+			if stats.Degraded != "" {
+				fmt.Printf("degraded: %s\n", stats.Degraded)
+			}
 			fmt.Printf("streamed=%d validation_removed=%d peak_stage=%d\n",
 				stats.Output, stats.ValidationRemoved, stats.PeakIntermediate)
 			if stats.LeafBatches > 0 {
@@ -196,7 +237,7 @@ func run() error {
 					stats.CatalogHits, stats.CatalogMisses, stats.CatalogEvictions)
 			}
 		}
-		return err // nil, or the cancellation after the partial report
+		return err // nil, or the failure after the partial report
 	}
 
 	var res *xmjoin.Result
@@ -211,11 +252,13 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -algo %q", *algo)
 	}
+	printTrace()
 	if err != nil {
-		// A cancelled (or internally failed) run still carries the answers
-		// found so far plus partial statistics; report them, then exit
-		// non-zero below — 1 for cancellation, 2 for internal errors.
-		if res == nil || !(errors.Is(err, xmjoin.ErrCancelled) || errors.Is(err, xmjoin.ErrInternal)) {
+		// Any failed run that still carries a result — cancellation,
+		// internal error, budget pressure — reports its answers and the
+		// partial-statistics block before exiting non-zero below (1 for
+		// cancellation and ordinary errors, 2 for internal errors).
+		if res == nil {
 			return err
 		}
 		cancelledErr = err

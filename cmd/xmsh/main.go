@@ -13,6 +13,13 @@
 // .quit (or EOF) to leave. Use -db DIR to open a database saved with
 // .save, and -c 'QUERY' to run a single command non-interactively (there
 // Ctrl-C keeps its usual kill behaviour).
+//
+// -metrics addr serves the process metrics registry — every query of the
+// session folds its statistics into it — in Prometheus text format at
+// /metrics, plus /debug/pprof and /debug/vars, for the life of the
+// session; the bound address is printed to stderr (use :0 for a free
+// port). In-session observability lives in the shell itself: .stats,
+// .analyze and .slowlog.
 package main
 
 import (
@@ -21,13 +28,24 @@ import (
 	"os"
 	"os/signal"
 
+	"repro/internal/obs"
 	"repro/internal/shell"
 )
 
 func main() {
 	dbDir := flag.String("db", "", "open a saved database directory on startup")
 	command := flag.String("c", "", "execute one command and exit")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/pprof and /debug/vars on this address (e.g. :9090)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, err := obs.Serve(*metricsAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmsh:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+	}
 
 	sh := shell.New(os.Stdout)
 	if *dbDir != "" {

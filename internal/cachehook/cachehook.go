@@ -33,6 +33,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrBuildCancelled reports that a lazy index build observed its run's
@@ -61,7 +62,7 @@ type Admitter interface {
 }
 
 // BuildControl carries per-run controls into lazy index builds triggered
-// from Atom.Open paths. The zero value disables both probes.
+// from Atom.Open paths. The zero value disables all probes.
 type BuildControl struct {
 	// Check, when non-nil, reports whether the run was cancelled; builds
 	// poll it every ~1024 nodes/rows and abandon with ErrBuildCancelled.
@@ -69,10 +70,34 @@ type BuildControl struct {
 	// Admit, when non-nil, is consulted with a size estimate before an
 	// expensive build; a non-nil result aborts with ErrBudgetExceeded.
 	Admit Admitter
+	// Built, when non-nil, is told about each completed build: the entry's
+	// diagnostic label, its approximate heap bytes, and the build's wall
+	// time. Tracing uses this to attach build spans; owners report via
+	// BuildStart/ReportBuilt so the disabled path costs one nil test.
+	Built func(label string, bytes int64, elapsed time.Duration)
 }
 
 // Cancelled reports whether the run behind this control asked to stop.
 func (c BuildControl) Cancelled() bool { return c.Check != nil && c.Check() }
+
+// BuildStart returns the wall-clock start for a build that will be
+// reported through ReportBuilt, or the zero Time when no Built hook is
+// installed (skipping the clock read on the untraced path).
+func (c BuildControl) BuildStart() time.Time {
+	if c.Built == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ReportBuilt notifies the Built hook, if any, of a completed build
+// started at start (as returned by BuildStart). No-op when untraced.
+func (c BuildControl) ReportBuilt(label string, bytes int64, start time.Time) {
+	if c.Built == nil {
+		return
+	}
+	c.Built(label, bytes, time.Since(start))
+}
 
 // BuildOnce is a retryable variant of sync.Once for lazy cache entries:
 // a build that returns an error or panics leaves the slot unbuilt, so the

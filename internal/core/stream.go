@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/cachehook"
+	"repro/internal/obs"
 	"repro/internal/relational"
 	"repro/internal/wcoj"
 )
@@ -55,6 +57,11 @@ func xjoinStreamRun(q *Query, opts Options, degraded string, emit func(relationa
 		return &Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Cancelled: true, Degraded: degraded}, gerr
 	}
 	defer guard.stop()
+	tr := opts.Trace
+	var plan *obs.Span
+	if tr != nil {
+		plan = tr.Start("plan")
+	}
 	atoms := q.atoms(opts.atomConfig())
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("core: query has no atoms")
@@ -70,6 +77,11 @@ func xjoinStreamRun(q *Query, opts Options, degraded string, emit func(relationa
 	if err := checkOrder(q, order); err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		plan.SetInt("atoms", int64(len(atoms)))
+		plan.SetStr("order", strings.Join(order, " "))
+		plan.End()
+	}
 
 	stats := &Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Degraded: degraded}
 	var validators []*validator
@@ -82,6 +94,15 @@ func xjoinStreamRun(q *Query, opts Options, degraded string, emit func(relationa
 	var gjStats *wcoj.GenericJoinStats
 	var err error
 	bctl := q.buildControl(opts)
+	execWorkers := 1
+	if opts.Parallelism < 0 || opts.Parallelism > 1 {
+		pw := opts.Parallelism
+		if pw < 0 {
+			pw = 0
+		}
+		execWorkers = wcoj.ResolveWorkers(pw)
+	}
+	exec := traceExecStart(tr, &bctl, execWorkers, degraded)
 	if opts.Parallelism < 0 || opts.Parallelism > 1 {
 		gjStats, err = xjoinStreamParallel(opts, atoms, order, validators, stats, guard, bctl, emit)
 	} else {
@@ -99,6 +120,7 @@ func xjoinStreamRun(q *Query, opts Options, degraded string, emit func(relationa
 			return opts.Limit <= 0 || stats.Output < opts.Limit
 		})
 	}
+	exec.End()
 	if err != nil {
 		if isPanic(err) {
 			// The statistics gathered before the isolated panic describe the
@@ -121,6 +143,7 @@ func xjoinStreamRun(q *Query, opts Options, degraded string, emit func(relationa
 	}
 	addIndexStats(atoms, stats)
 	q.addCatalogStats(stats)
+	traceExecStats(exec, gjStats, stats)
 	if cerr := guard.err(); cerr != nil {
 		stats.Cancelled = true
 		return stats, cerr

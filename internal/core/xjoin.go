@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/relational"
 	"repro/internal/wcoj"
 	"repro/internal/xmldb/structix"
@@ -122,6 +124,12 @@ type Options struct {
 	// min(Limit, |answers|) tuples (a scheduling-dependent subset of the
 	// full answer) without enumerating the rest.
 	Limit int
+	// Trace, when non-nil, collects the run's timed span tree — plan/order
+	// selection, execution, every lazy index build, and per-level join
+	// counters — for EXPLAIN ANALYZE. The nil fast path costs one pointer
+	// test per phase (never per tuple): the per-level counters ride the
+	// statistics the executors gather anyway.
+	Trace *obs.Trace
 }
 
 // adMode resolves the effective A-D handling (ADDefault becomes ADLazy;
@@ -185,6 +193,11 @@ func xjoinRun(q *Query, opts Options, algo, degraded string) (*Result, error) {
 		return &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Cancelled: true, Degraded: degraded}}, gerr
 	}
 	defer guard.stop()
+	tr := opts.Trace
+	var plan *obs.Span
+	if tr != nil {
+		plan = tr.Start("plan")
+	}
 	atoms := q.atoms(opts.atomConfig())
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("core: query has no atoms")
@@ -199,6 +212,11 @@ func xjoinRun(q *Query, opts Options, algo, degraded string) (*Result, error) {
 	}
 	if err := checkOrder(q, order); err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		plan.SetInt("atoms", int64(len(atoms)))
+		plan.SetStr("order", strings.Join(order, " "))
+		plan.End()
 	}
 
 	if opts.Parallelism < 0 || opts.Parallelism > 1 {
@@ -217,7 +235,9 @@ func xjoinRun(q *Query, opts Options, algo, degraded string) (*Result, error) {
 		}
 	}
 	res := &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Degraded: degraded}}
-	gjStats, err := wcoj.GenericJoinStreamOpts(atoms, order, wcoj.StreamOpts{Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: q.buildControl(opts)}, func(t relational.Tuple) bool {
+	bctl := q.buildControl(opts)
+	exec := traceExecStart(tr, &bctl, 1, degraded)
+	gjStats, err := wcoj.GenericJoinStreamOpts(atoms, order, wcoj.StreamOpts{Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: bctl}, func(t relational.Tuple) bool {
 		for _, v := range validators {
 			if !v.hasWitness(t) {
 				res.Stats.ValidationRemoved++
@@ -227,6 +247,7 @@ func xjoinRun(q *Query, opts Options, algo, degraded string) (*Result, error) {
 		res.Tuples = append(res.Tuples, t.Clone())
 		return opts.Limit <= 0 || len(res.Tuples) < opts.Limit
 	})
+	exec.End()
 	if err != nil {
 		if isPanic(err) {
 			// The panic was isolated at the executor boundary; the tuples
@@ -249,6 +270,7 @@ func xjoinRun(q *Query, opts Options, algo, degraded string) (*Result, error) {
 	}
 	addIndexStats(atoms, &res.Stats)
 	q.addCatalogStats(&res.Stats)
+	traceExecStats(exec, gjStats, &res.Stats)
 	if cerr := guard.err(); cerr != nil {
 		res.Stats.Cancelled = true
 		return res, cerr
@@ -283,7 +305,9 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	removed := make([]int, workers)
 	var accepted atomic.Int64
 	limit := int64(opts.Limit)
-	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: q.buildControl(opts)},
+	bctl := q.buildControl(opts)
+	exec := traceExecStart(opts.Trace, &bctl, workers, degraded)
+	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: bctl},
 		func(w int) func(wcoj.OrdKey, relational.Tuple) bool {
 			return func(ord wcoj.OrdKey, t relational.Tuple) bool {
 				for _, v := range validators {
@@ -306,6 +330,7 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 				return true
 			}
 		})
+	exec.End()
 	if err != nil {
 		if isPanic(err) {
 			// All workers have joined, so the collector is quiescent; the
@@ -339,6 +364,7 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	res.Stats.Output = len(res.Tuples)
 	addIndexStats(atoms, &res.Stats)
 	q.addCatalogStats(&res.Stats)
+	traceExecStats(exec, gjStats, &res.Stats)
 	if cerr := guard.err(); cerr != nil {
 		res.Stats.Cancelled = true
 		return res, cerr

@@ -55,6 +55,9 @@ func (it SelectItem) Label() string {
 type Output struct {
 	Attrs []string
 	Rows  [][]string
+	// Text, when non-empty, replaces the tabular rendering — EXPLAIN's
+	// plan and EXPLAIN ANALYZE's span tree come back here.
+	Text string
 	// Stats carries the engine run's statistics when the statement executed
 	// a join (nil for EXISTS, which only probes for one answer). It includes
 	// the shared index catalog's counters, so the shell can show whether a
@@ -62,8 +65,12 @@ type Output struct {
 	Stats *core.Stats
 }
 
-// String renders the output as an aligned table with a row count.
+// String renders the output as an aligned table with a row count, or
+// returns Text verbatim for EXPLAIN forms.
 func (o *Output) String() string {
+	if o.Text != "" {
+		return o.Text
+	}
 	widths := make([]int, len(o.Attrs))
 	for i, a := range o.Attrs {
 		widths[i] = len(a)

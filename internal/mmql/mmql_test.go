@@ -484,3 +484,46 @@ func TestRunCarriesStats(t *testing.T) {
 			out1.Stats.CatalogHits, out2.Stats.CatalogHits)
 	}
 }
+
+// TestExplainPrefix: EXPLAIN renders the plan without executing, and
+// EXPLAIN ANALYZE executes under a trace whose span tree comes back as
+// the output's Text, with per-phase wall times and per-level counters.
+func TestExplainPrefix(t *testing.T) {
+	db := testDB(t)
+	out, err := RunString(db, `EXPLAIN SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Text, "PA") || out.Stats != nil {
+		t.Fatalf("EXPLAIN output wrong (stats=%v):\n%s", out.Stats, out.Text)
+	}
+	if !strings.Contains(out.String(), "PA") {
+		t.Fatal("String() must return Text for EXPLAIN")
+	}
+
+	out, err = RunString(db, `EXPLAIN ANALYZE SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"QUERY ANALYZE", "parse", "plan", "execute", "level 0:", "intersections="} {
+		if !strings.Contains(out.Text, want) {
+			t.Fatalf("EXPLAIN ANALYZE missing %q:\n%s", want, out.Text)
+		}
+	}
+	// ANALYZE executed for real: the run's statistics ride along.
+	if out.Stats == nil || out.Stats.Output == 0 {
+		t.Fatalf("EXPLAIN ANALYZE did not execute: %+v", out.Stats)
+	}
+}
+
+// TestExplainAnalyzeExists: the EXISTS form also runs under ANALYZE.
+func TestExplainAnalyzeExists(t *testing.T) {
+	db := testDB(t)
+	out, err := RunString(db, `EXPLAIN ANALYZE EXISTS SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Text, "QUERY ANALYZE") || !strings.Contains(out.Text, "execute") {
+		t.Fatalf("EXISTS under ANALYZE missing trace:\n%s", out.Text)
+	}
+}

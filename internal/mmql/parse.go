@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Statement is a parsed query.
@@ -27,6 +28,26 @@ type Statement struct {
 	// Exists marks an EXISTS-prefixed statement: report whether the query
 	// has at least one answer instead of enumerating them.
 	Exists bool
+	// Explain marks an EXPLAIN-prefixed statement: render the plan
+	// without executing. With Analyze also set (EXPLAIN ANALYZE ...) the
+	// statement executes for real under a trace and the output is the
+	// span tree with per-phase wall times and per-level join counters.
+	Explain bool
+	Analyze bool
+	// Src is the statement's source text when it came through Parse —
+	// the label traces and the slow-query log identify the query by.
+	Src string
+
+	// parseDur is how long Parse took, surfaced as the trace's parse span.
+	parseDur time.Duration
+}
+
+// label identifies the statement in traces and the slow-query log.
+func (st *Statement) label() string {
+	if st.Src != "" {
+		return st.Src
+	}
+	return "mmql statement"
 }
 
 // HasAggregates reports whether any select item is an aggregate.
@@ -54,6 +75,7 @@ type TwigSource struct {
 
 // Parse parses one statement.
 func Parse(src string) (*Statement, error) {
+	start := time.Now()
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
@@ -63,6 +85,8 @@ func Parse(src string) (*Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.Src = strings.TrimSpace(src)
+	st.parseDur = time.Since(start)
 	return st, nil
 }
 
@@ -92,6 +116,12 @@ func (p *parser) expectKeyword(kw string) error {
 
 func (p *parser) statement() (*Statement, error) {
 	st := &Statement{}
+	if p.keyword("explain") {
+		st.Explain = true
+		if p.keyword("analyze") {
+			st.Analyze = true
+		}
+	}
 	if p.keyword("exists") {
 		st.Exists = true
 	}

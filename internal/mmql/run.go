@@ -28,7 +28,41 @@ func Run(db *xmjoin.Database, st *Statement) (*Output, error) {
 // RunCtx is Run bounded by ctx (nil = unbounded): cancellation or a
 // deadline stops the join within one morsel's work and surfaces an error
 // matching xmjoin.ErrCancelled — the shell maps Ctrl-C onto this.
+//
+// EXPLAIN statements render the plan without executing. EXPLAIN ANALYZE
+// statements execute for real — catalog effects, metrics and the
+// slow-query log all see the run — under a trace, and the output's Text
+// is the span tree: parse and plan times, every lazy index build the run
+// admitted, and execution with per-level join counters.
 func RunCtx(ctx context.Context, db *xmjoin.Database, st *Statement) (*Output, error) {
+	if st.Explain && !st.Analyze {
+		text, err := Explain(db, st)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Text: text}, nil
+	}
+	var tr *xmjoin.Trace
+	if st.Analyze {
+		tr = xmjoin.NewTrace(st.label())
+		if st.parseDur > 0 {
+			tr.Add("parse", st.parseDur)
+		}
+	}
+	out, err := runStatement(ctx, db, st, tr)
+	if tr != nil {
+		tr.Finish()
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Text: tr.Render(), Stats: out.Stats}, nil
+	}
+	return out, err
+}
+
+// runStatement executes a (non-EXPLAIN) statement, tracing under tr when
+// non-nil.
+func runStatement(ctx context.Context, db *xmjoin.Database, st *Statement, tr *xmjoin.Trace) (*Output, error) {
 	twigs, remaining, err := pushdownFilters(st)
 	if err != nil {
 		return nil, err
@@ -38,6 +72,7 @@ func RunCtx(ctx context.Context, db *xmjoin.Database, st *Statement) (*Output, e
 		return nil, err
 	}
 	applyAlgo(q, st.Algo)
+	q.WithTrace(tr).WithLabel(st.label())
 
 	if st.Exists {
 		return runExists(ctx, q, remaining)

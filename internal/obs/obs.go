@@ -1,0 +1,26 @@
+// Package obs is the engine's observability layer: a process-lifetime
+// metrics registry with Prometheus text-format exposition, per-query
+// tracing spans, and a slow-query log — zero external dependencies.
+//
+// The three pieces compose but do not require each other:
+//
+//   - Registry holds counters, gauges and bounded histograms keyed by
+//     (name, constant labels). The public Database folds every run's
+//     core.Stats into the Default registry; WriteMetrics renders the
+//     Prometheus /metrics payload, and Handler/Serve mount it over HTTP
+//     together with net/http/pprof and expvar.
+//
+//   - Trace collects one query's timed span tree: parse, plan/order
+//     selection, each lazy index build (reported through
+//     cachehook.BuildControl.Built), execution, and per-attribute-level
+//     join counters. A nil *Trace is the disabled state and costs the
+//     instrumented code one pointer test — the same discipline as
+//     internal/faultpoint's disabled path. Render produces the EXPLAIN
+//     ANALYZE tree.
+//
+//   - SlowLog is a threshold-gated ring buffer of recent slow queries,
+//     rendered by the shell's .slowlog and counted in the registry.
+//
+// CheckText validates a text-format exposition against the Prometheus
+// grammar — the CI round-trip check for WriteMetrics output.
+package obs

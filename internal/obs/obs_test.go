@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersGaugesIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("xmjoin_output_total", "rows", Label{"algo", "xjoin"})
+	c2 := r.Counter("xmjoin_output_total", "rows", Label{"algo", "xjoin"})
+	if c1 != c2 {
+		t.Fatalf("same name+labels returned distinct counters")
+	}
+	c1.Add(5)
+	c1.Inc()
+	c1.Add(-3) // ignored: counters are monotone
+	if got := c2.Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	g := r.Gauge("xmjoin_resident_bytes", "bytes")
+	g.Set(100)
+	g.Add(-40)
+	if got := g.Value(); got != 60 {
+		t.Fatalf("gauge = %d, want 60", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestWriteAndCheckRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("xmjoin_queries_total", "queries run", Label{"algo", "xjoin"}).Add(3)
+	r.Counter("xmjoin_queries_total", "queries run", Label{"algo", "baseline"}).Add(1)
+	r.Gauge("xmjoin_catalog_resident_bytes", "resident index bytes").Set(1 << 20)
+	h := r.Histogram("xmjoin_query_seconds", "per-query wall time")
+	for _, v := range []float64{0.0001, 0.004, 0.2, 3.5, 99} {
+		h.Observe(v)
+	}
+	r.Gauge("tricky_gauge", "", Label{"q", `a"b\c` + "\n"}).Set(-7)
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`xmjoin_queries_total{algo="xjoin"} 3`,
+		"# TYPE xmjoin_query_seconds histogram",
+		`xmjoin_query_seconds_bucket{le="+Inf"} 5`,
+		"xmjoin_query_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckText(strings.NewReader(out)); err != nil {
+		t.Fatalf("CheckText rejected Write output: %v\n%s", err, out)
+	}
+}
+
+func TestCheckTextRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad metric name", "9bad_name 1\n"},
+		{"untyped sample", "no_type_line 1\n"},
+		{"bad value", "# TYPE m counter\nm notanumber\n"},
+		{"negative counter", "# TYPE m counter\nm -4\n"},
+		{"duplicate sample", "# TYPE m gauge\nm 1\nm 2\n"},
+		{"histogram missing +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"histogram nonmonotone", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"histogram count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n"},
+		{"histogram missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n"},
+		{"bad label name", "# TYPE m gauge\nm{0bad=\"x\"} 1\n"},
+		{"unquoted label", "# TYPE m gauge\nm{l=x} 1\n"},
+	}
+	for _, tc := range cases {
+		if err := CheckText(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: CheckText accepted malformed input", tc.name)
+		}
+	}
+}
+
+func TestTraceSpansAndRender(t *testing.T) {
+	tr := NewTrace("SELECT //a//b")
+	tr.Add("parse", 42*time.Microsecond)
+	plan := tr.Start("plan")
+	plan.SetStr("order", "[a b]")
+	plan.End()
+	exec := tr.Start("execute")
+	exec.BuildReporter()("structix tag[a]", 4096, time.Millisecond)
+	lvl := exec.Counters("level 0: a")
+	lvl.SetInt("intersections", 17)
+	exec.SetInt("output", 99)
+	exec.End()
+	tr.Finish()
+
+	out := tr.Render()
+	for _, want := range []string{
+		"QUERY ANALYZE", "SELECT //a//b",
+		"parse", "plan", "order=[a b]",
+		"build structix tag[a]", "bytes=4096",
+		"level 0: a  [-]", "intersections=17", "output=99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	names := tr.SpanNames()
+	if len(names) != 5 {
+		t.Fatalf("SpanNames = %v, want 5 names", names)
+	}
+}
+
+func TestNilTraceAndSpanAreSafe(t *testing.T) {
+	var tr *Trace
+	s := tr.Start("x")
+	s.SetInt("k", 1)
+	s.Start("child").End()
+	s.Counters("c")
+	s.End()
+	tr.Add("y", time.Second)
+	tr.Finish()
+	if tr.Render() != "" || tr.Label() != "" {
+		t.Fatalf("nil trace should render empty")
+	}
+	if s.BuildReporter() != nil {
+		t.Fatalf("nil span BuildReporter should be nil")
+	}
+}
+
+func TestSlowLogRingAndThreshold(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 3)
+	if l.Observe("fast", 5*time.Millisecond, 1, nil) {
+		t.Fatalf("below-threshold query recorded")
+	}
+	for i := 0; i < 5; i++ {
+		if !l.Observe("slow", time.Duration(20+i)*time.Millisecond, i, errors.New("boom")) {
+			t.Fatalf("slow query %d not recorded", i)
+		}
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", l.Total())
+	}
+	es := l.Entries()
+	if len(es) != 3 {
+		t.Fatalf("ring kept %d entries, want 3", len(es))
+	}
+	if es[0].Output != 2 || es[2].Output != 4 {
+		t.Fatalf("ring order wrong: %+v", es)
+	}
+	out := l.Render()
+	if !strings.Contains(out, "threshold=10ms") || !strings.Contains(out, `err="boom"`) {
+		t.Fatalf("render missing fields:\n%s", out)
+	}
+	l.SetThreshold(0)
+	if l.Observe("slow", time.Hour, 0, nil) {
+		t.Fatalf("disabled log recorded an entry")
+	}
+}
+
+func TestHTTPHandlerServesMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Inc()
+	addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(sb.String(), "up_total 1") {
+		t.Fatalf("metrics endpoint missing counter:\n%s", sb.String())
+	}
+	for _, path := range []string{"/debug/pprof/cmdline", "/debug/vars"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// CheckText validates a Prometheus text-format (0.0.4) exposition:
+// metric and label names match the grammar, values parse, TYPE lines
+// precede their samples, and every histogram family is complete — a
+// +Inf bucket, monotone non-decreasing bucket counts, and matching
+// _sum/_count series. This is the CI round-trip check for
+// WriteMetrics output.
+func CheckText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	c := &checker{
+		typed: make(map[string]string),
+		hist:  make(map[string]*histCheck),
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		if err := c.line(sc.Text()); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return c.finish()
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type histCheck struct {
+	buckets []bucket // in order of appearance per label set
+	byKey   map[string][]bucket
+	sums    map[string]bool
+	counts  map[string]uint64
+	haveCnt map[string]bool
+}
+
+type bucket struct {
+	le  float64
+	cum uint64
+}
+
+type checker struct {
+	typed map[string]string // family name -> type
+	hist  map[string]*histCheck
+	seen  map[string]bool // sample keys, to reject duplicates
+}
+
+func (c *checker) line(s string) error {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, "#") {
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return nil // plain comment
+		}
+		switch fields[1] {
+		case "HELP":
+			if len(fields) < 3 {
+				return fmt.Errorf("HELP without metric name")
+			}
+			if !metricNameRe.MatchString(fields[2]) {
+				return fmt.Errorf("invalid metric name %q in HELP", fields[2])
+			}
+		case "TYPE":
+			if len(fields) != 4 {
+				return fmt.Errorf("TYPE wants `# TYPE name kind`")
+			}
+			name, kind := fields[2], fields[3]
+			if !metricNameRe.MatchString(name) {
+				return fmt.Errorf("invalid metric name %q in TYPE", name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("unknown TYPE %q", kind)
+			}
+			if _, dup := c.typed[name]; dup {
+				return fmt.Errorf("duplicate TYPE for %q", name)
+			}
+			c.typed[name] = kind
+			if kind == "histogram" {
+				c.hist[name] = &histCheck{
+					byKey:   make(map[string][]bucket),
+					sums:    make(map[string]bool),
+					counts:  make(map[string]uint64),
+					haveCnt: make(map[string]bool),
+				}
+			}
+		}
+		return nil
+	}
+	return c.sample(s)
+}
+
+// sample parses `name{labels} value` (timestamp suffix tolerated).
+func (c *checker) sample(s string) error {
+	name := s
+	rest := ""
+	if i := strings.IndexAny(s, "{ \t"); i >= 0 {
+		name, rest = s[:i], s[i:]
+	}
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	labels := map[string]string{}
+	labelPart := ""
+	rest = strings.TrimLeft(rest, " \t")
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unterminated label set")
+		}
+		labelPart = rest[1:end]
+		rest = strings.TrimLeft(rest[end+1:], " \t")
+		if err := parseLabels(labelPart, labels); err != nil {
+			return err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want `value [timestamp]`, got %q", rest)
+	}
+	val, err := parseValue(fields[0])
+	if err != nil {
+		return fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+
+	// TYPE-before-samples: find the family this sample belongs to.
+	fam, sub := familyOf(name, c.typed)
+	if fam == "" {
+		return fmt.Errorf("sample %q precedes its TYPE line (or family untyped)", name)
+	}
+	kind := c.typed[fam]
+	if kind == "histogram" {
+		h := c.hist[fam]
+		key := labelKeyWithout(labels, "le")
+		switch sub {
+		case "_bucket":
+			leStr, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("%s_bucket without le label", fam)
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("bad le %q", leStr)
+			}
+			if val < 0 || val != math.Trunc(val) {
+				return fmt.Errorf("bucket count %v not a non-negative integer", val)
+			}
+			h.byKey[key] = append(h.byKey[key], bucket{le: le, cum: uint64(val)})
+		case "_sum":
+			h.sums[key] = true
+		case "_count":
+			if val < 0 || val != math.Trunc(val) {
+				return fmt.Errorf("histogram count %v not a non-negative integer", val)
+			}
+			h.counts[key] = uint64(val)
+			h.haveCnt[key] = true
+		case "":
+			return fmt.Errorf("bare sample %q for histogram family %q", name, fam)
+		}
+	}
+	if kind == "counter" && val < 0 {
+		return fmt.Errorf("counter %q has negative value %v", name, val)
+	}
+	if c.seen == nil {
+		c.seen = make(map[string]bool)
+	}
+	dupKey := name + "\x00" + labelPart
+	if c.seen[dupKey] {
+		return fmt.Errorf("duplicate sample %s{%s}", name, labelPart)
+	}
+	c.seen[dupKey] = true
+	return nil
+}
+
+func (c *checker) finish() error {
+	for fam, h := range c.hist {
+		if len(h.byKey) == 0 {
+			return fmt.Errorf("histogram %q has no _bucket samples", fam)
+		}
+		for key, bs := range h.byKey {
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, 1) {
+				return fmt.Errorf("histogram %q{%s} missing +Inf bucket", fam, key)
+			}
+			var prev uint64
+			for _, b := range bs {
+				if b.cum < prev {
+					return fmt.Errorf("histogram %q{%s} bucket counts not monotone", fam, key)
+				}
+				prev = b.cum
+			}
+			if !h.sums[key] {
+				return fmt.Errorf("histogram %q{%s} missing _sum", fam, key)
+			}
+			if !h.haveCnt[key] {
+				return fmt.Errorf("histogram %q{%s} missing _count", fam, key)
+			}
+			if h.counts[key] != last.cum {
+				return fmt.Errorf("histogram %q{%s} _count %d != +Inf bucket %d",
+					fam, key, h.counts[key], last.cum)
+			}
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its typed family: exact match, or
+// histogram/summary suffix match. Returns the family and the suffix.
+func familyOf(name string, typed map[string]string) (fam, suffix string) {
+	if _, ok := typed[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if k, ok := typed[base]; ok && (k == "histogram" || k == "summary") {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+func parseLabels(s string, out map[string]string) error {
+	// Parse k="v" pairs; values may contain escaped quotes.
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair missing '=' in %q", s[i:])
+		}
+		name := s[i : i+eq]
+		if !labelNameRe.MatchString(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape \\%c in label %q", s[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if i >= len(s) || s[i] != '"' {
+			return fmt.Errorf("unterminated value for label %q", name)
+		}
+		i++
+		if _, dup := out[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func labelKeyWithout(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	// Deterministic order for map keys.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(',')
+	}
+	return b.String()
+}

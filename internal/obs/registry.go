@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name=value pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Kind distinguishes the metric families a Registry can hold.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing int64 series.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d; negative deltas are ignored to keep the series monotone.
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 series.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a bounded-bucket histogram of float64 observations.
+// Bounds are upper bucket edges in increasing order; an implicit +Inf
+// bucket always exists.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1, last is +Inf
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts, sum and total count.
+func (h *Histogram) snapshot() (bounds []float64, cum []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return h.bounds, cum, h.sum, h.count
+}
+
+// DurationBuckets are the default upper bounds (seconds) for query and
+// build latency histograms: 100µs .. 10s, roughly geometric.
+var DurationBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	series []*series // insertion order
+	byKey  map[string]*series
+}
+
+// Registry holds metric families. All methods are safe for concurrent
+// use. Registration is idempotent: asking for the same (name, labels)
+// returns the existing series; asking for an existing name with a
+// different kind panics (a programming error, like expvar).
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Default is the process-wide registry used by the package-level
+// helpers and, by default, by xmjoin.Database.
+var Default = NewRegistry()
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+func sortedLabels(labels []Label) []Label {
+	if len(labels) <= 1 {
+		return labels
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *series {
+	labels = sortedLabels(labels)
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s := f.byKey[key]
+	if s == nil {
+		s = &series{labels: labels}
+		switch kind {
+		case KindCounter:
+			s.c = new(Counter)
+		case KindGauge:
+			s.g = new(Gauge)
+		case KindHistogram:
+			bounds := make([]float64, len(DurationBuckets))
+			copy(bounds, DurationBuckets)
+			s.h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+		}
+		f.byKey[key] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter returns (registering if needed) the counter series for
+// name+labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, KindCounter, labels).c
+}
+
+// Gauge returns (registering if needed) the gauge series for
+// name+labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, KindGauge, labels).g
+}
+
+// Histogram returns (registering if needed) the histogram series for
+// name+labels, using DurationBuckets bounds.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.lookup(name, help, KindHistogram, labels).h
+}
+
+func writeLabels(b *strings.Builder, labels []Label, extra string) {
+	if len(labels) == 0 && extra == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Write renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	fams := make(map[string]*family, len(names))
+	for _, n := range names {
+		fams[n] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case KindCounter:
+				b.WriteString(name)
+				writeLabels(&b, s.labels, "")
+				fmt.Fprintf(&b, " %d\n", s.c.Value())
+			case KindGauge:
+				b.WriteString(name)
+				writeLabels(&b, s.labels, "")
+				fmt.Fprintf(&b, " %d\n", s.g.Value())
+			case KindHistogram:
+				bounds, cum, sum, count := s.h.snapshot()
+				for i, le := range bounds {
+					b.WriteString(name)
+					b.WriteString("_bucket")
+					writeLabels(&b, s.labels, `le="`+formatFloat(le)+`"`)
+					fmt.Fprintf(&b, " %d\n", cum[i])
+				}
+				b.WriteString(name)
+				b.WriteString("_bucket")
+				writeLabels(&b, s.labels, `le="+Inf"`)
+				fmt.Fprintf(&b, " %d\n", cum[len(cum)-1])
+				b.WriteString(name)
+				b.WriteString("_sum")
+				writeLabels(&b, s.labels, "")
+				fmt.Fprintf(&b, " %g\n", sum)
+				b.WriteString(name)
+				b.WriteString("_count")
+				writeLabels(&b, s.labels, "")
+				fmt.Fprintf(&b, " %d\n", count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMetrics renders the Default registry in Prometheus text format.
+func WriteMetrics(w io.Writer) error { return Default.Write(w) }

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one recorded slow query.
+type SlowEntry struct {
+	When     time.Time
+	Label    string
+	Duration time.Duration
+	Output   int
+	Err      string
+}
+
+// SlowLog is a threshold-gated ring buffer of recent slow queries.
+// Safe for concurrent use.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	cap       int
+	entries   []SlowEntry // ring; next is write position
+	next      int
+	total     int64
+}
+
+// NewSlowLog returns a slow log keeping the most recent capacity
+// entries whose duration meets or exceeds threshold.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowLog{threshold: threshold, cap: capacity}
+}
+
+// SetThreshold changes the slowness cutoff; a non-positive threshold
+// disables recording.
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	l.mu.Lock()
+	l.threshold = d
+	l.mu.Unlock()
+}
+
+// Threshold returns the current cutoff.
+func (l *SlowLog) Threshold() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.threshold
+}
+
+// Total returns how many queries have crossed the threshold over the
+// log's lifetime (not just those still in the ring).
+func (l *SlowLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Observe records the query if it crossed the threshold; it reports
+// whether the query was recorded.
+func (l *SlowLog) Observe(label string, d time.Duration, output int, err error) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.threshold <= 0 || d < l.threshold {
+		return false
+	}
+	e := SlowEntry{When: time.Now(), Label: label, Duration: d, Output: output}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+	} else {
+		l.entries[l.next] = e
+		l.next = (l.next + 1) % l.cap
+	}
+	l.total++
+	return true
+}
+
+// Entries returns the recorded entries, oldest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.entries))
+	if len(l.entries) == l.cap {
+		out = append(out, l.entries[l.next:]...)
+		out = append(out, l.entries[:l.next]...)
+	} else {
+		out = append(out, l.entries...)
+	}
+	return out
+}
+
+// Render formats the log for the shell's .slowlog command.
+func (l *SlowLog) Render() string {
+	entries := l.Entries()
+	var b strings.Builder
+	fmt.Fprintf(&b, "slow-query log: threshold=%s total=%d shown=%d\n",
+		l.Threshold(), l.Total(), len(entries))
+	for i := len(entries) - 1; i >= 0; i-- { // newest first
+		e := entries[i]
+		fmt.Fprintf(&b, "  %s  %-10s output=%d", e.When.Format("15:04:05.000"), fmtDur(e.Duration), e.Output)
+		if e.Err != "" {
+			fmt.Fprintf(&b, " err=%q", e.Err)
+		}
+		fmt.Fprintf(&b, "  %s\n", e.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace collects one query's span tree for EXPLAIN ANALYZE. A nil
+// *Trace is the disabled state: instrumented code guards every hook
+// with a single pointer test (`if tr != nil`), so the cost when
+// tracing is off is one branch — the faultpoint discipline.
+//
+// All methods are safe for concurrent use (lazy index builds report
+// from morsel worker goroutines); a single mutex on the Trace guards
+// the whole tree, which is fine because spans are recorded at phase
+// granularity, not per tuple.
+type Trace struct {
+	mu    sync.Mutex
+	label string
+	start time.Time
+	end   time.Time
+	root  []*Span
+}
+
+// Span is one timed node in the trace tree. Counter-only spans (per-
+// level join stats) have zero duration and render it as "-".
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	dur      time.Duration
+	done     bool
+	counters bool // counter-only: render duration as "-"
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key string
+	val string
+}
+
+// NewTrace starts a trace for one query; label is the query text or a
+// caller-chosen name, shown in the render header.
+func NewTrace(label string) *Trace {
+	return &Trace{label: label, start: time.Now()}
+}
+
+// Label returns the trace's query label.
+func (t *Trace) Label() string {
+	if t == nil {
+		return ""
+	}
+	return t.label
+}
+
+// Start opens a new top-level span.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.root = append(t.root, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Add records a completed top-level span with a known duration (e.g.
+// a parse that finished before the trace object existed).
+func (t *Trace) Add(name string, d time.Duration) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, dur: d, done: true}
+	t.mu.Lock()
+	t.root = append(t.root, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Finish closes the trace; Render reports total wall time from it.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// End closes the span, fixing its duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.done {
+		s.dur = time.Since(s.start)
+		s.done = true
+	}
+	s.tr.mu.Unlock()
+}
+
+// Start opens a child span.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: time.Now()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// Add records a completed child span with a known duration.
+func (s *Span) Add(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, dur: d, done: true}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// Counters records a counter-only child span (no meaningful duration
+// of its own — per-level join statistics).
+func (s *Span) Counters(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, done: true, counters: true}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, attr{key, fmt.Sprintf("%d", v)})
+	s.tr.mu.Unlock()
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, attr{key, val})
+	s.tr.mu.Unlock()
+}
+
+// BuildReporter adapts the span into a cachehook.BuildControl.Built
+// callback: each reported index build becomes a completed child span
+// named "build <label>" carrying a bytes attribute. Safe to call from
+// worker goroutines.
+func (s *Span) BuildReporter() func(label string, bytes int64, elapsed time.Duration) {
+	if s == nil {
+		return nil
+	}
+	return func(label string, bytes int64, elapsed time.Duration) {
+		c := s.Add("build "+label, elapsed)
+		c.SetInt("bytes", bytes)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	}
+}
+
+func (s *Span) render(b *strings.Builder, indent string) {
+	b.WriteString(indent)
+	b.WriteString(s.name)
+	if s.counters {
+		b.WriteString("  [-]")
+	} else {
+		d := s.dur
+		if !s.done {
+			d = time.Since(s.start)
+		}
+		fmt.Fprintf(b, "  [%s]", fmtDur(d))
+	}
+	for _, a := range s.attrs {
+		fmt.Fprintf(b, " %s=%s", a.key, a.val)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.children {
+		c.render(b, indent+"  ")
+	}
+}
+
+// Render returns the span tree as indented text — the body of EXPLAIN
+// ANALYZE output.
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "QUERY ANALYZE  [%s]", fmtDur(end.Sub(t.start)))
+	if t.label != "" {
+		fmt.Fprintf(&b, " %s", t.label)
+	}
+	b.WriteByte('\n')
+	for _, s := range t.root {
+		s.render(&b, "  ")
+	}
+	return b.String()
+}
+
+// MinSpanTimes returns, for testing, the smallest recorded duration
+// among all non-counter spans and the total number of spans.
+func (t *Trace) MinSpanTimes() (min time.Duration, n int) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	min = time.Duration(-1)
+	var walk func(ss []*Span)
+	walk = func(ss []*Span) {
+		for _, s := range ss {
+			n++
+			if !s.counters && (min < 0 || s.dur < min) {
+				min = s.dur
+			}
+			walk(s.children)
+		}
+	}
+	walk(t.root)
+	if min < 0 {
+		min = 0
+	}
+	return min, n
+}
+
+// SpanNames returns the sorted distinct names of all spans in the
+// tree — a testing convenience.
+func (t *Trace) SpanNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := map[string]bool{}
+	var walk func(ss []*Span)
+	walk = func(ss []*Span) {
+		for _, s := range ss {
+			seen[s.name] = true
+			walk(s.children)
+		}
+	}
+	walk(t.root)
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

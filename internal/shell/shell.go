@@ -12,6 +12,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	xmjoin "repro"
 	"repro/internal/mmql"
@@ -120,6 +121,17 @@ func (s *Shell) ExecuteCtx(ctx context.Context, line string) error {
 			if st.MorselSplits > 0 || st.MorselSteals > 0 {
 				fmt.Fprintf(s.out, " splits=%d steals=%d", st.MorselSplits, st.MorselSteals)
 			}
+			// Abnormal-run markers: without these the stats line silently
+			// presents a degraded or partial run as a clean one.
+			if st.Degraded != "" {
+				fmt.Fprintf(s.out, " degraded=%q", st.Degraded)
+			}
+			if st.Internal {
+				fmt.Fprint(s.out, " internal=true")
+			}
+			if st.Cancelled {
+				fmt.Fprint(s.out, " cancelled=true")
+			}
 			fmt.Fprintln(s.out)
 		}
 		return nil
@@ -155,6 +167,18 @@ func (s *Shell) ExecuteCtx(ctx context.Context, line string) error {
 		}
 		fmt.Fprint(s.out, plan)
 		return nil
+	case ".analyze":
+		// .analyze QUERY == EXPLAIN ANALYZE QUERY: execute for real under
+		// a trace and print the span tree.
+		rest := strings.TrimSpace(strings.TrimPrefix(line, ".analyze"))
+		out, err := mmql.RunStringCtx(ctx, s.db, "EXPLAIN ANALYZE "+rest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(s.out, out)
+		return nil
+	case ".slowlog":
+		return s.slowlog(fields[1:])
 	case ".stats":
 		switch {
 		case len(fields) == 1:
@@ -222,6 +246,26 @@ func (s *Shell) catalog(args []string) error {
 	}
 }
 
+// slowlog shows or tunes the database's slow-query log: every query of
+// the session slower than the threshold is kept in a bounded ring.
+func (s *Shell) slowlog(args []string) error {
+	switch {
+	case len(args) == 0:
+		fmt.Fprint(s.out, s.db.SlowLog().Render())
+		return nil
+	case len(args) == 2 && args[0] == "threshold":
+		d, err := time.ParseDuration(args[1])
+		if err != nil {
+			return fmt.Errorf("shell: bad threshold %q: %w", args[1], err)
+		}
+		s.db.SlowLog().SetThreshold(d)
+		fmt.Fprintf(s.out, "slow-query threshold %s\n", d)
+		return nil
+	default:
+		return errors.New("shell: usage: .slowlog [threshold DURATION]")
+	}
+}
+
 func (s *Shell) load(args []string) error {
 	switch {
 	case len(args) == 2 && args[0] == "xml":
@@ -258,13 +302,20 @@ const helpText = `commands:
   .load table NAME PATH     load a CSV table
   .tables                   list loaded tables and document tags
   .explain QUERY            show the XJoin plan and bounds for a query
+  .analyze QUERY            execute the query under a trace and show the
+                            span tree (same as EXPLAIN ANALYZE QUERY):
+                            parse/plan/execute wall times, lazy index
+                            builds, per-level join counters
+  .slowlog [threshold D]    show the slow-query log (newest first), or set
+                            its threshold (e.g. 100ms; 0 disables)
   .catalog [budget N|reset] show the session's shared index catalog
                             (hits/misses/evictions/resident bytes), cap its
                             resident bytes, or drop every shared index
   .stats [on|off]           print a statistics line after each query:
                             output size, peak stage, validation removals,
-                            leaf batches, and (parallel runs under skew)
-                            morsel splits/steals
+                            leaf batches, (parallel runs under skew)
+                            morsel splits/steals, and degraded/internal/
+                            cancelled markers for abnormal runs
   .save DIR / .open DIR     persist / reopen the database
   .help / .quit
 queries (everything else):

@@ -269,3 +269,87 @@ func TestShellStatsToggle(t *testing.T) {
 		t.Fatal("bad .stats argument accepted")
 	}
 }
+
+// TestShellStatsDegradedMarker: a run degraded by catalog budget pressure
+// must say so on the stats line — without the marker a degraded run is
+// indistinguishable from a clean one.
+func TestShellStatsDegradedMarker(t *testing.T) {
+	xmlPath, csvPath := writeFixtures(t)
+	var out strings.Builder
+	sh := New(&out)
+	for _, line := range []string{
+		".load xml " + xmlPath,
+		".load table R " + csvPath,
+		".catalog budget 1",
+		".stats on",
+		`SELECT * FROM TWIG '//invoices//price'`,
+	} {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	o := out.String()
+	if !strings.Contains(o, " degraded=") {
+		t.Fatalf("stats line missing the degraded marker:\n%s", o)
+	}
+}
+
+// TestShellAnalyze: .analyze executes the query under a trace and prints
+// the span tree with plan/execute phases and per-level counters.
+func TestShellAnalyze(t *testing.T) {
+	xmlPath, csvPath := writeFixtures(t)
+	var out strings.Builder
+	sh := New(&out)
+	for _, line := range []string{
+		".load xml " + xmlPath,
+		".load table R " + csvPath,
+		`.analyze SELECT userID, price FROM R, TWIG '//orderLine[orderID]/price'`,
+	} {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	o := out.String()
+	for _, want := range []string{"QUERY ANALYZE", "plan", "execute", "level 0:", "output="} {
+		if !strings.Contains(o, want) {
+			t.Fatalf(".analyze output missing %q:\n%s", want, o)
+		}
+	}
+	// The same form works as a plain statement.
+	out.Reset()
+	if err := sh.Execute(`EXPLAIN ANALYZE SELECT userID FROM R, TWIG '//orderLine[orderID]/price'`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "QUERY ANALYZE") {
+		t.Fatalf("EXPLAIN ANALYZE statement missing trace:\n%s", out.String())
+	}
+}
+
+// TestShellSlowlog: .slowlog shows the database's slow-query ring and
+// .slowlog threshold retunes it so session queries start recording.
+func TestShellSlowlog(t *testing.T) {
+	xmlPath, csvPath := writeFixtures(t)
+	var out strings.Builder
+	sh := New(&out)
+	for _, line := range []string{
+		".load xml " + xmlPath,
+		".load table R " + csvPath,
+		".slowlog threshold 1ns",
+		`SELECT userID FROM R, TWIG '//orderLine[orderID]/price'`,
+		".slowlog",
+	} {
+		if err := sh.Execute(line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	o := out.String()
+	if !strings.Contains(o, "slow-query log: threshold=1ns total=1") {
+		t.Fatalf(".slowlog header wrong:\n%s", o)
+	}
+	if !strings.Contains(o, "SELECT userID FROM R") {
+		t.Fatalf(".slowlog missing the query label:\n%s", o)
+	}
+	if err := sh.Execute(".slowlog bogus"); err == nil {
+		t.Fatal("bad .slowlog argument accepted")
+	}
+}

@@ -20,6 +20,9 @@ type GenericJoinStats struct {
 	// Output is the final tuple count.
 	Output int
 	// Intersections counts candidate-cursor intersections performed.
+	// Scalar totals (Intersections, Seeks, Batches) are derived: the
+	// executors count into the per-level slices below and fold them into
+	// the scalars once per run via finalizeLevels.
 	Intersections int
 	// Seeks counts iterator Seek calls issued while leapfrogging.
 	Seeks int
@@ -27,6 +30,16 @@ type GenericJoinStats struct {
 	// (every leaf value arrives in exactly one batch, so for a completed
 	// run the count is serial-identical across executors).
 	Batches int
+	// LevelIntersections[i] counts intersections opened at the i-th order
+	// attribute — which join level dominates is the per-instance signal
+	// EXPLAIN ANALYZE reports.
+	LevelIntersections []int
+	// LevelSeeks[i] counts Seek calls issued while leapfrogging at the
+	// i-th order attribute.
+	LevelSeeks []int
+	// LevelBatches[i] counts batched key vectors delivered at the i-th
+	// order attribute (nonzero only at the leaf level).
+	LevelBatches []int
 	// Splits counts the sub-morsels the parallel executor re-queued by
 	// splitting a running task's remaining work within a first-attribute
 	// key — the recursive-morsel response to skew. Always 0 for serial
@@ -57,6 +70,9 @@ func (s *GenericJoinStats) Merge(other *GenericJoinStats) {
 	for i, n := range other.StageSizes {
 		s.StageSizes[i] += n
 	}
+	s.LevelIntersections = mergeLevelCounts(s.LevelIntersections, other.LevelIntersections)
+	s.LevelSeeks = mergeLevelCounts(s.LevelSeeks, other.LevelSeeks)
+	s.LevelBatches = mergeLevelCounts(s.LevelBatches, other.LevelBatches)
 	s.Output += other.Output
 	s.Intersections += other.Intersections
 	s.Seeks += other.Seeks
@@ -64,6 +80,46 @@ func (s *GenericJoinStats) Merge(other *GenericJoinStats) {
 	s.Splits += other.Splits
 	s.Steals += other.Steals
 	s.recomputePeak()
+}
+
+// mergeLevelCounts adds b into a elementwise, growing a as needed.
+func mergeLevelCounts(a, b []int) []int {
+	if len(b) > len(a) {
+		grown := make([]int, len(b))
+		copy(grown, a)
+		a = grown
+	}
+	for i, n := range b {
+		a[i] += n
+	}
+	return a
+}
+
+// allocLevels sizes StageSizes and the per-level counter slices for an
+// n-attribute run out of a single backing array — one allocation, so the
+// per-level split does not change the executors' allocation budget.
+func (s *GenericJoinStats) allocLevels(n int) {
+	backing := make([]int, 4*n)
+	s.StageSizes = backing[0*n : 1*n : 1*n]
+	s.LevelIntersections = backing[1*n : 2*n : 2*n]
+	s.LevelSeeks = backing[2*n : 3*n : 3*n]
+	s.LevelBatches = backing[3*n : 4*n : 4*n]
+}
+
+// finalizeLevels folds the per-level counters into the scalar totals.
+// Executors count exclusively into the level slices during a run and
+// call this exactly once at the end (after any worker merge).
+func (s *GenericJoinStats) finalizeLevels() {
+	s.Intersections, s.Seeks, s.Batches = 0, 0, 0
+	for _, n := range s.LevelIntersections {
+		s.Intersections += n
+	}
+	for _, n := range s.LevelSeeks {
+		s.Seeks += n
+	}
+	for _, n := range s.LevelBatches {
+		s.Batches += n
+	}
 }
 
 // recomputePeak refreshes PeakIntermediate from StageSizes.

@@ -120,6 +120,19 @@
 // slices into immutable arrays that outlive the cache entry, and the next
 // Open rebuilds lazily — so drivers need no residency awareness at all.
 //
+// Observability: every run fills one GenericJoinStats, identically across
+// the executor matrix. During execution the per-attribute counters —
+// LevelIntersections, LevelSeeks, LevelBatches, StageSizes — are the only
+// ones written (executors count into preallocated level slots, workers
+// merge elementwise), and finalizeLevels folds them into the scalar
+// Intersections/Seeks/Batches totals once per run, so the hot loop pays
+// no extra bookkeeping for the per-level breakdown. Build timing is
+// reported through the same cachehook.BuildControl that admits builds
+// (BuildStart/ReportBuilt are no-ops when no Built callback is hooked),
+// which is how EXPLAIN ANALYZE's trace sees each lazy index build without
+// the executors knowing traces exist. When observability is off, every
+// hook degenerates to a nil test — the faultpoint discipline.
+//
 // The package also keeps the conventional binary joins (hash, sort-merge,
 // nested-loop) used by the baseline's relational query Q1.
 package wcoj

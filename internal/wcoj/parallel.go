@@ -406,7 +406,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 	// of recursing under each key it packs keys into root tasks, dealt
 	// round-robin across the worker deques.
 	driverStats := &GenericJoinStats{Order: append([]string(nil), order...)}
-	driverStats.StageSizes = make([]int, len(order))
+	driverStats.allocLevels(len(order))
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -442,7 +442,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 			}
 			open = append(open, it)
 		}
-		driverStats.Intersections++
+		driverStats.LevelIntersections[0]++
 		size := opts.MorselSize
 		adaptive := size <= 0
 		if adaptive {
@@ -489,8 +489,8 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 			// its cursor-op sequence so merged statistics stay
 			// serial-identical.
 			buf := make([]relational.Value, leafBatchSize)
-			leapfrogBatch(open, &driverStats.Seeks, buf, func(vs []relational.Value) bool {
-				driverStats.Batches++
+			leapfrogBatch(open, &driverStats.LevelSeeks[0], buf, func(vs []relational.Value) bool {
+				driverStats.LevelBatches[0]++
 				for _, v := range vs {
 					if !collect(v) {
 						return false
@@ -499,7 +499,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 				return true
 			})
 		} else {
-			leapfrogEach(open, &driverStats.Seeks, collect)
+			leapfrogEach(open, &driverStats.LevelSeeks[0], collect)
 		}
 		flush()
 	}()
@@ -510,7 +510,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 		go func(w int) {
 			defer wg.Done()
 			stats := &workerStats[w]
-			stats.StageSizes = make([]int, len(order))
+			stats.allocLevels(len(order))
 			sink := mkSink(w)
 			var curOrd OrdKey
 			r := newStreamRun(order, byAttr, pos, stats, func(t relational.Tuple) bool {
@@ -628,6 +628,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 	for w := range workerStats {
 		driverStats.Merge(&workerStats[w])
 	}
+	driverStats.finalizeLevels()
 	driverStats.Splits = int(sched.splits.Load())
 	driverStats.Steals = int(sched.steals.Load())
 	return driverStats, nil

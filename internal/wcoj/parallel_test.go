@@ -325,15 +325,18 @@ func TestMorselSharedAtomsRace(t *testing.T) {
 // Intersections and Seeks).
 func TestStatsMergeCoversAllFields(t *testing.T) {
 	known := map[string]bool{
-		"Order":            true, // taken from either side
-		"StageSizes":       true, // elementwise sum
-		"PeakIntermediate": true, // recomputed from merged StageSizes
-		"Output":           true,
-		"Intersections":    true,
-		"Seeks":            true,
-		"Batches":          true,
-		"Splits":           true,
-		"Steals":           true,
+		"Order":              true, // taken from either side
+		"StageSizes":         true, // elementwise sum
+		"PeakIntermediate":   true, // recomputed from merged StageSizes
+		"Output":             true,
+		"Intersections":      true,
+		"Seeks":              true,
+		"Batches":            true,
+		"LevelIntersections": true, // elementwise sum
+		"LevelSeeks":         true, // elementwise sum
+		"LevelBatches":       true, // elementwise sum
+		"Splits":             true,
+		"Steals":             true,
 	}
 	rt := reflect.TypeOf(GenericJoinStats{})
 	for i := 0; i < rt.NumField(); i++ {
@@ -341,13 +344,23 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 			t.Errorf("GenericJoinStats gained field %q: add a rule to Merge and to this test", rt.Field(i).Name)
 		}
 	}
-	a := GenericJoinStats{StageSizes: []int{5, 2}, Output: 3, Intersections: 4, Seeks: 9, Batches: 2, Splits: 1, Steals: 3}
-	b := GenericJoinStats{Order: []string{"x", "y"}, StageSizes: []int{1, 7}, Output: 2, Intersections: 1, Seeks: 6, Batches: 5, Splits: 2, Steals: 4}
+	a := GenericJoinStats{StageSizes: []int{5, 2}, Output: 3, Intersections: 4, Seeks: 9, Batches: 2, Splits: 1, Steals: 3,
+		LevelIntersections: []int{3, 1}, LevelSeeks: []int{4, 5}, LevelBatches: []int{0, 2}}
+	b := GenericJoinStats{Order: []string{"x", "y"}, StageSizes: []int{1, 7}, Output: 2, Intersections: 1, Seeks: 6, Batches: 5, Splits: 2, Steals: 4,
+		LevelIntersections: []int{1}, LevelSeeks: []int{2, 4}, LevelBatches: []int{0, 5}}
 	a.Merge(&b)
 	if !reflect.DeepEqual(a.StageSizes, []int{6, 9}) || a.Output != 5 ||
 		a.Intersections != 5 || a.Seeks != 15 || a.PeakIntermediate != 9 ||
 		a.Batches != 7 || a.Splits != 3 || a.Steals != 7 ||
+		!reflect.DeepEqual(a.LevelIntersections, []int{4, 1}) ||
+		!reflect.DeepEqual(a.LevelSeeks, []int{6, 9}) ||
+		!reflect.DeepEqual(a.LevelBatches, []int{0, 7}) ||
 		!reflect.DeepEqual(a.Order, []string{"x", "y"}) {
 		t.Fatalf("merged = %+v", a)
+	}
+	// finalizeLevels rebuilds the scalar totals from the merged levels.
+	a.finalizeLevels()
+	if a.Intersections != 5 || a.Seeks != 15 || a.Batches != 7 {
+		t.Fatalf("finalizeLevels: %+v", a)
 	}
 }

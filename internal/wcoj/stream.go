@@ -299,14 +299,14 @@ func (r *streamRun) rec(depth int) bool {
 		r.its[depth] = append(r.its[depth], it)
 	}
 	open := r.its[depth]
-	r.stats.Intersections++
+	r.stats.LevelIntersections[depth]++
 	if depth == len(r.order)-1 {
 		cont := r.leafLoop(open, depth)
 		r.endPack(depth)
 		r.closeDepth(depth)
 		return cont
 	}
-	cont := leapfrogEach(open, &r.stats.Seeks, func(v relational.Value) bool {
+	cont := leapfrogEach(open, &r.stats.LevelSeeks[depth], func(v relational.Value) bool {
 		r.stats.StageSizes[depth]++
 		if r.packing {
 			return r.pack(v)
@@ -336,7 +336,7 @@ func (r *streamRun) rec(depth int) bool {
 // the delivered vectors are packed instead of emitted.
 func (r *streamRun) leafLoop(open []AtomIterator, depth int) bool {
 	deliver := func(vs []relational.Value) bool {
-		r.stats.Batches++
+		r.stats.LevelBatches[depth]++
 		if r.packing || (r.wantSplit && r.spawn != nil) {
 			if !r.packing {
 				r.beginPack(depth)
@@ -394,10 +394,10 @@ func (r *streamRun) leafLoop(open []AtomIterator, depth int) bool {
 			vs = append(vs, vi)
 		}
 		if allValues {
-			return leapfrogBatchValues(vs, &r.stats.Seeks, r.batch, deliver)
+			return leapfrogBatchValues(vs, &r.stats.LevelSeeks[depth], r.batch, deliver)
 		}
 	}
-	return leapfrogBatch(open, &r.stats.Seeks, r.batch, deliver)
+	return leapfrogBatch(open, &r.stats.LevelSeeks[depth], r.batch, deliver)
 }
 
 // StreamOpts tunes the serial streaming executor. The zero value is the
@@ -464,7 +464,7 @@ func GenericJoinStreamOpts(atoms []Atom, order []string, opts StreamOpts, emit f
 	}
 
 	stats := &GenericJoinStats{Order: append([]string(nil), order...)}
-	stats.StageSizes = make([]int, len(order))
+	stats.allocLevels(len(order))
 	r := newStreamRun(order, byAttr, pos, stats, func(t relational.Tuple) bool {
 		stats.Output++
 		return emit(t)
@@ -493,6 +493,7 @@ func GenericJoinStreamOpts(atoms []Atom, order []string, opts StreamOpts, emit f
 	if r.openErr != nil {
 		return nil, r.openErr
 	}
+	stats.finalizeLevels()
 	stats.recomputePeak()
 	return stats, nil
 }

@@ -303,6 +303,7 @@ func (a *TableAtom) indexCtl(target int, mask uint64, ctl cachehook.BuildControl
 		if err := faultpoint.Inject("wcoj.table.index.build"); err != nil {
 			return err
 		}
+		t0 := ctl.BuildStart()
 		var boundCols []int
 		for i := range a.attrs {
 			if i != target && mask&(1<<uint(i)) != 0 {
@@ -317,6 +318,10 @@ func (a *TableAtom) indexCtl(target int, mask uint64, ctl cachehook.BuildControl
 		if a.obs != nil {
 			label := fmt.Sprintf("table[%s t=%d m=%#x]", a.table.Name(), target, mask)
 			e.ticket = a.obs.Built(label, e.ix.approxBytes(), func() { a.dropEntry(shape, e) })
+		}
+		if ctl.Built != nil {
+			ctl.ReportBuilt(fmt.Sprintf("table[%s t=%d m=%#x]", a.table.Name(), target, mask),
+				e.ix.approxBytes(), t0)
 		}
 		return nil
 	})

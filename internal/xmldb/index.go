@@ -148,11 +148,13 @@ func (ix *Indexes) EdgeCtl(parentTag, childTag string, ctl cachehook.BuildContro
 		if err := faultpoint.Inject("xmldb.edge.build"); err != nil {
 			return err
 		}
+		t0 := ctl.BuildStart()
 		e, err := buildEdgeIndex(ix.doc, parentTag, childTag, ctl.Check)
 		if err != nil {
 			return err
 		}
 		ent.e = e
+		ctl.ReportBuilt("edge["+parentTag+"/"+childTag+"]", ent.e.approxBytes(), t0)
 		if ix.obs != nil {
 			ent.ticket = ix.obs.Built("edge["+parentTag+"/"+childTag+"]", ent.e.approxBytes(),
 				func() { ix.dropEdge(key, ent) })

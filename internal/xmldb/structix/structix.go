@@ -199,11 +199,13 @@ func (x *Index) TagCtl(tag string, ctl cachehook.BuildControl) (*TagRuns, error)
 		if err := admitBuild(ctl, label, int64(len(x.doc.NodesByTag(tag)))*36+48); err != nil {
 			return err
 		}
+		t0 := ctl.BuildStart()
 		tr, err := buildTagRuns(x.doc, tag, ctl.Check)
 		if err != nil {
 			return err
 		}
 		e.tr = tr
+		ctl.ReportBuilt(label, tagRunsBytes(e.tr), t0)
 		if x.obs != nil {
 			e.ticket = x.obs.Built(label, tagRunsBytes(e.tr), x.evictDrop(func() {
 				if x.tags[tag] == e {
@@ -311,9 +313,11 @@ func (x *Index) adProjForCtl(ancTag, descTag string, ctl cachehook.BuildControl)
 		if err := admitBuild(ctl, label, est); err != nil {
 			return err
 		}
+		t0 := ctl.BuildStart()
 		if err := p.build(x.doc, ancTag, descTag, ctl.Check); err != nil {
 			return err
 		}
+		ctl.ReportBuilt(label, int64(len(p.ancs)+len(p.descs))*8+48, t0)
 		if x.obs != nil {
 			bytes := int64(len(p.ancs)+len(p.descs))*8 + 48
 			p.ticket = x.obs.Built(label, bytes, x.evictDrop(func() {
@@ -426,9 +430,11 @@ func (x *Index) pcProjForCtl(parentTag, childTag string, ctl cachehook.BuildCont
 		if err := admitBuild(ctl, label, est); err != nil {
 			return err
 		}
+		t0 := ctl.BuildStart()
 		if err := p.build(x.doc, parentTag, childTag, ctl.Check); err != nil {
 			return err
 		}
+		ctl.ReportBuilt(label, int64(len(p.parents)+len(p.childs))*8+48, t0)
 		if x.obs != nil {
 			bytes := int64(len(p.parents)+len(p.childs))*8 + 48
 			p.ticket = x.obs.Built(label, bytes, x.evictDrop(func() {

@@ -2,6 +2,7 @@ package xmjoin
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/relational"
@@ -36,6 +37,12 @@ type ExecOptions struct {
 	// Query.WithLimit. To run unlimited over a plan frozen with a limit,
 	// pass any negative value (0 means "keep frozen").
 	Limit int
+	// Trace attaches a per-query trace to this execution only: plan
+	// selection, every lazy index build the run admits, and execution
+	// with per-level counters become timed spans (see Trace and
+	// Query.WithTrace). nil keeps the value frozen at Prepare time —
+	// usually no trace, costing one pointer test per phase.
+	Trace *Trace
 }
 
 // buildExecOptions is the single core.Options-building path every
@@ -57,6 +64,9 @@ func buildExecOptions(base core.Options, ctx context.Context, opts []ExecOptions
 		if e.Limit != 0 {
 			o.Limit = e.Limit
 		}
+		if e.Trace != nil {
+			o.Trace = e.Trace
+		}
 	}
 	if ctx != nil {
 		o.Context = ctx
@@ -67,9 +77,12 @@ func buildExecOptions(base core.Options, ctx context.Context, opts []ExecOptions
 // streamDecoded drives the streaming executor over the built options,
 // decoding each validated tuple into a reused string row for emit — the
 // one implementation behind Query.ExecXJoinStream[Ctx],
-// PreparedQuery.ExecuteStream[Ctx] and the Rows cursor. On cancellation
-// it returns the partial statistics (Cancelled set) alongside the error.
-func streamDecoded(db *Database, q *core.Query, o core.Options, emit func(row []string) bool) (Stats, error) {
+// PreparedQuery.ExecuteStream[Ctx] and the Rows cursor, and therefore
+// the one place streaming runs report into the metrics registry and
+// slow-query log. On cancellation it returns the partial statistics
+// (Cancelled set) alongside the error.
+func streamDecoded(db *Database, label string, q *core.Query, o core.Options, emit func(row []string) bool) (Stats, error) {
+	start := time.Now()
 	var decoded []string
 	stats, err := core.XJoinStream(q, o, func(t relational.Tuple) bool {
 		if decoded == nil {
@@ -80,6 +93,7 @@ func streamDecoded(db *Database, q *core.Query, o core.Options, emit func(row []
 		}
 		return emit(decoded)
 	})
+	db.observeRun(label, start, stats, err)
 	if stats == nil {
 		return Stats{}, err
 	}

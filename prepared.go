@@ -2,6 +2,7 @@ package xmjoin
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/relational"
@@ -24,9 +25,10 @@ import (
 // handlers should always pass the request context so abandoned clients
 // stop paying for worst-case joins.
 type PreparedQuery struct {
-	db   *Database
-	q    *core.Query
-	opts core.Options
+	db    *Database
+	q     *core.Query
+	opts  core.Options
+	label string
 }
 
 // Prepare freezes the query's current options into a PreparedQuery:
@@ -39,7 +41,7 @@ func (q *Query) Prepare() (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{db: q.db, q: q.q, opts: opts}, nil
+	return &PreparedQuery{db: q.db, q: q.q, opts: opts, label: q.label}, nil
 }
 
 // PrepareCtx is Prepare bounded by ctx: an already-cancelled context (or
@@ -120,7 +122,9 @@ func (p *PreparedQuery) Execute(opts ...ExecOptions) (*Result, error) {
 // the partial result found so far (Stats().Cancelled set) together with
 // an error matching ErrCancelled and the context's error.
 func (p *PreparedQuery) ExecuteCtx(ctx context.Context, opts ...ExecOptions) (*Result, error) {
+	start := time.Now()
 	r, err := core.XJoin(p.q, p.execOpts(ctx, opts))
+	p.db.observeRun(p.label, start, resultStats(r), err)
 	if r == nil {
 		return nil, err
 	}
@@ -139,7 +143,7 @@ func (p *PreparedQuery) ExecuteStream(emit func(row []string) bool, opts ...Exec
 // error matching ErrCancelled. emit is never called after the executor
 // observed the cancellation.
 func (p *PreparedQuery) ExecuteStreamCtx(ctx context.Context, emit func(row []string) bool, opts ...ExecOptions) (Stats, error) {
-	return streamDecoded(p.db, p.q, p.execOpts(ctx, opts), emit)
+	return streamDecoded(p.db, p.label, p.q, p.execOpts(ctx, opts), emit)
 }
 
 // Exists reports whether the query has at least one answer, stopping the
@@ -153,11 +157,13 @@ func (p *PreparedQuery) Exists(opts ...ExecOptions) (bool, error) {
 // cancelled before any answer returns false with an ErrCancelled-matching
 // error, since "no answer so far" proves nothing.
 func (p *PreparedQuery) ExistsCtx(ctx context.Context, opts ...ExecOptions) (bool, error) {
+	start := time.Now()
 	found := false
-	_, err := core.XJoinStream(p.q, p.execOpts(ctx, opts), func(relational.Tuple) bool {
+	st, err := core.XJoinStream(p.q, p.execOpts(ctx, opts), func(relational.Tuple) bool {
 		found = true
 		return false
 	})
+	p.db.observeRun(p.label, start, st, err)
 	if found {
 		return true, nil
 	}

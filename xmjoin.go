@@ -79,6 +79,29 @@
 //
 //	for row, err := range p.All(ctx) { ... }
 //
+// # Observability
+//
+// Every execution reports into three process-level surfaces, all
+// dependency-free:
+//
+//   - Metrics: each run folds its Stats into a process-lifetime registry
+//     (counters for per-run deltas like output tuples and leaf batches,
+//     gauges for snapshots like catalog residency, a histogram of query
+//     wall times). WriteMetrics renders the default registry in
+//     Prometheus text exposition format; cmd/xjoin and cmd/xmsh serve it
+//     (plus pprof and expvar) with -metrics addr. Databases can be told
+//     apart with UseMetricsRegistry.
+//
+//   - Tracing: Query.WithTrace (or ExecOptions.Trace, or mmql's EXPLAIN
+//     ANALYZE / the shell's .analyze) attaches a per-query *Trace whose
+//     timed spans cover plan selection, every lazy index build the run
+//     admitted, and execution with per-level intersection/seek/batch
+//     counters. With no trace attached the engine pays one pointer test
+//     per phase — never per tuple.
+//
+//   - Slow queries: each Database keeps a bounded ring of runs slower
+//     than a threshold (Database.SlowLog; .slowlog in the shell).
+//
 // # Failure semantics
 //
 // The engine separates three failure classes, each a typed sentinel, each
@@ -121,9 +144,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relational"
 	"repro/internal/twig"
 	"repro/internal/xmldb"
@@ -183,6 +208,14 @@ type Database struct {
 	// single-threaded, like the rest of the Database's mutation surface).
 	catMu sync.Mutex
 	cat   *catalog.Catalog
+
+	// obsMu guards the observability plumbing every execution reports
+	// through: the target registry, its cached handles, and the
+	// slow-query log (see metrics.go).
+	obsMu sync.Mutex
+	reg   *obs.Registry
+	met   *dbMetrics
+	slow  *obs.SlowLog
 }
 
 // NewDatabase returns an empty database with an unlimited-budget catalog.
@@ -192,6 +225,8 @@ func NewDatabase() *Database {
 		docs:   make(map[string]*xmldb.Document),
 		tables: make(map[string]*relational.Table),
 		cat:    catalog.New(0),
+		reg:    obs.Default,
+		slow:   obs.NewSlowLog(defaultSlowThreshold, 128),
 	}
 }
 
@@ -321,7 +356,11 @@ func (db *Database) QueryOn(twigs []TwigOn, tableNames ...string) (*Query, error
 	if err != nil {
 		return nil, err
 	}
-	return &Query{db: db, q: cq}, nil
+	exprs := make([]string, len(twigs))
+	for i, t := range twigs {
+		exprs[i] = t.Twig
+	}
+	return &Query{db: db, q: cq, label: queryLabel(exprs, tableNames)}, nil
 }
 
 func (db *Database) resolveTables(names []string) ([]*relational.Table, error) {
@@ -435,7 +474,7 @@ func (db *Database) QueryMulti(twigExprs []string, tableNames ...string) (*Query
 	if err != nil {
 		return nil, err
 	}
-	return &Query{db: db, q: cq}, nil
+	return &Query{db: db, q: cq, label: queryLabel(twigExprs, tableNames)}, nil
 }
 
 // Strategy selects an automatic attribute-ordering heuristic.
@@ -451,9 +490,18 @@ const (
 
 // Query is a prepared multi-model join.
 type Query struct {
-	db   *Database
-	q    *core.Query
-	opts core.Options
+	db    *Database
+	q     *core.Query
+	opts  core.Options
+	label string
+}
+
+// queryLabel synthesizes the default observability label — the twig
+// expressions and table names that assembled the query — used by the
+// metrics registry's slow-query log unless WithLabel overrides it.
+func queryLabel(twigExprs []string, tableNames []string) string {
+	parts := append(append([]string(nil), twigExprs...), tableNames...)
+	return strings.Join(parts, " ")
 }
 
 // Attrs returns the query's output attributes.
@@ -528,6 +576,25 @@ func (q *Query) WithParallelism(n int) *Query {
 	return q
 }
 
+// WithTrace attaches a trace to every subsequent execution of this query:
+// plan/order selection, each lazy index build the run admits, and the
+// execution itself become timed spans with per-level join counters (see
+// Trace and mmql's EXPLAIN ANALYZE). nil detaches. Tracing changes
+// per-phase bookkeeping only, never per-tuple work; a detached query
+// pays one pointer test per phase.
+func (q *Query) WithTrace(tr *Trace) *Query {
+	q.opts.Trace = tr
+	return q
+}
+
+// WithLabel replaces the query's observability label — the string the
+// slow-query log and traces identify it by (the default is the twig
+// expressions and table names it was assembled from).
+func (q *Query) WithLabel(label string) *Query {
+	q.label = label
+	return q
+}
+
 // WithLimit stops evaluation after n validated answers (0 = no limit).
 // Every executor terminates early, including the parallel one: its workers
 // share an atomic emission budget, so a limited parallel run stops without
@@ -548,11 +615,13 @@ func (q *Query) Exists() (bool, error) { return q.ExistsCtx(nil) }
 // cancelled before any answer returns false with an ErrCancelled-matching
 // error, since "no answer so far" proves nothing.
 func (q *Query) ExistsCtx(ctx context.Context) (bool, error) {
+	start := time.Now()
 	found := false
-	_, err := core.XJoinStream(q.q, q.execOptions(ctx), func(relational.Tuple) bool {
+	st, err := core.XJoinStream(q.q, q.execOptions(ctx), func(relational.Tuple) bool {
 		found = true
 		return false
 	})
+	q.db.observeRun(q.label, start, st, err)
 	if found {
 		return true, nil
 	}
@@ -578,11 +647,22 @@ func (q *Query) ExecXJoin() (*Result, error) { return q.ExecXJoinCtx(nil) }
 // care about complete answers can keep treating any non-nil error as
 // fatal; callers serving best-effort responses use the partial Result.
 func (q *Query) ExecXJoinCtx(ctx context.Context) (*Result, error) {
+	start := time.Now()
 	r, err := core.XJoin(q.q, q.execOptions(ctx))
+	q.db.observeRun(q.label, start, resultStats(r), err)
 	if r == nil {
 		return nil, err
 	}
 	return &Result{db: q.db, r: r}, err
+}
+
+// resultStats projects a possibly-nil core result onto the statistics
+// observeRun folds into the registry.
+func resultStats(r *core.Result) *Stats {
+	if r == nil {
+		return nil
+	}
+	return &r.Stats
 }
 
 // ExecBaseline evaluates the query with the per-model baseline
@@ -596,7 +676,9 @@ func (q *Query) ExecBaseline() (*Result, error) { return q.ExecBaselineCtx(nil) 
 // which can be polynomially larger than the whole query's worst case.
 // That coarse bound is itself an argument for XJoin in serving paths.
 func (q *Query) ExecBaselineCtx(ctx context.Context) (*Result, error) {
+	start := time.Now()
 	r, err := core.Baseline(q.q, q.execOptions(ctx))
+	q.db.observeRun(q.label, start, resultStats(r), err)
 	if r == nil {
 		return nil, err
 	}
@@ -652,5 +734,5 @@ func (q *Query) ExecXJoinStream(emit func(row []string) bool) (Stats, error) {
 // error matching ErrCancelled. emit is never called after the executor
 // observed the cancellation, so every row emitted is a valid answer.
 func (q *Query) ExecXJoinStreamCtx(ctx context.Context, emit func(row []string) bool) (Stats, error) {
-	return streamDecoded(q.db, q.q, q.execOptions(ctx), emit)
+	return streamDecoded(q.db, q.label, q.q, q.execOptions(ctx), emit)
 }
