@@ -16,6 +16,7 @@ package xmjoin
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -390,5 +391,70 @@ func BenchmarkTwigParse(b *testing.B) {
 		if _, err := twig.Parse(datagen.PaperTwig); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkHybridPlanModes is the PR 9 experiment: the cost-based hybrid
+// planner against both pure strategies on CyclicCoreTail — a triangle
+// whose pairwise joins are Θ(n²) against Θ(n) triangle output (so forced
+// binary plans lose the core) glued to a bijective chain tail (cheap to
+// pre-join, per-binding intersection work for the generic join). Each
+// iteration builds a fresh query so every mode pays its full planning and
+// materialization cost — nothing rides the per-query intermediate cache.
+// Parallelism tracks GOMAXPROCS, so -cpu 1,4 sweeps serial and parallel.
+func BenchmarkHybridPlanModes(b *testing.B) {
+	for _, cfg := range []struct{ coreN, tailLen int }{
+		{256, 2}, {1024, 3}, {2048, 4},
+	} {
+		tables, err := datagen.CyclicCoreTail(cfg.coreN, cfg.tailLen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Hub triangle answers: the all-zero tuple plus three spoke
+		// families; the chain is a bijection, adding none.
+		want := 3*cfg.coreN + 1
+		for _, mode := range []core.PlanMode{core.PlanWCOJ, core.PlanHybrid, core.PlanBinary} {
+			b.Run(fmt.Sprintf("core%d_tail%d/%s", cfg.coreN, cfg.tailLen, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					q, err := core.NewQuery(nil, nil, tables)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := core.XJoin(q, core.Options{Plan: mode, Parallelism: -1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Tuples) != want {
+						b.Fatalf("output %d, want %d", len(res.Tuples), want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHybridSkewedTail swaps the bijective tail for the Skewed
+// generator's 90/10 hot-key chain: the binary subplan's build sides stay
+// small while probes concentrate, the regime hash joins like best.
+func BenchmarkHybridSkewedTail(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	tables, err := datagen.CyclicCoreTailSkewed(rng, 128, datagen.SkewedConfig{Rows: 4000, Fanout: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []core.PlanMode{core.PlanWCOJ, core.PlanHybrid, core.PlanBinary} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q, err := core.NewQuery(nil, nil, tables)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.XJoin(q, core.Options{Plan: mode, Parallelism: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

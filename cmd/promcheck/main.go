@@ -1,7 +1,8 @@
 // Command promcheck validates the engine's metrics exposition end to
 // end: it builds a small multi-model database, exercises the execution
-// surface (serial, parallel, streaming, baseline and an EXPLAIN ANALYZE
-// statement), renders the metrics registry in Prometheus text format,
+// surface (serial, parallel, streaming, baseline, a VIA hybrid statement
+// and an EXPLAIN ANALYZE), renders the metrics registry in Prometheus
+// text format,
 // and checks the output against the text-format grammar — TYPE-before-
 // samples, name/label syntax, histogram completeness and monotonicity,
 // no duplicate samples. CI runs it so a formatting regression in the
@@ -67,6 +68,9 @@ func run(verbose bool) error {
 	if _, err := q.ExecBaseline(); err != nil {
 		return fmt.Errorf("baseline run: %w", err)
 	}
+	if _, err := mmql.RunString(db, `SELECT userID, price FROM R, TWIG '/invoices/orderLine[orderID]/price' VIA hybrid`); err != nil {
+		return fmt.Errorf("hybrid run: %w", err)
+	}
 	out, err := mmql.RunString(db, `EXPLAIN ANALYZE SELECT userID, price FROM R, TWIG '/invoices/orderLine[orderID]/price'`)
 	if err != nil {
 		return fmt.Errorf("EXPLAIN ANALYZE: %w", err)
@@ -88,6 +92,7 @@ func run(verbose bool) error {
 		"# TYPE xmjoin_query_seconds histogram",
 		"xmjoin_query_seconds_bucket",
 		"xmjoin_output_tuples_total",
+		`algo="xjoin-hybrid"`,
 	} {
 		if !strings.Contains(text, want) {
 			return fmt.Errorf("exposition missing %q", want)

@@ -74,6 +74,8 @@ func run() error {
 	strategy := flag.String("strategy", "relational-first",
 		"attribute order strategy: relational-first, document, greedy, minbound")
 	parallel := flag.Int("parallel", 0, "XJoin morsel-parallel workers (0/1 serial, -1 GOMAXPROCS)")
+	planMode := flag.String("plan", "",
+		"plan mode: wcoj (default; pure generic join), hybrid (hash joins for the acyclic fringe, generic join for the cyclic core), binary (forced hash joins); -explain shows the per-subplan plan tree")
 	timeout := flag.Duration("timeout", 0, "context deadline for the run (0 = none); expiry reports partial stats and exits 1")
 	limitFlag := flag.String("limit", "", "stop after N validated answers (early termination, composes with -parallel)")
 	exists := flag.Bool("exists", false, "print true/false for answer existence and exit (stops at the first answer)")
@@ -139,6 +141,15 @@ func run() error {
 		q.WithAD(xmjoin.ADMaterialized)
 	default:
 		return fmt.Errorf("unknown -ad %q (want lazy, posthoc or materialized)", *adMode)
+	}
+	switch *planMode {
+	case "", "wcoj":
+	case "hybrid":
+		q.WithPlan(xmjoin.PlanHybrid)
+	case "binary":
+		q.WithPlan(xmjoin.PlanBinary)
+	default:
+		return fmt.Errorf("unknown -plan %q (want wcoj, hybrid or binary)", *planMode)
 	}
 	q.WithParallelism(*parallel)
 	limit, err := cli.ParseLimit(*limitFlag)

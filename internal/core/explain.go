@@ -3,13 +3,17 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/wcoj"
 )
 
-// Explain renders the plan XJoin would execute for q under opts: the atom
-// set (physical tables and virtual XML relations with their cardinalities),
-// the chosen attribute priority PA, the per-stage worst-case bounds of
-// Lemma 3.5, and the query's exponents. It runs the planner and the bound
-// LPs but not the join itself.
+// Explain renders the plan XJoin would execute for q under opts: the plan
+// tree (per-subplan strategy with estimated bounds — binary hash-join
+// chains for materialized subplans, the generic join for the rest), the
+// atom set (physical tables and virtual XML relations with their
+// cardinalities), the chosen attribute priority PA, the per-stage
+// worst-case bounds of Lemma 3.5, and the query's exponents. It runs the
+// planner and the bound LPs but neither the join nor any materialization.
 func Explain(q *Query, opts Options) (string, error) {
 	atoms := q.atoms(opts.atomConfig())
 	sizes := atomSizes(q, atoms)
@@ -39,6 +43,9 @@ func Explain(q *Query, opts Options) (string, error) {
 		algo += " (A-D: " + label + ")"
 	}
 	fmt.Fprintf(&sb, "plan: %s\n", algo)
+	if err := explainPlanTree(&sb, q, opts, atoms, bounds); err != nil {
+		return "", err
+	}
 	fmt.Fprintf(&sb, "atoms (%d):\n", len(atoms))
 	for _, a := range atoms {
 		fmt.Fprintf(&sb, "  %-24s (%s)  |%d|\n", a.Name(), strings.Join(a.Attrs(), ", "), sizes[a.Name()])
@@ -57,4 +64,51 @@ func Explain(q *Query, opts Options) (string, error) {
 	}
 	fmt.Fprintf(&sb, "\nweighted output bound: %.6g\n", bounds.WeightedBound)
 	return sb.String(), nil
+}
+
+// explainPlanTree renders the hybrid planner's decomposition: the
+// top-level generic join, then one line per subplan with its strategy,
+// members, inputs, cost estimate and worst-case bound. Pure-WCOJ runs get
+// the same tree shape with every atom under the single generic-join node,
+// so EXPLAIN's structure is stable across plan modes.
+func explainPlanTree(sb *strings.Builder, q *Query, opts Options, atoms []wcoj.Atom, bounds *Bounds) error {
+	sb.WriteString("plan tree:\n")
+	if opts.Plan == PlanWCOJ {
+		fmt.Fprintf(sb, "  generic join: %d atoms, bound <= %.6g\n", len(atoms), bounds.ExecBound)
+		fmt.Fprintf(sb, "    - wcoj [full query]: %s\n", atomNameList(atoms))
+		return nil
+	}
+	plan, err := q.hybridPlan(opts.atomConfig(), opts.Plan)
+	if err != nil {
+		return err
+	}
+	nbin := plan.BinaryCount()
+	top := len(atoms)
+	for i := range plan.Subplans {
+		if plan.Subplans[i].Strategy == "binary" {
+			top -= len(plan.Subplans[i].indices)
+		}
+	}
+	fmt.Fprintf(sb, "  generic join: %d atoms + %d materialized subplans, bound <= %.6g\n",
+		top, nbin, bounds.ExecBound)
+	for i := range plan.Subplans {
+		sp := &plan.Subplans[i]
+		switch sp.Strategy {
+		case "binary":
+			fmt.Fprintf(sb, "    - binary [%s] %s: %s  inputs %d, est intermediates %.6g, bound <= %.6g\n",
+				sp.Reason, sp.Name, strings.Join(sp.Atoms, " -> "), sp.Inputs, sp.Est, sp.Bound)
+		default:
+			fmt.Fprintf(sb, "    - wcoj [%s]: %s  bound <= %.6g\n",
+				sp.Reason, strings.Join(sp.Atoms, " "), sp.Bound)
+		}
+	}
+	return nil
+}
+
+func atomNameList(atoms []wcoj.Atom) string {
+	names := make([]string, len(atoms))
+	for i, a := range atoms {
+		names[i] = a.Name()
+	}
+	return strings.Join(names, " ")
 }

@@ -62,6 +62,14 @@ type Query struct {
 	// configuration, built once and reused by every run.
 	amu       sync.Mutex
 	atomCache map[atomConfig][]wcoj.Atom
+
+	// hmu guards the hybrid planner's caches: the decomposition per
+	// (configuration, plan mode), and the executor atom list with the
+	// binary subplans materialized. Both are lazily initialized — queries
+	// that never leave PlanWCOJ pay nothing.
+	hmu             sync.Mutex
+	hybridPlanCache map[hybridKey]*HybridPlan
+	hybridAtomCache map[hybridKey][]wcoj.Atom
 }
 
 // NewQuery assembles a single-twig (or, with a nil pattern, pure
@@ -335,6 +343,20 @@ type Stats struct {
 	// requested configuration's — only the execution strategy changed —
 	// and ADMode reports the mode actually run ("posthoc").
 	Degraded string
+	// Plan records the executor strategy mix when the run used a
+	// non-default plan mode: "hybrid" (GYO core on the generic join,
+	// cost-accepted acyclic fringe on binary hash joins) or "binary"
+	// (every component forced through hash-join chains). Empty for pure
+	// generic-join runs, so plan noise never appears on ordinary output.
+	Plan string
+	// BinarySubplans counts the materialized binary subplans that fed the
+	// run's top-level generic join (hybrid/binary plan modes; 0 otherwise).
+	BinarySubplans int
+	// BinaryIntermediate sums the tuples the binary subplans materialized
+	// across their chain steps — the conventional-side counterpart of
+	// TotalIntermediate, what the hybrid plan pays up front to make the
+	// acyclic fringe cheap.
+	BinaryIntermediate int
 	// Q1Size and Q2Size are the baseline's per-model result sizes.
 	Q1Size, Q2Size int
 	// LeafBatches counts the key vectors the batched leaf-level loop

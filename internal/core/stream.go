@@ -77,13 +77,27 @@ func xjoinStreamRun(q *Query, opts Options, degraded string, emit func(relationa
 	if err := checkOrder(q, order); err != nil {
 		return nil, err
 	}
+	bctl := q.buildControl(opts)
+	if opts.Plan != PlanWCOJ {
+		// Same seam as XJoin: the streaming generic join runs over the
+		// hybrid plan's atom list with the unchanged attribute order.
+		var herr error
+		atoms, _, herr = q.hybridAtoms(opts, guard, bctl, plan)
+		if herr != nil {
+			plan.End()
+			return nil, herr
+		}
+	}
 	if tr != nil {
 		plan.SetInt("atoms", int64(len(atoms)))
 		plan.SetStr("order", strings.Join(order, " "))
+		if opts.Plan != PlanWCOJ {
+			plan.SetStr("plan_mode", opts.Plan.String())
+		}
 		plan.End()
 	}
 
-	stats := &Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Degraded: degraded}
+	stats := &Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Degraded: degraded, Plan: opts.planLabel()}
 	var validators []*validator
 	if !opts.SkipValidation {
 		for _, tw := range q.twigs {
@@ -93,7 +107,6 @@ func xjoinStreamRun(q *Query, opts Options, degraded string, emit func(relationa
 
 	var gjStats *wcoj.GenericJoinStats
 	var err error
-	bctl := q.buildControl(opts)
 	execWorkers := 1
 	if opts.Parallelism < 0 || opts.Parallelism > 1 {
 		pw := opts.Parallelism

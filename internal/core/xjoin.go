@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/cachehook"
 	"repro/internal/obs"
 	"repro/internal/relational"
 	"repro/internal/wcoj"
@@ -130,6 +131,12 @@ type Options struct {
 	// test per phase (never per tuple): the per-level counters ride the
 	// statistics the executors gather anyway.
 	Trace *obs.Trace
+	// Plan selects the executor strategy mix: PlanWCOJ (the zero value)
+	// runs the pure generic join, PlanHybrid materializes the cost-accepted
+	// acyclic fringe with binary hash joins and keeps the GYO cyclic core
+	// on the generic join, PlanBinary forces every component through hash
+	// joins. All modes produce identical results; see PlanMode.
+	Plan PlanMode
 }
 
 // adMode resolves the effective A-D handling (ADDefault becomes ADLazy;
@@ -152,7 +159,15 @@ func (o Options) atomConfig() atomConfig {
 // "xjoin+" only for an explicit filtering request (PartialAD or a non-
 // default AD mode other than ADPostHoc); default runs keep the historical
 // "xjoin" label and report the effective mode in Stats.ADMode instead.
+// Non-default plan modes get their own labels, so the per-algorithm query
+// metrics separate hybrid and forced-binary runs.
 func (o Options) algoLabel() string {
+	switch o.Plan {
+	case PlanHybrid:
+		return "xjoin-hybrid"
+	case PlanBinary:
+		return "xjoin-binary"
+	}
 	if o.adMode() == ADPostHoc {
 		return "xjoin"
 	}
@@ -213,14 +228,29 @@ func xjoinRun(q *Query, opts Options, algo, degraded string) (*Result, error) {
 	if err := checkOrder(q, order); err != nil {
 		return nil, err
 	}
+	bctl := q.buildControl(opts)
+	if opts.Plan != PlanWCOJ {
+		// Swap in the hybrid plan's atom list: the generic join below runs
+		// unchanged over [retained atoms + materialized binary subplans],
+		// with the same full attribute order.
+		var herr error
+		atoms, _, herr = q.hybridAtoms(opts, guard, bctl, plan)
+		if herr != nil {
+			plan.End()
+			return nil, herr
+		}
+	}
 	if tr != nil {
 		plan.SetInt("atoms", int64(len(atoms)))
 		plan.SetStr("order", strings.Join(order, " "))
+		if opts.Plan != PlanWCOJ {
+			plan.SetStr("plan_mode", opts.Plan.String())
+		}
 		plan.End()
 	}
 
 	if opts.Parallelism < 0 || opts.Parallelism > 1 {
-		return xjoinParallel(q, opts, atoms, order, algo, degraded, guard)
+		return xjoinParallel(q, opts, atoms, order, algo, degraded, guard, bctl)
 	}
 
 	// Serial path: stream candidate tuples out of the iterator-based
@@ -234,8 +264,7 @@ func xjoinRun(q *Query, opts Options, algo, degraded string) (*Result, error) {
 			validators[i] = newValidator(tw.ix, tw.pattern, order)
 		}
 	}
-	res := &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Degraded: degraded}}
-	bctl := q.buildControl(opts)
+	res := &Result{Stats: Stats{Algorithm: algo, ADMode: q.adModeLabel(opts), Degraded: degraded, Plan: opts.planLabel()}}
 	exec := traceExecStart(tr, &bctl, 1, degraded)
 	gjStats, err := wcoj.GenericJoinStreamOpts(atoms, order, wcoj.StreamOpts{Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: bctl}, func(t relational.Tuple) bool {
 		for _, v := range validators {
@@ -286,7 +315,7 @@ func xjoinRun(q *Query, opts Options, algo, degraded string) (*Result, error) {
 // atomic counter. Validated tuples are collected per morsel and
 // reassembled in morsel order, which for an unlimited run is exactly the
 // serial executor's output sequence.
-func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, algo, degraded string, guard *cancelGuard) (*Result, error) {
+func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, algo, degraded string, guard *cancelGuard, bctl cachehook.BuildControl) (*Result, error) {
 	pworkers := opts.Parallelism
 	if pworkers < 0 {
 		pworkers = 0
@@ -305,7 +334,6 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	removed := make([]int, workers)
 	var accepted atomic.Int64
 	limit := int64(opts.Limit)
-	bctl := q.buildControl(opts)
 	exec := traceExecStart(opts.Trace, &bctl, workers, degraded)
 	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: bctl},
 		func(w int) func(wcoj.OrdKey, relational.Tuple) bool {
@@ -348,6 +376,7 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 		Algorithm:        algo,
 		ADMode:           q.adModeLabel(opts),
 		Degraded:         degraded,
+		Plan:             opts.planLabel(),
 		Order:            gjStats.Order,
 		StageSizes:       gjStats.StageSizes,
 		PeakIntermediate: gjStats.PeakIntermediate,
@@ -380,6 +409,15 @@ func addIndexStats(atoms []wcoj.Atom, stats *Stats) {
 	six := make(map[*structix.Index]bool)
 	for _, a := range atoms {
 		switch at := unwrapAtom(a).(type) {
+		case *wcoj.MaterializedAtom:
+			// A binary subplan's intermediate: its chain counters feed the
+			// binary-side statistics, and the wrapped table's sorted-column
+			// indexes count like any other table atom's.
+			stats.BinarySubplans++
+			stats.BinaryIntermediate += at.BinaryStats().TotalIntermediate
+			info := at.IndexInfo()
+			stats.TableIndexes += info.Indexes
+			stats.TableIndexBytes += info.ApproxBytes
 		case *wcoj.TableAtom:
 			info := at.IndexInfo()
 			stats.TableIndexes += info.Indexes
@@ -425,6 +463,14 @@ func Prepare(q *Query, opts Options) (Options, error) {
 		return opts, err
 	}
 	q.atoms(opts.atomConfig())
+	if opts.Plan != PlanWCOJ {
+		// Resolve the decomposition now (planning errors surface here);
+		// subplan materialization stays lazy and is cached by the first
+		// execution.
+		if _, err := q.hybridPlan(opts.atomConfig(), opts.Plan); err != nil {
+			return opts, err
+		}
+	}
 	return opts, nil
 }
 

@@ -306,6 +306,78 @@ func Skewed(rng *rand.Rand, cfg SkewedConfig) []*relational.Table {
 	return []*relational.Table{r, s}
 }
 
+// CyclicCoreTail builds the hybrid planner's showcase workload: a skewed
+// triangle core R(a,b) ⋈ S(b,c) ⋈ T(c,a) with a long acyclic chain
+// C1(c,u1) ⋈ C2(u1,u2) ⋈ … ⋈ Ck(u[k-1],uk) hanging off it.
+//
+// Each triangle table is the hub-and-spoke set {(0,0)} ∪ {(i,0)} ∪ {(0,i)}
+// for i in 1..coreN: every pairwise join produces Θ(coreN²) rows (hub rows
+// pair with every spoke) while the full triangle has only Θ(coreN)
+// answers — a binary plan must materialize the quadratic intermediate the
+// generic join's AGM guarantee avoids. The chain tables are identity
+// bijections over the c domain, so the tail neither grows nor shrinks the
+// result: it only multiplies per-level executor work, which is where a
+// hash-join chain beats the generic join's per-level intersections. The
+// GYO split is exact here: ear removal peels C_k..C_1 and leaves {R,S,T}
+// as the cyclic core.
+func CyclicCoreTail(coreN, tailLen int) ([]*relational.Table, error) {
+	if coreN < 1 {
+		return nil, fmt.Errorf("datagen: core scale must be positive, got %d", coreN)
+	}
+	if tailLen < 0 {
+		return nil, fmt.Errorf("datagen: tail length must be non-negative, got %d", tailLen)
+	}
+	tri := func(name, x, y string) *relational.Table {
+		t := relational.NewTable(name, relational.MustSchema(x, y))
+		t.MustAppend(0, 0)
+		for i := 1; i <= coreN; i++ {
+			t.MustAppend(relational.Value(i), 0)
+			t.MustAppend(0, relational.Value(i))
+		}
+		return t
+	}
+	tables := []*relational.Table{tri("R", "a", "b"), tri("S", "b", "c"), tri("T", "c", "a")}
+	prev := "c"
+	for l := 1; l <= tailLen; l++ {
+		next := fmt.Sprintf("u%d", l)
+		c := relational.NewTable(fmt.Sprintf("C%d", l), relational.MustSchema(prev, next))
+		for v := 0; v <= coreN; v++ {
+			c.MustAppend(relational.Value(v), relational.Value(v))
+		}
+		tables = append(tables, c)
+		prev = next
+	}
+	return tables, nil
+}
+
+// CyclicCoreTailSkewed is CyclicCoreTail with the bijective chain replaced
+// by Skewed's two-table chain: C1(c,u1) has a pathologically skewed c
+// (reusing the morsel adversary's key distribution, with the key domain
+// pinned to the triangle's c domain so the tail actually joins the core)
+// and C2(u1,u2) fans each u1 out. The skew concentrates the tail's join
+// work on the triangle's hub value — the stress shape for the hybrid
+// seam's morsel parallelism.
+func CyclicCoreTailSkewed(rng *rand.Rand, coreN int, cfg SkewedConfig) ([]*relational.Table, error) {
+	tables, err := CyclicCoreTail(coreN, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Keys = coreN + 1
+	sk := Skewed(rng, cfg)
+	rename := func(t *relational.Table, name, x, y string) *relational.Table {
+		out := relational.NewTable(name, relational.MustSchema(x, y))
+		t.Rows(func(r relational.Tuple) bool {
+			out.MustAppend(r[0], r[1])
+			return true
+		})
+		return out
+	}
+	tables = append(tables,
+		rename(sk[0], "C1", "c", "u1"),
+		rename(sk[1], "C2", "u1", "u2"))
+	return tables, nil
+}
+
 // RandomConfig parameterizes RandomMultiModel.
 type RandomConfig struct {
 	// NodeBudget bounds the document size (default 60).

@@ -182,3 +182,67 @@ func TestSkewedZipf(t *testing.T) {
 		t.Fatalf("Zipf head not dominant: key0=%d key1=%d", counts[0], counts[1])
 	}
 }
+
+func TestCyclicCoreTailShape(t *testing.T) {
+	ts, err := CyclicCoreTail(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 6 {
+		t.Fatalf("got %d tables, want triangle + 3 chain levels", len(ts))
+	}
+	for i, want := range []string{"R", "S", "T", "C1", "C2", "C3"} {
+		if ts[i].Name() != want {
+			t.Fatalf("table %d = %s, want %s", i, ts[i].Name(), want)
+		}
+	}
+	// Hub-and-spoke triangle: 2n+1 rows per edge relation, but only the
+	// all-zero row plus the spokes close a triangle (n+1 results).
+	for _, tb := range ts[:3] {
+		if tb.Len() != 17 {
+			t.Fatalf("%s has %d rows, want 17", tb.Name(), tb.Len())
+		}
+	}
+	// Chain levels are identity bijections over the core's key domain.
+	for _, tb := range ts[3:] {
+		if tb.Len() != 9 {
+			t.Fatalf("%s has %d rows, want 9", tb.Name(), tb.Len())
+		}
+		tb.Rows(func(row relational.Tuple) bool {
+			if row[0] != row[1] {
+				t.Fatalf("%s is not an identity chain: %v", tb.Name(), row)
+			}
+			return true
+		})
+	}
+
+	if _, err := CyclicCoreTail(0, 1); err == nil {
+		t.Fatal("want error for non-positive core scale")
+	}
+	if _, err := CyclicCoreTail(4, -1); err == nil {
+		t.Fatal("want error for negative tail length")
+	}
+}
+
+func TestCyclicCoreTailSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ts, err := CyclicCoreTailSkewed(rng, 16, SkewedConfig{Rows: 500, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 5 {
+		t.Fatalf("got %d tables, want triangle + 2 skewed levels", len(ts))
+	}
+	if ts[3].Name() != "C1" || ts[4].Name() != "C2" {
+		t.Fatalf("chain tables = %s, %s", ts[3].Name(), ts[4].Name())
+	}
+	if ts[3].Len() != 500 || ts[4].Len() != 1000 {
+		t.Fatalf("chain sizes = %d, %d", ts[3].Len(), ts[4].Len())
+	}
+	// The skewed chain reuses the triangle's key domain so it joins the core.
+	for _, v := range ts[3].DistinctValues(0) {
+		if v < 0 || v > 16 {
+			t.Fatalf("C1 key %d outside core domain", v)
+		}
+	}
+}

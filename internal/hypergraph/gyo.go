@@ -1,0 +1,156 @@
+package hypergraph
+
+// GYO (Graham / Yu–Özsoyoğlu) ear removal: repeatedly strip "ears" —
+// edges whose every attribute is either exclusive to the edge or
+// contained in a single witness edge — until no edge qualifies. The
+// query is α-acyclic exactly when the process consumes every edge; the
+// residue is the cyclic core. The hybrid planner runs this to split a
+// query into an acyclic fringe (cheap under binary hash joins) and a
+// cyclic core (where generic join's AGM guarantee is worth paying for).
+
+// Ear records one removal step: edge Edge was an ear, justified by edge
+// Witness (-1 when every attribute of the ear was exclusive to it, i.e.
+// the edge was isolated from the rest of the live hypergraph).
+type Ear struct {
+	Edge    int // index into Edges()
+	Witness int // index into Edges(), or -1
+}
+
+// Reduction is the outcome of GYO ear removal over a hypergraph.
+type Reduction struct {
+	// Ears holds the removal steps in order. Earlier ears may cite later-
+	// removed edges as witnesses; replaying the steps in reverse yields a
+	// join tree for the acyclic part.
+	Ears []Ear
+	// Core holds the indices of the edges that survived — the cyclic core,
+	// in insertion order. Empty exactly when the hypergraph is α-acyclic.
+	Core []int
+}
+
+// Acyclic reports whether ear removal consumed every edge.
+func (r *Reduction) Acyclic() bool { return len(r.Core) == 0 }
+
+// EarRemoval runs GYO ear removal to completion and returns the removal
+// sequence plus the residual cyclic core. The result is canonical up to
+// the (deterministic) removal order: GYO is Church–Rosser, so the core's
+// edge set does not depend on which eligible ear is taken first.
+func (h *Hypergraph) EarRemoval() *Reduction {
+	red := &Reduction{}
+	alive := make([]bool, len(h.edges))
+	for i := range alive {
+		alive[i] = true
+	}
+	// attrEdges[a] lists the indices of the edges mentioning attribute a;
+	// liveCount tracks how many are still alive so "exclusive to E" is an
+	// O(1) test per attribute.
+	attrEdges := make(map[string][]int, len(h.attrs))
+	for i, e := range h.edges {
+		for _, a := range e.Attrs {
+			attrEdges[a] = append(attrEdges[a], i)
+		}
+	}
+	liveCount := make(map[string]int, len(h.attrs))
+	for a, es := range attrEdges {
+		liveCount[a] = len(es)
+	}
+	remaining := len(h.edges)
+	for removed := true; removed && remaining > 0; {
+		removed = false
+		for i := range h.edges {
+			if !alive[i] {
+				continue
+			}
+			w, ok := h.earWitness(i, alive, liveCount)
+			if !ok {
+				continue
+			}
+			red.Ears = append(red.Ears, Ear{Edge: i, Witness: w})
+			alive[i] = false
+			remaining--
+			for _, a := range h.edges[i].Attrs {
+				liveCount[a]--
+			}
+			removed = true
+		}
+	}
+	for i := range h.edges {
+		if alive[i] {
+			red.Core = append(red.Core, i)
+		}
+	}
+	return red
+}
+
+// earWitness reports whether edge i is currently an ear: every attribute
+// is either exclusive to i among the live edges, or shared with one
+// single live witness edge that contains all of i's shared attributes.
+func (h *Hypergraph) earWitness(i int, alive []bool, liveCount map[string]int) (int, bool) {
+	var shared []string
+	for _, a := range h.edges[i].Attrs {
+		if liveCount[a] > 1 {
+			shared = append(shared, a)
+		}
+	}
+	if len(shared) == 0 {
+		return -1, true // isolated edge: trivially an ear
+	}
+	for j := range h.edges {
+		if j == i || !alive[j] {
+			continue
+		}
+		all := true
+		for _, a := range shared {
+			if !containsAttr(h.edges[j].Attrs, a) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// ConnectedComponents partitions the edges into groups transitively
+// connected by shared attributes, each in insertion order. Components
+// join only via cartesian product, so a planner can cost and execute
+// them independently.
+func (h *Hypergraph) ConnectedComponents() [][]int {
+	parent := make([]int, len(h.edges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	firstEdge := make(map[string]int, len(h.attrs))
+	for i, e := range h.edges {
+		for _, a := range e.Attrs {
+			if j, ok := firstEdge[a]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				firstEdge[a] = i
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	var roots []int
+	for i := range h.edges {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}

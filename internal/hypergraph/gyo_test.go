@@ -1,0 +1,127 @@
+package hypergraph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func build(t *testing.T, edges map[string][]string, order []string) *Hypergraph {
+	t.Helper()
+	h := New()
+	for _, name := range order {
+		if err := h.AddEdge(name, edges[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func coreNames(h *Hypergraph, r *Reduction) []string {
+	var out []string
+	for _, i := range r.Core {
+		out = append(out, h.Edges()[i].Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestEarRemovalAcyclicChain(t *testing.T) {
+	h := build(t, map[string][]string{
+		"R": {"a", "b"}, "S": {"b", "c"}, "T": {"c", "d"},
+	}, []string{"R", "S", "T"})
+	r := h.EarRemoval()
+	if !r.Acyclic() {
+		t.Fatalf("chain should be acyclic, core = %v", coreNames(h, r))
+	}
+	if len(r.Ears) != 3 {
+		t.Fatalf("expected 3 ears, got %v", r.Ears)
+	}
+}
+
+func TestEarRemovalTriangleIsCyclic(t *testing.T) {
+	h := build(t, map[string][]string{
+		"R": {"a", "b"}, "S": {"b", "c"}, "T": {"c", "a"},
+	}, []string{"R", "S", "T"})
+	r := h.EarRemoval()
+	if got := coreNames(h, r); !reflect.DeepEqual(got, []string{"R", "S", "T"}) {
+		t.Fatalf("triangle core = %v", got)
+	}
+}
+
+func TestEarRemovalTriangleWithTail(t *testing.T) {
+	// Triangle core plus an acyclic chain hanging off attribute c: the
+	// chain must peel away while the triangle survives.
+	h := build(t, map[string][]string{
+		"R": {"a", "b"}, "S": {"b", "c"}, "T": {"c", "a"},
+		"C1": {"c", "u1"}, "C2": {"u1", "u2"}, "C3": {"u2", "u3"},
+	}, []string{"R", "S", "T", "C1", "C2", "C3"})
+	r := h.EarRemoval()
+	if got := coreNames(h, r); !reflect.DeepEqual(got, []string{"R", "S", "T"}) {
+		t.Fatalf("core = %v", got)
+	}
+	if len(r.Ears) != 3 {
+		t.Fatalf("expected the 3 chain edges as ears, got %v", r.Ears)
+	}
+}
+
+func TestEarRemovalSubsetEdge(t *testing.T) {
+	// An edge whose attributes are a subset of another's is always an ear.
+	h := build(t, map[string][]string{
+		"Big": {"a", "b", "c"}, "Sub": {"a", "c"},
+	}, []string{"Big", "Sub"})
+	r := h.EarRemoval()
+	if !r.Acyclic() {
+		t.Fatalf("subset pair should be acyclic, core = %v", coreNames(h, r))
+	}
+}
+
+func TestEarRemovalTwoTriangles(t *testing.T) {
+	// Two vertex-disjoint triangles: both survive as the core.
+	h := build(t, map[string][]string{
+		"R1": {"a", "b"}, "S1": {"b", "c"}, "T1": {"c", "a"},
+		"R2": {"x", "y"}, "S2": {"y", "z"}, "T2": {"z", "x"},
+	}, []string{"R1", "S1", "T1", "R2", "S2", "T2"})
+	r := h.EarRemoval()
+	if got := coreNames(h, r); len(got) != 6 {
+		t.Fatalf("core = %v", got)
+	}
+}
+
+func TestEarRemovalIsolatedEdge(t *testing.T) {
+	h := build(t, map[string][]string{
+		"Lone": {"p", "q"}, "R": {"a", "b"}, "S": {"b", "c"},
+	}, []string{"Lone", "R", "S"})
+	r := h.EarRemoval()
+	if !r.Acyclic() {
+		t.Fatalf("should be acyclic, core = %v", coreNames(h, r))
+	}
+	for _, e := range r.Ears {
+		if h.Edges()[e.Edge].Name == "Lone" && e.Witness != -1 {
+			t.Fatalf("isolated edge got witness %d", e.Witness)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	h := build(t, map[string][]string{
+		"R": {"a", "b"}, "S": {"b", "c"},
+		"X": {"p", "q"},
+		"Y": {"q", "r"},
+	}, []string{"R", "X", "S", "Y"})
+	comps := h.ConnectedComponents()
+	var got [][]string
+	for _, c := range comps {
+		var names []string
+		for _, i := range c {
+			names = append(names, h.Edges()[i].Name)
+		}
+		sort.Strings(names)
+		got = append(got, names)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i][0] < got[j][0] })
+	want := [][]string{{"R", "S"}, {"X", "Y"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("components = %v, want %v", got, want)
+	}
+}

@@ -185,7 +185,7 @@ func TestViaADModes(t *testing.T) {
 	if len(base.Rows) == 0 {
 		t.Fatal("base query returned no rows")
 	}
-	for _, via := range []string{"xjoin", "xjoinplus", "xjoinposthoc", "xjoinmat", "baseline"} {
+	for _, via := range []string{"xjoin", "xjoinplus", "xjoinposthoc", "xjoinmat", "hybrid", "binary", "baseline"} {
 		out, err := RunString(db, `SELECT * FROM R, TWIG '//invoices//orderID' VIA `+via)
 		if err != nil {
 			t.Fatalf("VIA %s: %v", via, err)
@@ -525,5 +525,39 @@ func TestExplainAnalyzeExists(t *testing.T) {
 	}
 	if !strings.Contains(out.Text, "QUERY ANALYZE") || !strings.Contains(out.Text, "execute") {
 		t.Fatalf("EXISTS under ANALYZE missing trace:\n%s", out.Text)
+	}
+}
+
+// TestViaHybrid pins the hybrid planner's mmql surface: VIA hybrid/binary
+// parse to the plan-mode algos, run through the engine (Stats.Plan set),
+// and EXPLAIN ... VIA hybrid renders the per-subplan plan tree.
+func TestViaHybrid(t *testing.T) {
+	st, err := Parse(`SELECT * FROM R VIA hybrid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Algo != "xjoin-hybrid" {
+		t.Fatalf("algo = %q", st.Algo)
+	}
+	if st, err = Parse(`SELECT * FROM R VIA binary`); err != nil || st.Algo != "xjoin-binary" {
+		t.Fatalf("binary algo = %q, err %v", st.Algo, err)
+	}
+
+	db := testDB(t)
+	out, err := RunString(db, `SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price' VIA hybrid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats == nil || out.Stats.Plan != "hybrid" {
+		t.Fatalf("stats = %+v, want Plan=hybrid", out.Stats)
+	}
+	exp, err := RunString(db, `EXPLAIN SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price' VIA hybrid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plan: xjoin-hybrid", "plan tree:", "bound <="} {
+		if !strings.Contains(exp.Text, want) {
+			t.Fatalf("EXPLAIN VIA hybrid lacks %q:\n%s", want, exp.Text)
+		}
 	}
 }

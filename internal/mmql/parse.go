@@ -19,8 +19,10 @@ type Statement struct {
 	Filters []Filter
 	// GroupBy lists the grouping attributes (empty without GROUP BY).
 	GroupBy []string
-	// Algo is "xjoin", "xjoin+", "xjoin-posthoc", "xjoin-materialized" or
-	// "baseline" ("" defaults to xjoin, whose A-D edges filter lazily).
+	// Algo is "xjoin", "xjoin+", "xjoin-posthoc", "xjoin-materialized",
+	// "xjoin-hybrid" (VIA hybrid — the cost-based binary/WCOJ planner),
+	// "xjoin-binary" (VIA binary — forced hash joins) or "baseline"
+	// ("" defaults to xjoin, whose A-D edges filter lazily).
 	Algo string
 	// Limit caps the number of answers (0 = unlimited). When it can be
 	// pushed into the engine the join terminates early.
@@ -210,8 +212,16 @@ func (p *parser) statement() (*Statement, error) {
 		case "xjoinmat", "xjoin-materialized":
 			// The materialized A-D oracle, for comparisons.
 			st.Algo = "xjoin-materialized"
+		case "hybrid", "xjoin-hybrid":
+			// The cost-based hybrid planner: binary hash joins for the
+			// acyclic fringe, generic join for the cyclic core.
+			st.Algo = "xjoin-hybrid"
+		case "binary", "xjoin-binary":
+			// Forced binary hash joins per connected component — the
+			// classic plan, for comparisons against the hybrid.
+			st.Algo = "xjoin-binary"
 		default:
-			return nil, fmt.Errorf("mmql: unknown algorithm %q (want xjoin, xjoinplus, xjoinposthoc, xjoinmat or baseline)", algo)
+			return nil, fmt.Errorf("mmql: unknown algorithm %q (want xjoin, xjoinplus, xjoinposthoc, xjoinmat, hybrid, binary or baseline)", algo)
 		}
 	}
 	if p.keyword("limit") {

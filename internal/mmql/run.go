@@ -87,7 +87,7 @@ func runStatement(ctx context.Context, db *xmjoin.Database, st *Statement, tr *x
 
 	var res *xmjoin.Result
 	switch st.Algo {
-	case "", "xjoin", "xjoin+", "xjoin-posthoc", "xjoin-materialized":
+	case "", "xjoin", "xjoin+", "xjoin-posthoc", "xjoin-materialized", "xjoin-hybrid", "xjoin-binary":
 		res, err = q.ExecXJoinCtx(ctx)
 	case "baseline":
 		res, err = q.ExecBaselineCtx(ctx)
@@ -204,7 +204,8 @@ func Explain(db *xmjoin.Database, st *Statement) (string, error) {
 
 // applyAlgo maps a VIA algorithm name onto the query's options: xjoin+
 // tags the (already default) in-join A-D filtering, the posthoc and
-// materialized variants pick those explicit modes. "baseline" and plain
+// materialized variants pick those explicit modes, hybrid and binary
+// select the cost-based planner's plan modes. "baseline" and plain
 // "xjoin" leave the defaults.
 func applyAlgo(q *xmjoin.Query, algo string) {
 	switch algo {
@@ -214,6 +215,10 @@ func applyAlgo(q *xmjoin.Query, algo string) {
 		q.WithAD(xmjoin.ADPostHoc)
 	case "xjoin-materialized":
 		q.WithAD(xmjoin.ADMaterialized)
+	case "xjoin-hybrid":
+		q.WithPlan(xmjoin.PlanHybrid)
+	case "xjoin-binary":
+		q.WithPlan(xmjoin.PlanBinary)
 	}
 }
 

@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Table is an in-memory relation with flat row-major storage: all rows live
@@ -12,6 +13,13 @@ type Table struct {
 	name   string
 	schema *Schema
 	data   []Value // len(data) == rows * schema.Len()
+
+	// dcount caches per-column distinct counts for DistinctCount (the
+	// planner's cardinality estimates ask repeatedly across queries over
+	// the same table); Append invalidates it. dmu guards it: concurrent
+	// queries may plan over the same shared table.
+	dmu    sync.Mutex
+	dcount []int
 }
 
 // NewTable returns an empty table with the given name and schema.
@@ -39,6 +47,7 @@ func (t *Table) Append(row Tuple) error {
 		return fmt.Errorf("relational: table %s%s: appending tuple of arity %d", t.name, t.schema, len(row))
 	}
 	t.data = append(t.data, row...)
+	t.dcount = nil
 	return nil
 }
 
@@ -48,6 +57,21 @@ func (t *Table) MustAppend(row ...Value) {
 	if err := t.Append(Tuple(row)); err != nil {
 		panic(err)
 	}
+}
+
+// Grow reserves capacity for at least n additional rows, so a producer
+// with a cardinality estimate avoids the append doubling walk.
+func (t *Table) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	need := len(t.data) + n*t.schema.Len()
+	if need <= cap(t.data) {
+		return
+	}
+	grown := make([]Value, len(t.data), need)
+	copy(grown, t.data)
+	t.data = grown
 }
 
 // Row returns the i-th row as a view into the table's storage. The caller
@@ -215,4 +239,29 @@ func (t *Table) DistinctValues(col int) []Value {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// DistinctCount returns the number of distinct values in a column —
+// len(DistinctValues(col)) without the sort, cached per column until the
+// next Append. Cardinality estimators call this once per planned query,
+// so the cache turns an O(rows) pass into a lookup for shared tables.
+func (t *Table) DistinctCount(col int) int {
+	t.dmu.Lock()
+	defer t.dmu.Unlock()
+	if t.dcount == nil {
+		t.dcount = make([]int, t.schema.Len())
+		for i := range t.dcount {
+			t.dcount[i] = -1
+		}
+	}
+	if t.dcount[col] >= 0 {
+		return t.dcount[col]
+	}
+	seen := make(map[Value]struct{})
+	k := t.schema.Len()
+	for i := col; i < len(t.data); i += k {
+		seen[t.data[i]] = struct{}{}
+	}
+	t.dcount[col] = len(seen)
+	return t.dcount[col]
 }

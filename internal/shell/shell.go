@@ -324,7 +324,9 @@ queries (everything else):
   items:   attributes and aggregates COUNT(*|a), SUM(a), MIN(a), MAX(a)
   sources: table names and TWIG '<pattern>' [IN 'docname']
   algos:   xjoin (default; lazy A-D filtering), xjoinplus, xjoinposthoc,
-           xjoinmat (materialized A-D oracle), baseline
+           xjoinmat (materialized A-D oracle), hybrid (hash joins for the
+           acyclic fringe, generic join for the cyclic core; EXPLAIN shows
+           the per-subplan plan tree), binary (forced hash joins), baseline
   LIMIT n  stops after n answers (SELECT * terminates the join early)
   EXISTS   reports true/false, stopping at the first answer
 Ctrl-C cancels the in-flight query (the session survives); .quit exits.

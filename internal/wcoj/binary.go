@@ -2,24 +2,112 @@ package wcoj
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/relational"
 )
 
-// BinaryJoinStats records the intermediate sizes of a binary join plan.
+// BinaryJoinStats records the work of a binary join plan — the
+// conventional-side counterpart of GenericJoinStats, filled identically
+// by the serial oracle wrappers and the executor-grade Opts variants.
 type BinaryJoinStats struct {
-	// StepSizes[i] is the cardinality after joining in the (i+1)-th table.
+	// StepSizes[i] is the cardinality after joining in the (i+1)-th table
+	// of a chain (a single HashJoin records one step).
 	StepSizes []int
 	// PeakIntermediate is the largest materialized relation at any step.
 	PeakIntermediate int
-	Output           int
+	// TotalIntermediate sums the step cardinalities — the total tuples a
+	// chain materialized, the quantity binary plans pay that generic join
+	// avoids.
+	TotalIntermediate int
+	// Output is the final tuple count.
+	Output int
+	// BuildRows counts rows inserted into hash tables.
+	BuildRows int
+	// Probes counts probe-side rows looked up.
+	Probes int
+	// Matches counts build-side matches emitted (pre-dedup).
+	Matches int
+}
+
+// Merge folds the counters of other — a partition of the same plan's
+// work — into s. Every numeric field is merged here and nowhere else
+// (TestBinaryStatsMergeCoversAllFields enforces that new fields get a
+// merge rule): StepSizes add elementwise, the scalar counters add, and
+// PeakIntermediate is recomputed as the maximum merged step size.
+func (s *BinaryJoinStats) Merge(other *BinaryJoinStats) {
+	s.StepSizes = mergeLevelCounts(s.StepSizes, other.StepSizes)
+	s.TotalIntermediate += other.TotalIntermediate
+	s.Output += other.Output
+	s.BuildRows += other.BuildRows
+	s.Probes += other.Probes
+	s.Matches += other.Matches
+	s.PeakIntermediate = 0
+	for _, n := range s.StepSizes {
+		if n > s.PeakIntermediate {
+			s.PeakIntermediate = n
+		}
+	}
+}
+
+// recordStep appends one chain step's cardinality and keeps the derived
+// aggregates consistent.
+func (s *BinaryJoinStats) recordStep(n int) {
+	s.StepSizes = append(s.StepSizes, n)
+	s.TotalIntermediate += n
+	if n > s.PeakIntermediate {
+		s.PeakIntermediate = n
+	}
+}
+
+// BinaryOpts tunes the hash-join executors with the same cancellation
+// contract as StreamOpts: Cancel is the run-wide stop flag (checked every
+// checkInterval probe rows), Check the scheduler-independent backstop
+// polled on the same cadence (a true return raises Cancel). A cancelled
+// join stops within one poll interval and returns the partial output with
+// a nil error — like the streaming drivers, interpreting the abandonment
+// is the caller's job, and the partial table is a subset of the full
+// result so downstream operators stay sound under partial-result
+// semantics. The zero value pays one nil test per interval.
+type BinaryOpts struct {
+	Cancel *atomic.Bool
+	Check  func() bool
+}
+
+// stopped polls the cancellation contract; sinceCheck throttles it to
+// every checkInterval calls so the probe loop pays ~nothing.
+func (o *BinaryOpts) stopped(sinceCheck *int) bool {
+	*sinceCheck++
+	if *sinceCheck < checkInterval {
+		return false
+	}
+	*sinceCheck = 0
+	if o.Cancel != nil && o.Cancel.Load() {
+		return true
+	}
+	if o.Check != nil && o.Check() {
+		if o.Cancel != nil {
+			o.Cancel.Store(true)
+		}
+		return true
+	}
+	return false
 }
 
 // HashJoin computes the natural join of a and b with a build/probe hash
 // join on their shared attributes (a cartesian product when they share
 // none). The result schema is a's attributes followed by b's non-shared
-// attributes.
+// attributes. It is the stats-free, uncancellable convenience form of
+// HashJoinOpts.
 func HashJoin(name string, a, b *relational.Table) (*relational.Table, error) {
+	return HashJoinOpts(name, a, b, BinaryOpts{}, nil)
+}
+
+// HashJoinOpts is HashJoin with the executor contract: the hash table is
+// pre-sized to the build side, the output pre-sized to the probe side,
+// per-row work is counted into stats (when non-nil), and the cancellation
+// contract in opts is honoured every checkInterval probe rows.
+func HashJoinOpts(name string, a, b *relational.Table, opts BinaryOpts, stats *BinaryJoinStats) (*relational.Table, error) {
 	shared, bOnly := splitAttrs(a, b)
 	outAttrs := append(append([]string(nil), a.Schema().Attrs()...), bOnly...)
 	schema, err := relational.NewSchema(outAttrs...)
@@ -28,7 +116,8 @@ func HashJoin(name string, a, b *relational.Table) (*relational.Table, error) {
 	}
 	out := relational.NewTable(name, schema)
 
-	// Build on the smaller input.
+	// Build on the smaller input; BuildHashIndex pre-sizes its buckets to
+	// the build side's row count.
 	build, probe := a, b
 	swapped := false
 	if b.Len() < a.Len() {
@@ -44,6 +133,9 @@ func HashJoin(name string, a, b *relational.Table) (*relational.Table, error) {
 		probeCols[i] = pc
 	}
 	idx := relational.BuildHashIndex(build, buildCols...)
+	if stats != nil {
+		stats.BuildRows += build.Len()
+	}
 
 	aCols := a.Schema().Attrs()
 	bOnlyPos := make([]int, len(bOnly))
@@ -57,10 +149,18 @@ func HashJoin(name string, a, b *relational.Table) (*relational.Table, error) {
 		aPos[i] = p
 	}
 
+	// A foreign-key-like probe emits about one row per probe row; larger
+	// outputs fall back to append's doubling from a warm start.
+	out.Grow(probe.Len())
 	key := make([]relational.Value, len(shared))
 	row := make(relational.Tuple, schema.Len())
 	n := probe.Len()
+	matches := 0
+	sinceCheck := 0
 	for r := 0; r < n; r++ {
+		if opts.stopped(&sinceCheck) {
+			break
+		}
 		for i, c := range probeCols {
 			key[i] = probe.Value(r, c)
 		}
@@ -77,43 +177,79 @@ func HashJoin(name string, a, b *relational.Table) (*relational.Table, error) {
 			for i, c := range bOnlyPos {
 				row[len(aPos)+i] = b.Value(brr, c)
 			}
+			matches++
 			// Append cannot fail: row matches the schema by construction.
 			_ = out.Append(row)
 			return true
 		})
 	}
+	if stats != nil {
+		stats.Probes += n
+		stats.Matches += matches
+	}
 	return out, nil
 }
 
 // ChainHashJoin joins the tables left-deep in the given order, recording
-// intermediate sizes. The result has set semantics (deduplicated).
+// intermediate sizes. The result has set semantics (deduplicated). It is
+// the uncancellable convenience form of ChainHashJoinOpts.
 func ChainHashJoin(name string, tables []*relational.Table) (*relational.Table, *BinaryJoinStats, error) {
+	return ChainHashJoinOpts(name, tables, BinaryOpts{})
+}
+
+// ChainHashJoinOpts is ChainHashJoin with the executor contract: every
+// hash-join step honours the cancellation contract in opts (a cancelled
+// chain stops after its current step's poll interval and returns the
+// partial accumulator) and the per-step counters land in the returned
+// stats.
+func ChainHashJoinOpts(name string, tables []*relational.Table, opts BinaryOpts) (*relational.Table, *BinaryJoinStats, error) {
 	if len(tables) == 0 {
 		return nil, nil, fmt.Errorf("wcoj: no tables to join")
 	}
 	stats := &BinaryJoinStats{}
 	acc := tables[0].Clone()
 	acc.Dedup()
-	stats.StepSizes = append(stats.StepSizes, acc.Len())
-	stats.PeakIntermediate = acc.Len()
+	stats.recordStep(acc.Len())
 	for _, t := range tables[1:] {
-		next, err := HashJoin(name, acc, t)
+		if cancelled(opts) {
+			break
+		}
+		next, err := HashJoinOpts(name, acc, t, opts, stats)
 		if err != nil {
 			return nil, nil, err
 		}
 		next.Dedup()
 		acc = next
-		stats.StepSizes = append(stats.StepSizes, acc.Len())
-		if acc.Len() > stats.PeakIntermediate {
-			stats.PeakIntermediate = acc.Len()
-		}
+		stats.recordStep(acc.Len())
 	}
 	stats.Output = acc.Len()
 	return acc, stats, nil
 }
 
-// NestedLoopJoin is the quadratic natural-join oracle used in tests.
+// cancelled is the unthrottled form of BinaryOpts.stopped, for per-step
+// (not per-row) polls.
+func cancelled(opts BinaryOpts) bool {
+	if opts.Cancel != nil && opts.Cancel.Load() {
+		return true
+	}
+	if opts.Check != nil && opts.Check() {
+		if opts.Cancel != nil {
+			opts.Cancel.Store(true)
+		}
+		return true
+	}
+	return false
+}
+
+// NestedLoopJoin is the quadratic natural-join oracle used in tests; it
+// honours the same cancellation contract as the hash joins (polled every
+// checkInterval outer rows).
 func NestedLoopJoin(name string, a, b *relational.Table) (*relational.Table, error) {
+	return NestedLoopJoinOpts(name, a, b, BinaryOpts{})
+}
+
+// NestedLoopJoinOpts is NestedLoopJoin with the cancellation contract.
+func NestedLoopJoinOpts(name string, a, b *relational.Table, opts BinaryOpts) (*relational.Table, error) {
 	shared, bOnly := splitAttrs(a, b)
 	outAttrs := append(append([]string(nil), a.Schema().Attrs()...), bOnly...)
 	schema, err := relational.NewSchema(outAttrs...)
@@ -132,7 +268,11 @@ func NestedLoopJoin(name string, a, b *relational.Table) (*relational.Table, err
 		bOnlyPos[i], _ = b.Schema().Pos(s)
 	}
 	row := make(relational.Tuple, schema.Len())
+	sinceCheck := 0
 	for i := 0; i < a.Len(); i++ {
+		if opts.stopped(&sinceCheck) {
+			break
+		}
 		for j := 0; j < b.Len(); j++ {
 			match := true
 			for k := range shared {

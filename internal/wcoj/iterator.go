@@ -61,6 +61,16 @@
 //     intersections driven trie-style; kept for comparison and for
 //     workloads with prebuilt TrieAtoms.
 //
+//   - Hybrid plans (chosen by the core planner's GYO decomposition) are
+//     not a separate driver: each acyclic subplan runs through the pooled
+//     ChainHashJoin and its intermediate enters the generic join as a
+//     MaterializedAtom — an ordinary Atom behind the same Open contract,
+//     so morsel parallelism, LIMIT/EXISTS and batched leaves work
+//     unchanged across the strategy seam. When such an atom alone covers
+//     the whole remaining attribute suffix, the runners skip the
+//     per-attribute recursion and emit its sorted residual tuples
+//     wholesale (see residual.go), in the identical lexicographic order.
+//
 // The innermost attribute is intersected in batches: the lead cursor
 // proposes up to 64 candidate values in one NextBatch call and the other
 // cursors vet them by seeking, so per-value interface dispatch is paid

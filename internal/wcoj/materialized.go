@@ -1,0 +1,42 @@
+package wcoj
+
+import "repro/internal/relational"
+
+// MaterializedAtom is the seam between the binary and WCOJ executors: it
+// wraps a materialized binary-join intermediate (typically a
+// ChainHashJoinOpts result covering one acyclic subplan) as a first-class
+// Atom, so the generic-join drivers consume it through the same
+// Open(attr, binding) cursor contract as any base relation. The embedded
+// TableAtom supplies the sorted-column indexes, galloping Seek and
+// batched cursors, which keeps morsel parallelism, LIMIT/EXISTS
+// short-circuit and the leaf-level batch loop working unchanged across
+// the strategy seam — the hybrid executor is just generic join over a
+// mixed atom list.
+//
+// The TableAtom's 64-column bitmask limit applies: a subplan wider than
+// 64 attributes cannot be materialized (the planner keeps such components
+// on the WCOJ side).
+type MaterializedAtom struct {
+	*TableAtom
+	name  string
+	stats BinaryJoinStats
+}
+
+// NewMaterializedAtom wraps the intermediate table under the given atom
+// name, retaining the binary-join statistics of the plan that produced it
+// (nil for none).
+func NewMaterializedAtom(name string, t *relational.Table, stats *BinaryJoinStats) *MaterializedAtom {
+	m := &MaterializedAtom{TableAtom: NewTableAtom(t), name: name}
+	if stats != nil {
+		m.stats = *stats
+	}
+	return m
+}
+
+// Name implements Atom; it reports the subplan's name rather than the
+// intermediate table's.
+func (m *MaterializedAtom) Name() string { return m.name }
+
+// BinaryStats returns the statistics of the binary plan that produced
+// the intermediate — what EXPLAIN ANALYZE reports per subplan.
+func (m *MaterializedAtom) BinaryStats() *BinaryJoinStats { return &m.stats }

@@ -80,6 +80,18 @@ type streamRun struct {
 	packDepth  int
 	packPrefix []relational.Value
 	packKeys   []relational.Value
+
+	// tail, when non-nil, is a materialized binary intermediate that alone
+	// covers every attribute from tailStart on: rec switches to tailLoop
+	// there, emitting the atom's sorted residual tuples wholesale instead
+	// of running one leapfrog level per attribute (see residual.go). Only
+	// *MaterializedAtom tails engage the path — base-relation joins keep
+	// the exact cursor traffic their statistics tests pin down. tailH
+	// caches one resolved handle per entry depth (sub-morsels re-enter
+	// mid-tail, each depth is its own residual shape).
+	tail      *MaterializedAtom
+	tailStart int
+	tailH     []*ResidualHandle
 }
 
 // checkInterval is how many partial tuples may pass between check polls:
@@ -127,6 +139,21 @@ func newStreamRun(order []string, byAttr [][]Atom, pos map[string]int, stats *Ge
 		n := len(byAttr[i])
 		r.its[i] = backing[off : off : off+n]
 		off += n
+	}
+	// Detect a materialized tail: the longest order suffix (of at least two
+	// attributes) whose every attribute is covered by one and the same
+	// MaterializedAtom.
+	if n := len(order); n >= 2 && len(byAttr[n-1]) == 1 {
+		if m, ok := byAttr[n-1][0].(*MaterializedAtom); ok {
+			start := n - 1
+			for start > 0 && len(byAttr[start-1]) == 1 && byAttr[start-1][0] == Atom(m) {
+				start--
+			}
+			if start <= n-2 {
+				r.tail, r.tailStart = m, start
+				r.tailH = make([]*ResidualHandle, n)
+			}
+		}
 	}
 	return r
 }
@@ -266,6 +293,15 @@ func (r *streamRun) rec(depth int) bool {
 	if depth == len(r.order) {
 		return r.emit(r.binding)
 	}
+	if r.tail != nil && depth >= r.tailStart && len(r.order)-depth >= 2 &&
+		!r.packing && !(r.wantSplit && r.spawn != nil) {
+		// Every remaining attribute comes from the materialized tail alone:
+		// emit its residual tuples wholesale. Packing/splitting episodes
+		// take the generic path instead — sub-tasks re-enter the tail one
+		// depth further down. A one-attribute remainder stays on the
+		// batched leaf loop, whose single-cursor run is already wholesale.
+		return r.tailLoop(depth)
+	}
 	r.b.tuple = r.binding
 	r.its[depth] = r.its[depth][:0]
 	for _, at := range r.byAttr[depth] {
@@ -327,6 +363,74 @@ func (r *streamRun) rec(depth int) bool {
 	r.endPack(depth)
 	r.closeDepth(depth)
 	return cont
+}
+
+// tailLoop expands every attribute from depth on in one step: the
+// materialized tail atom alone covers them, so its residual run under the
+// current binding — sorted distinct suffix tuples, in exactly the
+// lexicographic order the per-attribute recursion would enumerate — is
+// emitted directly. StageSizes stay serial-identical to the generic path:
+// a suffix prefix of length j+1 is counted at depth+j the first time it
+// appears, which the sort makes a one-comparison check against the
+// previous tuple. LevelSeeks and LevelBatches record no work here because
+// none happens — no cursor is opened past the single hash lookup.
+func (r *streamRun) tailLoop(depth int) bool {
+	h := r.tailH[depth]
+	if h == nil {
+		var err error
+		h, err = r.tail.ResidualHandle(r.order[depth:])
+		if err != nil {
+			r.openErr = err
+			return false
+		}
+		r.tailH[depth] = h
+	}
+	r.b.tuple = r.binding
+	run, err := h.Run(r.b)
+	if err == nil {
+		err = faultpoint.Inject("wcoj.atom.open")
+	}
+	if err != nil {
+		if errors.Is(err, cachehook.ErrBuildCancelled) {
+			if r.stop != nil {
+				r.stop.Store(true)
+			}
+			return false
+		}
+		r.openErr = err
+		return false
+	}
+	if len(run) == 0 {
+		return true
+	}
+	k := len(r.order) - depth
+	r.stats.LevelIntersections[depth]++
+	base := len(r.binding)
+	var prev []relational.Value
+	for i := 0; i < len(run); i += k {
+		if !r.poll() {
+			return false
+		}
+		r.gate(1)
+		tup := run[i : i+k]
+		d0 := 0
+		if prev != nil {
+			for d0 < k && prev[d0] == tup[d0] {
+				d0++
+			}
+		}
+		for j := d0; j < k; j++ {
+			r.stats.StageSizes[depth+j]++
+		}
+		prev = tup
+		r.binding = append(r.binding, tup...)
+		ok := r.emit(r.binding)
+		r.binding = r.binding[:base]
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // leafLoop enumerates the last attribute's intersection batched,

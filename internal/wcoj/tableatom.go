@@ -38,6 +38,9 @@ type TableAtom struct {
 	mu    sync.Mutex
 	// indexes is keyed by target column and bound-column bitmask.
 	indexes map[indexShape]*colEntry
+	// resid holds the multi-column residual indexes of the hybrid tail
+	// fast path (see residual.go); nil until the first ResidualHandle.Run.
+	resid map[residKey]*colEntry
 }
 
 // colEntry is one lazily built index slot: the map slot is installed under
@@ -201,6 +204,14 @@ func (a *TableAtom) IndexInfo() TableIndexInfo {
 		info.Groups += len(e.ix.off) - 1
 		info.ApproxBytes += e.ix.approxBytes()
 	}
+	for _, e := range a.resid {
+		if !e.once.Done() {
+			continue
+		}
+		info.Indexes++
+		info.Groups += len(e.ix.off) - 1
+		info.ApproxBytes += e.ix.approxBytes()
+	}
 	return info
 }
 
@@ -231,9 +242,11 @@ func (ix *colIndex) approxBytes() int64 {
 func (a *TableAtom) DropIndexes() {
 	a.mu.Lock()
 	old := a.indexes
+	oldResid := a.resid
 	a.indexes = make(map[indexShape]*colEntry)
+	a.resid = nil
 	a.mu.Unlock()
-	for _, e := range old {
+	drop := func(e *colEntry) {
 		// Order matters against a racing in-flight build: dropped is set
 		// before done is checked, and the builder checks dropped after
 		// setting done — whichever side observes the other releases the
@@ -242,6 +255,12 @@ func (a *TableAtom) DropIndexes() {
 		if e.once.Done() && e.ticket != nil {
 			e.ticket.Release()
 		}
+	}
+	for _, e := range old {
+		drop(e)
+	}
+	for _, e := range oldResid {
+		drop(e)
 	}
 }
 

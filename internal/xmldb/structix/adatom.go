@@ -109,19 +109,37 @@ func (a *RegionADAtom) Attrs() []string { return []string{a.ancTag, a.descTag} }
 func (a *RegionADAtom) Index() *Index { return a.ix }
 
 // Size reports an upper bound on the virtual relation's value-pair
-// cardinality, the number the bound LPs and Explain consume. When the
-// edge's exact unbound projections are resident it is the product of their
-// cardinalities (|distinct matching ancestor values| × |distinct matching
-// descendant values|, which the distinct-pair set cannot exceed); before
-// any projection has been built it falls back to the product of the two
-// tags' node counts — residency never changes correctness, only how tight
-// the bound is. Size never builds anything, so planning stays lazy.
+// cardinality, the number the bound LPs and the hybrid planner's cost
+// model consume. Two independent caps compose, and the smaller wins:
+//
+//   - a projection cap — the product of the edge's distinct matching
+//     ancestor and descendant value counts when the exact projections are
+//     resident (which the distinct-pair set cannot exceed), else the
+//     product of the two tags' node counts;
+//   - the Lemma 3.2-style interval cap |descendant nodes| ×
+//     NestingDepth(ancTag): laminar regions give every descendant node at
+//     most NestingDepth(ancTag) matching ancestors, so on documents where
+//     the ancestor tag does not nest within itself (depth 1 — the common
+//     case however deep the document is) the quadratic tag product
+//     collapses to the descendant node count.
+//
+// Residency never changes correctness, only how tight the projection cap
+// is. Size builds no catalog-tracked structure, so planning stays lazy
+// (the nesting depth is a one-pass memoized int, not an index).
 func (a *RegionADAtom) Size() int {
-	if na, nd, ok := a.ix.ADProjSizes(a.ancTag, a.descTag); ok {
-		return satMul(na, nd)
-	}
 	doc := a.ix.doc
-	return satMul(len(doc.NodesByTag(a.ancTag)), len(doc.NodesByTag(a.descTag)))
+	nd := len(doc.NodesByTag(a.descTag))
+	bound := satMul(nd, a.ix.NestingDepth(a.ancTag))
+	var proj int
+	if na, ndv, ok := a.ix.ADProjSizes(a.ancTag, a.descTag); ok {
+		proj = satMul(na, ndv)
+	} else {
+		proj = satMul(len(doc.NodesByTag(a.ancTag)), nd)
+	}
+	if proj < bound {
+		bound = proj
+	}
+	return bound
 }
 
 // satMul multiplies two non-negative counts, saturating instead of

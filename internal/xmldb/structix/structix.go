@@ -75,6 +75,11 @@ type Index struct {
 	tags map[string]*tagEntry
 	ad   map[[2]string]*adProj
 	pc   map[[2]string]*pcProj
+
+	// nestMu/nestDepth memoize NestingDepth: one int per tag, so it is
+	// not catalog-tracked and never evicted.
+	nestMu    sync.Mutex
+	nestDepth map[string]int
 }
 
 // tagEntry is one lazily built per-tag slot: once guards the build for

@@ -261,9 +261,10 @@ func TestRegionPCFastPaths(t *testing.T) {
 	checkPCAtom(t, ddoc, "a", "b")
 }
 
-// TestRegionADAtomSize: the A-D cardinality report must be the tag-count
-// product before any projection is resident and tighten to the projection
-// product once built — and never build anything itself.
+// TestRegionADAtomSize: the A-D cardinality report must be the minimum of
+// the projection cap (tag-count product before any projection is resident,
+// projection product after) and the Lemma 3.2 interval cap |desc nodes| ×
+// NestingDepth(anc) — and never build a projection itself.
 func TestRegionADAtomSize(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	doc := randomDoc(t, rng, 150)
@@ -271,8 +272,13 @@ func TestRegionADAtomSize(t *testing.T) {
 	ad := NewRegionADAtom(x, "a", "b")
 
 	na, nb := len(doc.NodesByTag("a")), len(doc.NodesByTag("b"))
-	if got := ad.Size(); got != na*nb {
-		t.Fatalf("cold Size = %d, want tag-count product %d", got, na*nb)
+	ivl := nb * x.NestingDepth("a")
+	cold := na * nb
+	if ivl < cold {
+		cold = ivl
+	}
+	if got := ad.Size(); got != cold {
+		t.Fatalf("cold Size = %d, want min(tag product %d, interval %d)", got, na*nb, ivl)
 	}
 	if _, _, ok := x.ADProjSizes("a", "b"); ok {
 		t.Fatal("Size built the projection")
@@ -281,11 +287,47 @@ func TestRegionADAtomSize(t *testing.T) {
 	descs := drain(t, mustOpen(t, ad, "b", emptyBinding{}))
 	ancs := drain(t, mustOpen(t, ad, "a", emptyBinding{}))
 	want := len(ancs) * len(descs)
+	if ivl < want {
+		want = ivl
+	}
 	if got := ad.Size(); got != want {
-		t.Fatalf("warm Size = %d, want projection product %d", got, want)
+		t.Fatalf("warm Size = %d, want min(projection product %d, interval %d)", got, len(ancs)*len(descs), ivl)
 	}
 	if want > na*nb {
-		t.Fatalf("projection product %d exceeds tag-count product %d", want, na*nb)
+		t.Fatalf("Size %d exceeds tag-count product %d", want, na*nb)
+	}
+}
+
+// TestNestingDepth pins the Lemma 3.2 quantity on a hand-built document:
+// a nested twice within itself on one path, b never self-nested.
+func TestNestingDepth(t *testing.T) {
+	bld := xmldb.NewBuilder(relational.NewDict())
+	bld.Open("root")
+	bld.Open("a").Text("a1")
+	bld.Leaf("b", "b1")
+	bld.Open("a").Text("a2")
+	bld.Leaf("b", "b2")
+	bld.Close() // a2
+	bld.Close() // a1
+	bld.Leaf("a", "a3")
+	bld.Close() // root
+	doc, err := bld.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := New(doc)
+	if d := x.NestingDepth("a"); d != 2 {
+		t.Fatalf("NestingDepth(a) = %d, want 2", d)
+	}
+	if d := x.NestingDepth("b"); d != 1 {
+		t.Fatalf("NestingDepth(b) = %d, want 1", d)
+	}
+	if d := x.NestingDepth("absent"); d != 0 {
+		t.Fatalf("NestingDepth(absent) = %d, want 0", d)
+	}
+	// Memoized second call agrees.
+	if d := x.NestingDepth("a"); d != 2 {
+		t.Fatalf("memoized NestingDepth(a) = %d, want 2", d)
 	}
 }
 

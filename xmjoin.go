@@ -19,6 +19,18 @@
 //     polynomially larger than the combined query's worst case, which is
 //     the gap the paper's Figure 3 demonstrates.
 //
+// A cost-based hybrid planner bridges the two: Query.WithPlan(PlanHybrid)
+// — "... VIA hybrid" in mmql — decomposes the query with GYO ear removal,
+// materializes acyclic fringe clusters through binary hash-join chains
+// when their estimated intermediates stay within budget, and keeps the
+// cyclic core (where binary plans lose their worst-case guarantee) on the
+// generic join. Query.Explain and mmql's EXPLAIN render the plan tree
+// with each subplan's strategy, cost estimate and worst-case bound:
+//
+//	q, _ := db.Query("", "R", "S", "T", "C1")
+//	text, _ := q.WithPlan(xmjoin.PlanHybrid).Explain()  // or: EXPLAIN SELECT * FROM R, S, T, C1 VIA hybrid
+//	res, _ := q.ExecXJoin()                             // hybrid execution; Stats().Plan == "hybrid"
+//
 // Size bounds (Equation 1) are available exactly: the twig is transformed
 // into root-leaf path relations (Figure 2) and the fractional edge cover /
 // vertex packing LPs are solved in exact rational arithmetic.
@@ -563,6 +575,35 @@ func (q *Query) WithPartialAD(on bool) *Query {
 // are identical; prefer it for large documents with selective queries.
 func (q *Query) WithLazyPC(on bool) *Query {
 	q.opts.LazyPC = on
+	return q
+}
+
+// PlanMode selects the hybrid planner's strategy assignment; see the core
+// documentation. The default (PlanWCOJ) runs the paper's generic join over
+// every atom. PlanHybrid decomposes the query with GYO ear removal and
+// cost-checks each acyclic fringe cluster: clusters whose estimated
+// intermediates stay within budget are materialized by binary hash-join
+// chains and feed the generic join — which keeps the cyclic core and the
+// unchanged attribute order — as single pre-joined atoms. PlanBinary
+// forces hash joins over every connected component (the classic plan, for
+// comparisons). Results are identical across modes; cost is not.
+type PlanMode = core.PlanMode
+
+// Re-exported plan modes.
+const (
+	PlanWCOJ   = core.PlanWCOJ
+	PlanHybrid = core.PlanHybrid
+	PlanBinary = core.PlanBinary
+)
+
+// WithPlan selects the plan mode: PlanWCOJ (default — pure generic join),
+// PlanHybrid (hash joins for the acyclic fringe, generic join for the
+// cyclic core) or PlanBinary (forced hash joins, the baseline the paper
+// argues against on cyclic queries). EXPLAIN renders the resulting plan
+// tree with per-subplan strategies and bounds; Stats.Plan,
+// Stats.BinarySubplans and Stats.BinaryIntermediate report what ran.
+func (q *Query) WithPlan(m PlanMode) *Query {
+	q.opts.Plan = m
 	return q
 }
 
