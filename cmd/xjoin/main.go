@@ -38,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -90,11 +91,18 @@ func run() error {
 	flag.Parse()
 
 	if *metricsAddr != "" {
-		bound, err := obs.Serve(*metricsAddr, nil)
+		bound, errc, err := obs.Serve(*metricsAddr, nil)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+		go func() {
+			// The listener is supposed to outlive the process; a terminal
+			// serve error means the advertised endpoint went dark.
+			if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "xjoin: metrics listener failed: %v\n", serr)
+			}
+		}()
 	}
 
 	db := xmjoin.NewDatabase()
@@ -239,8 +247,8 @@ func run() error {
 			fmt.Printf("streamed=%d validation_removed=%d peak_stage=%d\n",
 				stats.Output, stats.ValidationRemoved, stats.PeakIntermediate)
 			if stats.LeafBatches > 0 {
-				fmt.Printf("scheduler: leaf_batches=%d splits=%d steals=%d\n",
-					stats.LeafBatches, stats.MorselSplits, stats.MorselSteals)
+				fmt.Printf("scheduler: leaf_batches=%d splits=%d steals=%d deadline_stops=%d\n",
+					stats.LeafBatches, stats.MorselSplits, stats.MorselSteals, stats.DeadlineStops)
 			}
 			if stats.CatalogMisses > 0 || stats.CatalogHits > 0 {
 				fmt.Printf("catalog: entries=%d resident=%dB hits=%d misses=%d evictions=%d\n",
@@ -312,8 +320,8 @@ func run() error {
 			fmt.Printf("stage sizes: %v\n", s.StageSizes)
 		}
 		if s.LeafBatches > 0 {
-			fmt.Printf("scheduler: leaf_batches=%d splits=%d steals=%d\n",
-				s.LeafBatches, s.MorselSplits, s.MorselSteals)
+			fmt.Printf("scheduler: leaf_batches=%d splits=%d steals=%d deadline_stops=%d\n",
+				s.LeafBatches, s.MorselSplits, s.MorselSteals, s.DeadlineStops)
 		}
 		if s.TableIndexes > 0 {
 			fmt.Printf("table indexes: %d (~%d bytes)\n", s.TableIndexes, s.TableIndexBytes)

@@ -1,0 +1,206 @@
+// Command xmserve is the multi-tenant network query service: an HTTP
+// front end over xmjoin databases with per-tenant prepared-statement
+// caches, catalog byte budgets, metrics registries, concurrency
+// admission control, and request deadlines that flow into the engine's
+// deadline-aware morsel scheduler (see the package documentation of
+// internal/server for the endpoint reference).
+//
+//	$ xmserve -demo 2 -scale 64 -addr :8080
+//	xmserve listening on http://127.0.0.1:8080 (tenants: demo0, demo1)
+//	$ curl -s -X POST -H 'X-Tenant: demo0' \
+//	    -d "SELECT userID, price FROM R, TWIG '/invoices/orderLine[orderID]/price'" \
+//	    http://127.0.0.1:8080/query
+//
+// Real data loads through -config, a JSON file of tenant definitions:
+//
+//	{"tenants": [{
+//	  "name": "acme",
+//	  "xml": ["invoices.xml"],
+//	  "tables": {"R": "orders.csv"},
+//	  "catalog_budget": 33554432,
+//	  "max_concurrent": 4, "max_queue": 16, "prep_cache": 128
+//	}]}
+//
+// Tenants with neither xml nor tables get the built-in demo dataset at
+// -scale. SIGINT/SIGTERM shut the listener down gracefully, draining
+// in-flight queries.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	xmjoin "repro"
+	"repro/internal/server"
+)
+
+type tenantSpec struct {
+	Name          string            `json:"name"`
+	XML           []string          `json:"xml,omitempty"`
+	Tables        map[string]string `json:"tables,omitempty"`
+	CatalogBudget int64             `json:"catalog_budget,omitempty"`
+	MaxConcurrent int               `json:"max_concurrent,omitempty"`
+	MaxQueue      int               `json:"max_queue,omitempty"`
+	Parallelism   int               `json:"parallelism,omitempty"`
+	PrepCache     int               `json:"prep_cache,omitempty"`
+}
+
+type configFile struct {
+	Tenants []tenantSpec `json:"tenants"`
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for a free port)")
+	demo := flag.Int("demo", 0, "create N demo tenants (demo0..demoN-1); implied 1 when no -config")
+	scale := flag.Int("scale", 64, "demo dataset scale (orderLines; grid joins fan out to scale^3 rows)")
+	configPath := flag.String("config", "", "tenant definitions (JSON, see package doc)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline when the client names none (0 = unbounded)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = no cap)")
+	parallel := flag.Int("parallel", -1, "per-query parallelism (-1 = all cores; 1 = serial, which disables deadline-aware scheduling)")
+	maxConc := flag.Int("maxconc", 0, "per-tenant execution slots (0 = derive from cores/parallelism)")
+	maxQueue := flag.Int("maxqueue", 0, "per-tenant admission queue beyond the slots (0 = 2x slots)")
+	prepCache := flag.Int("prepcache", 64, "per-tenant prepared-statement cache capacity")
+	flag.Parse()
+
+	cfg := server.Config{
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		Parallelism:     *parallel,
+		MaxConcurrent:   *maxConc,
+		MaxQueue:        *maxQueue,
+		PrepCacheSize:   *prepCache,
+	}
+	srv := server.New(cfg)
+
+	var names []string
+	if *configPath != "" {
+		specs, err := loadConfig(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		for _, spec := range specs {
+			db, err := buildTenantDB(spec, *scale)
+			if err != nil {
+				fatal(fmt.Errorf("tenant %s: %w", spec.Name, err))
+			}
+			tc := server.TenantConfig{
+				CatalogBudget: spec.CatalogBudget,
+				MaxConcurrent: spec.MaxConcurrent,
+				MaxQueue:      spec.MaxQueue,
+				Parallelism:   spec.Parallelism,
+				PrepCacheSize: spec.PrepCache,
+			}
+			if _, err := srv.AddTenantConfig(spec.Name, db, tc); err != nil {
+				fatal(err)
+			}
+			names = append(names, spec.Name)
+		}
+	}
+	n := *demo
+	if *configPath == "" && n == 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("demo%d", i)
+		db, err := server.DemoDatabase(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := srv.AddTenant(name, db); err != nil {
+			fatal(err)
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no tenants configured"))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("xmserve listening on http://%s (tenants: %s)\n", ln.Addr(), joinNames(names))
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "xmserve: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadConfig(path string) ([]tenantSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cf configFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cf.Tenants, nil
+}
+
+func buildTenantDB(spec tenantSpec, scale int) (*xmjoin.Database, error) {
+	if len(spec.XML) == 0 && len(spec.Tables) == 0 {
+		return server.DemoDatabase(scale)
+	}
+	db := xmjoin.NewDatabase()
+	for i, path := range spec.XML {
+		var err error
+		if i == 0 {
+			err = db.LoadXMLFile(path)
+		} else {
+			f, ferr := os.Open(path)
+			if ferr != nil {
+				return nil, ferr
+			}
+			err = db.LoadXMLNamed(path, f)
+			f.Close()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for name, path := range spec.Tables {
+		if err := db.AddTableCSVFile(name, path); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmserve:", err)
+	os.Exit(1)
+}

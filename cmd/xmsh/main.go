@@ -23,8 +23,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 
@@ -39,12 +41,19 @@ func main() {
 	flag.Parse()
 
 	if *metricsAddr != "" {
-		bound, err := obs.Serve(*metricsAddr, nil)
+		bound, errc, err := obs.Serve(*metricsAddr, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xmsh:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+		go func() {
+			// Surface a listener that dies after startup instead of
+			// silently serving nothing on the advertised address.
+			if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "xmsh: metrics listener failed: %v\n", serr)
+			}
+		}()
 	}
 
 	sh := shell.New(os.Stdout)

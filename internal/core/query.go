@@ -372,6 +372,14 @@ type Stats struct {
 	// work moved between workers.
 	MorselSplits int
 	MorselSteals int
+	// DeadlineStops counts morsels the parallel scheduler refused to
+	// start because the context deadline's remaining budget could not
+	// cover one more (estimated from a running per-morsel EWMA of task
+	// wall time). Nonzero exactly when the deadline gate pre-empted the
+	// run at a morsel boundary — such runs also report Cancelled and
+	// return their partial answer; 0 for serial runs, runs without a
+	// deadline, and runs that beat their deadline.
+	DeadlineStops int
 	// TableIndexes and TableIndexBytes report the sorted-column indexes
 	// the run's table atoms held after execution: shape count and
 	// approximate heap bytes. Table atoms build these lazily per

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -151,6 +152,7 @@ func xjoinStreamRun(q *Query, opts Options, degraded string, emit func(relationa
 	stats.LeafBatches = gjStats.Batches
 	stats.MorselSplits = gjStats.Splits
 	stats.MorselSteals = gjStats.Steals
+	stats.DeadlineStops = gjStats.DeadlineStops
 	for _, s := range gjStats.StageSizes {
 		stats.TotalIntermediate += s
 	}
@@ -160,6 +162,13 @@ func xjoinStreamRun(q *Query, opts Options, degraded string, emit func(relationa
 	if cerr := guard.err(); cerr != nil {
 		stats.Cancelled = true
 		return stats, cerr
+	}
+	if gjStats.DeadlineStops > 0 {
+		// The deadline gate stopped the run at a morsel boundary (see
+		// xjoinParallel); the emitted rows stand, the error says the
+		// enumeration did not finish.
+		stats.Cancelled = true
+		return stats, Cancelled(context.DeadlineExceeded)
 	}
 	return stats, nil
 }
@@ -178,7 +187,7 @@ func xjoinStreamParallel(opts Options, atoms []wcoj.Atom, order []string, valida
 	removed := make([]int, workers)
 	var mu sync.Mutex
 	done := false
-	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: bctl},
+	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: bctl, Deadline: contextDeadline(opts.Context)},
 		func(w int) func(wcoj.OrdKey, relational.Tuple) bool {
 			return func(_ wcoj.OrdKey, t relational.Tuple) bool {
 				for _, v := range validators {

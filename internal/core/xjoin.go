@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cachehook"
 	"repro/internal/obs"
@@ -335,7 +336,7 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 	var accepted atomic.Int64
 	limit := int64(opts.Limit)
 	exec := traceExecStart(opts.Trace, &bctl, workers, degraded)
-	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: bctl},
+	gjStats, err := wcoj.GenericJoinParallelMorsels(atoms, order, wcoj.ParallelOpts{Workers: workers, Cancel: guard.cancelFlag(), Check: guard.checkFunc(), Build: bctl, Deadline: contextDeadline(opts.Context)},
 		func(w int) func(wcoj.OrdKey, relational.Tuple) bool {
 			return func(ord wcoj.OrdKey, t relational.Tuple) bool {
 				for _, v := range validators {
@@ -383,6 +384,7 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 		LeafBatches:      gjStats.Batches,
 		MorselSplits:     gjStats.Splits,
 		MorselSteals:     gjStats.Steals,
+		DeadlineStops:    gjStats.DeadlineStops,
 	}}
 	for _, r := range removed {
 		res.Stats.ValidationRemoved += r
@@ -398,7 +400,25 @@ func xjoinParallel(q *Query, opts Options, atoms []wcoj.Atom, order []string, al
 		res.Stats.Cancelled = true
 		return res, cerr
 	}
+	if gjStats.DeadlineStops > 0 {
+		// The deadline gate pre-empted the run at a morsel boundary,
+		// possibly before the deadline itself passed (the EWMA said one
+		// more morsel would not fit). Report the cancellation it is: the
+		// partial answer rides along, as with any cancelled run.
+		res.Stats.Cancelled = true
+		return res, Cancelled(context.DeadlineExceeded)
+	}
 	return res, nil
+}
+
+// contextDeadline extracts a context's deadline for the parallel
+// scheduler's gate (zero when absent — no gating).
+func contextDeadline(ctx context.Context) time.Time {
+	if ctx == nil {
+		return time.Time{}
+	}
+	d, _ := ctx.Deadline()
+	return d
 }
 
 // addIndexStats folds the table atoms' index observability counters and

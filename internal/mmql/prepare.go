@@ -1,0 +1,319 @@
+package mmql
+
+import (
+	"context"
+	"fmt"
+
+	xmjoin "repro"
+)
+
+// Prepared is an mmql statement frozen for repeated execution — the unit
+// the serving layer caches, keyed by statement text. Prepare runs the
+// whole front half of runStatement once (parse already done, filter
+// pushdown, query assembly, plan resolution via xmjoin's PreparedQuery)
+// and keeps the residual post-join work (filters that could not be pushed,
+// projection/aggregation items, a LIMIT that could not reach the engine)
+// to replay per execution. Warm executions therefore perform pure join
+// work against the database's shared catalog: zero parsing, zero
+// planning, zero atom construction.
+//
+// A Prepared is immutable and safe for concurrent ExecuteCtx/Rows/Explain
+// calls. EXPLAIN/EXPLAIN ANALYZE statements are not preparable (they
+// describe one execution, not a reusable plan) — PrepareStatement rejects
+// them; run those through RunCtx.
+type Prepared struct {
+	st        *Statement
+	q         *xmjoin.PreparedQuery
+	remaining []Filter
+	pushLimit bool
+}
+
+// PrepareString parses and prepares src against db.
+func PrepareString(db *xmjoin.Database, src string) (*Prepared, error) {
+	return PrepareStringCtx(nil, db, src)
+}
+
+// PrepareStringCtx is PrepareString bounded by ctx: an already-ended
+// context fails fast before any plan work.
+func PrepareStringCtx(ctx context.Context, db *xmjoin.Database, src string) (*Prepared, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareStatement(ctx, db, st)
+}
+
+// PrepareStatement prepares a parsed statement against db; see Prepared.
+func PrepareStatement(ctx context.Context, db *xmjoin.Database, st *Statement) (*Prepared, error) {
+	if st.Explain {
+		return nil, fmt.Errorf("mmql: EXPLAIN statements are not preparable; use RunCtx")
+	}
+	if st.Algo == "baseline" {
+		return nil, fmt.Errorf("mmql: VIA baseline is not preparable; use RunCtx")
+	}
+	switch st.Algo {
+	case "", "xjoin", "xjoin+", "xjoin-posthoc", "xjoin-materialized", "xjoin-hybrid", "xjoin-binary":
+	default:
+		return nil, fmt.Errorf("mmql: unknown algorithm %q", st.Algo)
+	}
+	twigs, remaining, err := pushdownFilters(st)
+	if err != nil {
+		return nil, err
+	}
+	q, err := db.QueryOn(twigs, st.Tables...)
+	if err != nil {
+		return nil, err
+	}
+	applyAlgo(q, st.Algo)
+	q.WithLabel(st.label())
+	// Same pushdown rule as runStatement: engine-side LIMIT is safe only
+	// when answer tuples map 1:1 to output rows.
+	pushLimit := st.Limit > 0 && st.Items == nil && len(remaining) == 0 && !st.Exists
+	if pushLimit {
+		q.WithLimit(st.Limit)
+	}
+	pq, err := q.PrepareCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{st: st, q: pq, remaining: remaining, pushLimit: pushLimit}, nil
+}
+
+// Statement returns the prepared statement (callers must not mutate it).
+func (p *Prepared) Statement() *Statement { return p.st }
+
+// Explain renders the frozen plan.
+func (p *Prepared) Explain() (string, error) { return p.q.Explain() }
+
+// ExecuteCtx runs the statement over the frozen plan; the semantics match
+// RunCtx on the same statement. Unlike RunCtx it supports per-call
+// ExecOptions — the serving layer passes Parallelism and relies on the
+// context for deadlines.
+//
+// A cancelled or deadline-pre-empted run returns the partial output built
+// from the rows found so far (Stats.Cancelled set) alongside an error
+// matching xmjoin.ErrCancelled, so servers can deliver partial answers
+// with an honest marker instead of nothing.
+func (p *Prepared) ExecuteCtx(ctx context.Context, opts ...xmjoin.ExecOptions) (*Output, error) {
+	if p.st.Exists {
+		return p.executeExists(ctx, opts...)
+	}
+	res, execErr := p.q.ExecuteCtx(ctx, opts...)
+	if res == nil {
+		return nil, execErr
+	}
+	out, err := p.finish(res)
+	if err != nil {
+		return nil, err
+	}
+	return out, execErr
+}
+
+// finish applies the residual post-join work to a materialized result.
+func (p *Prepared) finish(res *xmjoin.Result) (*Output, error) {
+	var err error
+	if len(p.remaining) > 0 {
+		res, err = applyFilters(res, p.remaining)
+		if err != nil {
+			return nil, err
+		}
+	}
+	attrs := res.Attrs()
+	rows := make([][]string, res.Len())
+	for i := range rows {
+		rows[i] = append([]string(nil), res.Row(i)...)
+	}
+	var out *Output
+	if p.st.HasAggregates() || len(p.st.GroupBy) > 0 {
+		out, err = aggregate(attrs, rows, p.st.Items, p.st.GroupBy)
+	} else {
+		out, err = projectOutput(attrs, rows, p.st.Items)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.st.Limit > 0 && len(out.Rows) > p.st.Limit {
+		out.Rows = out.Rows[:p.st.Limit]
+	}
+	stats := res.Stats()
+	out.Stats = &stats
+	return out, nil
+}
+
+// executeExists mirrors runExists over the frozen plan.
+func (p *Prepared) executeExists(ctx context.Context, opts ...xmjoin.ExecOptions) (*Output, error) {
+	var found bool
+	if len(p.remaining) == 0 {
+		ok, err := p.q.ExistsCtx(ctx, opts...)
+		if err != nil {
+			return nil, err
+		}
+		found = ok
+	} else {
+		cols, err := filterColumns(p.q.Order(), p.remaining)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.q.ExecuteStreamCtx(ctx, func(row []string) bool {
+			for i, f := range p.remaining {
+				if row[cols[i]] != f.Value {
+					return true // filtered out; keep streaming
+				}
+			}
+			found = true
+			return false
+		}, opts...); err != nil && !found {
+			return nil, err
+		}
+	}
+	return &Output{Attrs: []string{"exists"}, Rows: [][]string{{fmt.Sprint(found)}}}, nil
+}
+
+// filterColumns maps residual filters onto row positions in order.
+func filterColumns(order []string, filters []Filter) ([]int, error) {
+	cols := make([]int, len(filters))
+	for i, f := range filters {
+		cols[i] = -1
+		for j, a := range order {
+			if a == f.Attr {
+				cols[i] = j
+				break
+			}
+		}
+		if cols[i] < 0 {
+			return nil, fmt.Errorf("mmql: WHERE references unknown attribute %q", f.Attr)
+		}
+	}
+	return cols, nil
+}
+
+// Streamable reports whether the statement's answers can leave row by row
+// with unchanged values: aggregates and EXISTS need the whole result (or
+// a probe), so they are not streamable; plain SELECTs are. Streaming
+// skips projectOutput's dedup/sort — callers get the engine's answer
+// stream order, possibly with duplicate projected rows (documented at the
+// serving layer).
+func (p *Prepared) Streamable() bool {
+	return !p.st.Exists && !p.st.HasAggregates() && len(p.st.GroupBy) == 0
+}
+
+// StreamRows is a pull cursor over a prepared statement's streamed
+// answers: an xmjoin.Rows with the statement's residual filters,
+// projection, and LIMIT applied per chunk. One goroutine per cursor, and
+// always Close (see xmjoin.Rows).
+type StreamRows struct {
+	rows  *xmjoin.Rows
+	attrs []string
+	cols  []int // projection: output column -> engine row position
+	fcols []int // residual filters: filter i -> engine row position
+	filts []Filter
+	limit int
+	n     int
+	done  bool
+}
+
+// Rows starts the streaming execution and returns the cursor. Only
+// streamable statements qualify (see Streamable); others return an error
+// — execute those with ExecuteCtx.
+func (p *Prepared) Rows(ctx context.Context, opts ...xmjoin.ExecOptions) (*StreamRows, error) {
+	if !p.Streamable() {
+		return nil, fmt.Errorf("mmql: statement is not streamable (aggregates, GROUP BY or EXISTS); use ExecuteCtx")
+	}
+	order := p.q.Order()
+	var attrs []string
+	var cols []int
+	if p.st.Items == nil {
+		attrs = order
+		cols = nil // identity
+	} else {
+		pos := make(map[string]int, len(order))
+		for i, a := range order {
+			pos[a] = i
+		}
+		for _, it := range p.st.Items {
+			c, ok := pos[it.Attr]
+			if !ok {
+				return nil, fmt.Errorf("mmql: SELECT references unknown attribute %q", it.Attr)
+			}
+			cols = append(cols, c)
+			attrs = append(attrs, it.Attr)
+		}
+	}
+	fcols, err := filterColumns(order, p.remaining)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := p.q.Rows(ctx, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamRows{rows: rows, attrs: attrs, cols: cols, fcols: fcols, filts: p.remaining, limit: p.st.Limit}, nil
+}
+
+// Columns returns the streamed row layout.
+func (s *StreamRows) Columns() []string { return append([]string(nil), s.attrs...) }
+
+// NextBatch returns the next chunk of answers — residual filters applied,
+// projected to Columns, bounded by the statement's LIMIT — or nil when
+// the stream is exhausted (consult Err). Chunks are never empty; a chunk
+// whose rows are all filtered out is skipped, not returned empty.
+func (s *StreamRows) NextBatch() [][]string {
+	for !s.done {
+		batch := s.rows.NextBatch()
+		if batch == nil {
+			s.done = true
+			return nil
+		}
+		out := batch[:0]
+		for _, row := range batch {
+			keep := true
+			for i, f := range s.filts {
+				if row[s.fcols[i]] != f.Value {
+					keep = false
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+			if s.cols != nil {
+				pr := make([]string, len(s.cols))
+				for i, c := range s.cols {
+					pr[i] = row[c]
+				}
+				row = pr
+			}
+			out = append(out, row)
+			s.n++
+			if s.limit > 0 && s.n >= s.limit {
+				s.done = true
+				break
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	return nil
+}
+
+// Err reports the error that ended the stream (see xmjoin.Rows.Err); a
+// LIMIT-satisfied early close is not an error.
+func (s *StreamRows) Err() error {
+	if s.done && s.limit > 0 && s.n >= s.limit {
+		return nil
+	}
+	return s.rows.Err()
+}
+
+// Stats returns the run's statistics once the stream ended.
+func (s *StreamRows) Stats() (xmjoin.Stats, bool) { return s.rows.Stats() }
+
+// Close stops the execution and releases the cursor; idempotent.
+func (s *StreamRows) Close() error {
+	err := s.rows.Close()
+	if s.done && s.limit > 0 && s.n >= s.limit {
+		return nil
+	}
+	return err
+}

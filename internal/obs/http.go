@@ -7,11 +7,21 @@ import (
 	"net/http/pprof"
 )
 
+// Extra mounts one additional pattern on a Handler mux — the serving
+// layer uses this for /debug/slowlog (the rendered slow-query log) and
+// /debug/catalog (a catalog snapshot) so operators can inspect a live
+// process without a shell.
+type Extra struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns an http.Handler exposing the registry at /metrics,
-// the standard profiling endpoints under /debug/pprof/, and expvar at
-// /debug/vars. The pprof handlers are mounted explicitly so the mux
-// does not depend on http.DefaultServeMux side effects.
-func Handler(r *Registry) http.Handler {
+// the standard profiling endpoints under /debug/pprof/, expvar at
+// /debug/vars, and any extra mounts. The pprof handlers are mounted
+// explicitly so the mux does not depend on http.DefaultServeMux side
+// effects.
+func Handler(r *Registry, extras ...Extra) http.Handler {
 	if r == nil {
 		r = Default
 	}
@@ -26,19 +36,35 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	for _, e := range extras {
+		mux.Handle(e.Pattern, e.Handler)
+	}
 	return mux
 }
 
+// TextHandler adapts a text producer to an http.Handler with the plain
+// content type — the shape of /debug/slowlog and friends.
+func TextHandler(render func() string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(render()))
+	})
+}
+
 // Serve binds addr and serves Handler(r) in a background goroutine.
-// It returns the bound address (useful with ":0") or an error if the
-// listen fails. The listener lives for the life of the process — the
-// commands use this for their -metrics flag.
-func Serve(addr string, r *Registry) (string, error) {
+// It returns the bound address (useful with ":0"), a channel delivering
+// the server's terminal error — so callers surface a listener that dies
+// after startup instead of silently serving nothing — and the listen
+// error itself. The listener lives for the life of the process; the
+// commands use this for their -metrics flag and watch the channel from a
+// goroutine.
+func Serve(addr string, r *Registry) (string, <-chan error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	srv := &http.Server{Handler: Handler(r)}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return ln.Addr().String(), errc, nil
 }

@@ -173,7 +173,7 @@ func TestSlowLogRingAndThreshold(t *testing.T) {
 func TestHTTPHandlerServesMetricsAndPprof(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("up_total", "").Inc()
-	addr, err := Serve("127.0.0.1:0", r)
+	addr, _, err := Serve("127.0.0.1:0", r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	xmjoin "repro"
+)
+
+// DemoDatabase builds a self-contained demo tenant: an invoices XML
+// document with scale orderLines, relational tables R(orderID, userID)
+// and S(userID, region) joining into it, and two dense "grid" tables
+// G1(gx, gy) / G2(gy, gz) whose join G1 ⋈ G2 fans out to scale³ rows —
+// deliberately heavy, so tight deadlines and admission queues have
+// something real to bite on. Every query in DemoWarmQueries and
+// DemoHeavyQuery runs against this schema.
+func DemoDatabase(scale int) (*xmjoin.Database, error) {
+	if scale < 2 {
+		scale = 2
+	}
+	db := xmjoin.NewDatabase()
+
+	var xb strings.Builder
+	xb.WriteString("<invoices>\n")
+	for i := 0; i < scale; i++ {
+		fmt.Fprintf(&xb, "  <orderLine><orderID>%d</orderID><ISBN>isbn-%d</ISBN><price>%d</price></orderLine>\n",
+			10000+i, i%97, 5+(i*7)%90)
+	}
+	xb.WriteString("</invoices>\n")
+	if err := db.LoadXMLString(xb.String()); err != nil {
+		return nil, err
+	}
+
+	users := []string{"jack", "tom", "bob", "alice", "carol", "dave", "erin", "frank"}
+	regions := []string{"east", "west", "north", "south"}
+	r := make([][]string, 0, scale)
+	for i := 0; i < scale; i++ {
+		r = append(r, []string{fmt.Sprint(10000 + i), users[i%len(users)]})
+	}
+	if err := db.AddTableRows("R", []string{"orderID", "userID"}, r); err != nil {
+		return nil, err
+	}
+	s := make([][]string, 0, len(users))
+	for i, u := range users {
+		s = append(s, []string{u, regions[i%len(regions)]})
+	}
+	if err := db.AddTableRows("S", []string{"userID", "region"}, s); err != nil {
+		return nil, err
+	}
+
+	// Dense grids: G1 holds every (gx, gy) pair and G2 every (gy, gz)
+	// pair over scale values, so G1 ⋈ G2 on gy yields scale³ rows.
+	g1 := make([][]string, 0, scale*scale)
+	g2 := make([][]string, 0, scale*scale)
+	for a := 0; a < scale; a++ {
+		for b := 0; b < scale; b++ {
+			g1 = append(g1, []string{fmt.Sprintf("x%d", a), fmt.Sprintf("y%d", b)})
+			g2 = append(g2, []string{fmt.Sprintf("y%d", a), fmt.Sprintf("z%d", b)})
+		}
+	}
+	if err := db.AddTableRows("G1", []string{"gx", "gy"}, g1); err != nil {
+		return nil, err
+	}
+	if err := db.AddTableRows("G2", []string{"gy", "gz"}, g2); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// DemoWarmQueries is the warm working set a load generator replays: a
+// small fixed batch of statements that should all become prepared-cache
+// hits after the first round.
+func DemoWarmQueries() []string {
+	return []string{
+		`SELECT * FROM R, TWIG '/invoices/orderLine[orderID]/price'`,
+		`SELECT userID, price FROM R, TWIG '/invoices/orderLine[orderID]/price'`,
+		`SELECT userID, region, price FROM R, S, TWIG '/invoices/orderLine[orderID]/price'`,
+		`SELECT userID, COUNT(*) FROM R, TWIG '/invoices/orderLine[orderID]/price' GROUP BY userID`,
+		`SELECT region, COUNT(*) FROM R, S, TWIG '/invoices/orderLine[orderID]/price' GROUP BY region`,
+	}
+}
+
+// DemoColdQuery returns the i-th statement of an endless cold stream:
+// each i yields a distinct statement text (a distinct LIMIT), so every
+// request misses the prepared cache and pays preparation — the contrast
+// workload to DemoWarmQueries.
+func DemoColdQuery(i int) string {
+	return fmt.Sprintf(`SELECT userID, price FROM R, TWIG '/invoices/orderLine[orderID]/price' LIMIT %d`, i%500+1)
+}
+
+// DemoLimitQuery is the cheap LIMIT probe: pushes LIMIT into the engine,
+// so it returns after a handful of morsels regardless of scale.
+func DemoLimitQuery() string {
+	return `SELECT * FROM R, S, TWIG '/invoices/orderLine[orderID]/price' LIMIT 5`
+}
+
+// DemoHeavyQuery is the deliberately expensive statement (scale³ output
+// rows): the target for deadline and admission-control experiments.
+func DemoHeavyQuery() string {
+	return `SELECT * FROM G1, G2`
+}

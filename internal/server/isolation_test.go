@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+// TestMultiTenantIsolation drives several tenants concurrently — run it
+// under -race — and asserts the session boundaries hold: each tenant has
+// its own catalog budget, its own prepared-statement cache, and its own
+// metrics registry. Mid-run one tenant's catalog budget is squeezed to
+// almost nothing; the victim must keep answering correctly (rebuilding
+// evicted indexes), and the other tenants must not notice: their
+// prepared caches stay warm and their counters record exactly their own
+// traffic.
+func TestMultiTenantIsolation(t *testing.T) {
+	testutil.CheckGoroutines(t)
+
+	srv := New(Config{})
+	tenants := []struct {
+		name   string
+		budget int64
+	}{
+		{"alpha", 1 << 20},
+		{"bravo", 2 << 20},
+		{"victim", 1 << 20},
+	}
+	for _, tc := range tenants {
+		db, err := DemoDatabase(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Queue deep enough that this test's workers are never 429ed —
+		// admission rejection has its own test.
+		if _, err := srv.AddTenantConfig(tc.name, db, TenantConfig{CatalogBudget: tc.budget, MaxConcurrent: 2, MaxQueue: 16}); err != nil {
+			t.Fatal(err)
+		}
+		if got := db.Catalog().Stats().Budget; got != tc.budget {
+			t.Fatalf("%s: budget = %d, want %d", tc.name, got, tc.budget)
+		}
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const (
+		workersPerTenant = 4
+		roundsPerWorker  = 20
+	)
+	warm := DemoWarmQueries()
+	var wg sync.WaitGroup
+	errc := make(chan error, len(tenants)*workersPerTenant)
+	squeeze := make(chan struct{})
+	for _, tc := range tenants {
+		for w := 0; w < workersPerTenant; w++ {
+			wg.Add(1)
+			go func(tenant string, w int) {
+				defer wg.Done()
+				for r := 0; r < roundsPerWorker; r++ {
+					q := warm[(w+r)%len(warm)]
+					body, _ := json.Marshal(queryRequest{Tenant: tenant, Query: q})
+					resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errc <- fmt.Errorf("%s: %v", tenant, err)
+						return
+					}
+					data, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("%s: status %d: %s", tenant, resp.StatusCode, data)
+						return
+					}
+					var qr queryResponse
+					if err := json.Unmarshal(data, &qr); err != nil {
+						errc <- fmt.Errorf("%s: %v", tenant, err)
+						return
+					}
+					if qr.Cancelled || len(qr.Rows) == 0 {
+						errc <- fmt.Errorf("%s: cancelled=%v rows=%d for %q", tenant, qr.Cancelled, len(qr.Rows), q)
+						return
+					}
+					// Halfway through, one worker squeezes the victim's
+					// catalog budget while everyone keeps querying.
+					if tenant == "victim" && w == 0 && r == roundsPerWorker/2 {
+						vt, _ := srv.Tenant("victim")
+						vt.Database().Catalog().SetBudget(64)
+						close(squeeze)
+					}
+				}
+			}(tc.name, w)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	select {
+	case <-squeeze:
+	default:
+		t.Fatal("squeeze never happened")
+	}
+
+	const perTenant = workersPerTenant * roundsPerWorker
+	for _, tc := range tenants {
+		tn, ok := srv.Tenant(tc.name)
+		if !ok {
+			t.Fatalf("tenant %s vanished", tc.name)
+		}
+		// No cross-tenant metric bleed: each registry saw exactly its
+		// own tenant's traffic.
+		if got := tn.admissionStats().Admitted; got != perTenant {
+			t.Errorf("%s: admitted = %d, want %d", tc.name, got, perTenant)
+		}
+		var buf bytes.Buffer
+		if err := tn.Metrics().Write(&buf); err != nil {
+			t.Fatalf("%s: metrics write: %v", tc.name, err)
+		}
+		if err := obs.CheckText(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Errorf("%s: metrics lint: %v", tc.name, err)
+		}
+		want := fmt.Sprintf("xmserve_requests_total %d", perTenant)
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("%s: metrics missing %q", tc.name, want)
+		}
+		// Prepared caches stayed warm everywhere — the squeeze evicts
+		// catalog indexes, never prepared plans, and never crosses
+		// tenants.
+		st := tn.prep.stats()
+		if st.Misses != int64(len(warm)) || st.Hits != int64(perTenant-len(warm)) {
+			t.Errorf("%s: prep cache hits=%d misses=%d, want %d/%d",
+				tc.name, st.Hits, st.Misses, perTenant-len(warm), len(warm))
+		}
+	}
+
+	// The squeeze really bit: the victim's catalog shrank under its
+	// floor-level budget and recorded evictions; the others kept their
+	// generous budgets.
+	vt, _ := srv.Tenant("victim")
+	vs := vt.Database().Catalog().Stats()
+	if vs.Budget != 64 {
+		t.Errorf("victim budget = %d, want 64", vs.Budget)
+	}
+	if vs.Evictions == 0 {
+		t.Error("victim catalog recorded no evictions after the squeeze")
+	}
+	for _, name := range []string{"alpha", "bravo"} {
+		tn, _ := srv.Tenant(name)
+		cs := tn.Database().Catalog().Stats()
+		if cs.Budget == 64 {
+			t.Errorf("%s: budget followed the victim's squeeze", name)
+		}
+		if cs.ResidentBytes == 0 {
+			t.Errorf("%s: catalog emptied by another tenant's squeeze", name)
+		}
+	}
+}

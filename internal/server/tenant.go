@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+
+	xmjoin "repro"
+	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/wcoj"
+)
+
+// ErrOverloaded is the typed admission failure: the tenant's execution
+// slots are busy and its wait queue is full. The HTTP layer maps it onto
+// 429 Too Many Requests with a Retry-After hint.
+var ErrOverloaded = errors.New("server: tenant overloaded (admission queue full)")
+
+// TenantConfig overrides the server defaults for one tenant. Zero values
+// inherit from the server's Config.
+type TenantConfig struct {
+	// CatalogBudget caps the tenant database's resident index bytes
+	// (xmjoin's shared catalog LRU); <= 0 leaves the budget unlimited.
+	CatalogBudget int64
+	// MaxConcurrent is the tenant's execution slots; 0 derives from the
+	// server Config (see Config.MaxConcurrent).
+	MaxConcurrent int
+	// MaxQueue is how many admitted-but-waiting requests may queue
+	// beyond the slots before new ones are rejected; 0 derives.
+	MaxQueue int
+	// Parallelism is the per-query ExecOptions.Parallelism; 0 derives.
+	Parallelism int
+	// PrepCacheSize is the prepared-statement LRU capacity; 0 derives.
+	PrepCacheSize int
+}
+
+// Tenant is one tenant's session state: its database (own catalog, own
+// slow-query log), its metrics registry (every query of this tenant
+// reports here and nowhere else), its prepared-statement cache, and its
+// admission control.
+type Tenant struct {
+	name        string
+	db          *xmjoin.Database
+	reg         *obs.Registry
+	prep        *prepCache
+	debug       http.Handler
+	parallelism int
+
+	slots    int
+	maxQueue int
+	sem      chan struct{}
+	pending  atomic.Int64
+
+	mRequests *obs.Counter
+	mRejected *obs.Counter
+	mDeadline *obs.Counter
+	mErrors   *obs.Counter
+	mInflight *obs.Gauge
+}
+
+func newTenant(name string, db *xmjoin.Database, cfg Config, tc TenantConfig) *Tenant {
+	if tc.CatalogBudget > 0 {
+		db.Catalog().SetBudget(tc.CatalogBudget)
+	}
+	parallelism := tc.Parallelism
+	if parallelism == 0 {
+		parallelism = cfg.Parallelism
+	}
+	slots := tc.MaxConcurrent
+	if slots == 0 {
+		slots = cfg.MaxConcurrent
+	}
+	if slots == 0 {
+		// Size admission off what one query consumes: with each query
+		// fanning out over ResolveWorkers(parallelism) morsel workers,
+		// the machine sustains about GOMAXPROCS/workers of them at once.
+		slots = wcoj.ResolveWorkers(0) / wcoj.ResolveWorkers(positiveWorkers(parallelism))
+		if slots < 1 {
+			slots = 1
+		}
+	}
+	maxQueue := tc.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = cfg.MaxQueue
+	}
+	if maxQueue == 0 {
+		maxQueue = 2 * slots
+	}
+	prepSize := tc.PrepCacheSize
+	if prepSize == 0 {
+		prepSize = cfg.PrepCacheSize
+	}
+	reg := obs.NewRegistry()
+	db.UseMetricsRegistry(reg)
+	t := &Tenant{
+		name:        name,
+		db:          db,
+		reg:         reg,
+		prep:        newPrepCache(prepSize),
+		parallelism: parallelism,
+		slots:       slots,
+		maxQueue:    maxQueue,
+		sem:         make(chan struct{}, slots),
+		mRequests:   reg.Counter("xmserve_requests_total", "Requests accepted for this tenant."),
+		mRejected:   reg.Counter("xmserve_admission_rejected_total", "Requests rejected with 429 because the admission queue was full."),
+		mDeadline:   reg.Counter("xmserve_deadline_responses_total", "Responses that returned partial results because the request deadline pre-empted the run."),
+		mErrors:     reg.Counter("xmserve_request_errors_total", "Requests that failed with a non-deadline error."),
+		mInflight:   reg.Gauge("xmserve_inflight_requests", "Requests currently executing for this tenant."),
+	}
+	t.debug = obs.Handler(reg,
+		obs.Extra{Pattern: "/debug/slowlog", Handler: obs.TextHandler(func() string { return db.SlowLog().Render() })},
+		obs.Extra{Pattern: "/debug/catalog", Handler: http.HandlerFunc(t.serveCatalogSnapshot)},
+	)
+	return t
+}
+
+// positiveWorkers maps the ExecOptions.Parallelism convention (-1 =
+// GOMAXPROCS, 0/1 = serial) onto wcoj.ResolveWorkers input.
+func positiveWorkers(parallelism int) int {
+	if parallelism < 0 {
+		return 0 // GOMAXPROCS
+	}
+	if parallelism == 0 {
+		return 1
+	}
+	return parallelism
+}
+
+// admit acquires one execution slot, waiting while the queue has room.
+// The returned release must be called exactly once when non-nil err is
+// nil. Overflow beyond slots+maxQueue returns ErrOverloaded immediately;
+// a context ending while queued returns its error.
+func (t *Tenant) admit(ctx context.Context) (release func(), err error) {
+	if n := t.pending.Add(1); n > int64(t.slots+t.maxQueue) {
+		t.pending.Add(-1)
+		t.mRejected.Inc()
+		return nil, ErrOverloaded
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case t.sem <- struct{}{}:
+	case <-done:
+		t.pending.Add(-1)
+		return nil, ctx.Err()
+	}
+	t.mRequests.Inc()
+	t.mInflight.Add(1)
+	return func() {
+		<-t.sem
+		t.pending.Add(-1)
+		t.mInflight.Add(-1)
+	}, nil
+}
+
+// AdmissionStats is the admission-control snapshot served by /tenants.
+type AdmissionStats struct {
+	Slots    int   `json:"slots"`
+	MaxQueue int   `json:"max_queue"`
+	Pending  int64 `json:"pending"`
+	Rejected int64 `json:"rejected"`
+	Admitted int64 `json:"admitted"`
+}
+
+func (t *Tenant) admissionStats() AdmissionStats {
+	return AdmissionStats{
+		Slots:    t.slots,
+		MaxQueue: t.maxQueue,
+		Pending:  t.pending.Load(),
+		Rejected: t.mRejected.Value(),
+		Admitted: t.mRequests.Value(),
+	}
+}
+
+// CatalogSnapshot is the /debug/catalog payload: the tenant's index
+// catalog counters and budget next to its prepared-statement cache — the
+// two caches an operator tunes against each other.
+type CatalogSnapshot struct {
+	Tenant   string         `json:"tenant"`
+	Catalog  catalog.Stats  `json:"catalog"`
+	Prepared PrepCacheStats `json:"prepared"`
+}
+
+func (t *Tenant) serveCatalogSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(CatalogSnapshot{Tenant: t.name, Catalog: t.db.Catalog().Stats(), Prepared: t.prep.stats()})
+}
+
+// Database exposes the tenant's database (tests and embedders load data
+// through it; the HTTP surface never mutates it).
+func (t *Tenant) Database() *xmjoin.Database { return t.db }
+
+// Metrics exposes the tenant's registry.
+func (t *Tenant) Metrics() *obs.Registry { return t.reg }

@@ -121,6 +121,9 @@ func (s *Shell) ExecuteCtx(ctx context.Context, line string) error {
 			if st.MorselSplits > 0 || st.MorselSteals > 0 {
 				fmt.Fprintf(s.out, " splits=%d steals=%d", st.MorselSplits, st.MorselSteals)
 			}
+			if st.DeadlineStops > 0 {
+				fmt.Fprintf(s.out, " deadline_stops=%d", st.DeadlineStops)
+			}
 			// Abnormal-run markers: without these the stats line silently
 			// presents a degraded or partial run as a clean one.
 			if st.Degraded != "" {

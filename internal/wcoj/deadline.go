@@ -1,0 +1,72 @@
+package wcoj
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// deadlineGate implements deadline-aware morsel scheduling: workers ask it
+// before starting each claimed task, and it refuses once the remaining
+// budget can no longer cover one more task — estimated from a running
+// EWMA of per-task wall time — so a near-deadline run stops at a morsel
+// boundary and returns its partial answer immediately instead of burning
+// the final milliseconds mid-task. A nil gate (no deadline) costs the
+// scheduler nothing.
+type deadlineGate struct {
+	deadline time.Time
+	// est is the EWMA of per-task wall time in nanoseconds (alpha 1/4);
+	// 0 means no task has finished yet. Concurrent updates race benignly
+	// — lost samples only make the estimate a little staler, and it is
+	// an estimate either way.
+	est   atomic.Int64
+	stops atomic.Int64
+}
+
+// newDeadlineGate returns the gate for a deadline, nil when there is none.
+func newDeadlineGate(deadline time.Time) *deadlineGate {
+	if deadline.IsZero() {
+		return nil
+	}
+	return &deadlineGate{deadline: deadline}
+}
+
+// refuse reports whether a claimed task must not start: the deadline has
+// already passed, or the estimate says one more task will not fit in the
+// remaining budget. Before the first task completes there is no estimate
+// and only an expired deadline refuses. Each refusal is counted — a few
+// workers may each count one before the shared stop flag becomes visible,
+// which is fine: the counter reports that the gate fired, not how often.
+func (g *deadlineGate) refuse() bool {
+	rem := time.Until(g.deadline)
+	if rem > 0 {
+		est := g.est.Load()
+		if est == 0 || rem >= time.Duration(est) {
+			return false
+		}
+	}
+	g.stops.Add(1)
+	return true
+}
+
+// observeSince folds one finished task's wall time (measured from start)
+// into the running estimate.
+func (g *deadlineGate) observeSince(start time.Time) {
+	d := int64(time.Since(start))
+	if d < 1 {
+		d = 1
+	}
+	old := g.est.Load()
+	if old == 0 {
+		g.est.Store(d)
+		return
+	}
+	g.est.Store(old + (d-old)/4)
+}
+
+// stopCount returns how many tasks the gate refused.
+func (g *deadlineGate) stopCount() int {
+	if g == nil {
+		return 0
+	}
+	return int(g.stops.Load())
+}

@@ -1,0 +1,126 @@
+package wcoj
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/relational"
+)
+
+// TestDeadlineGateStopsExpiredRun: a deadline already in the past must
+// refuse every morsel — the run returns an empty partial answer with
+// DeadlineStops counted, and no error at this layer (the core layer maps
+// gate stops onto its cancellation error).
+func TestDeadlineGateStopsExpiredRun(t *testing.T) {
+	ts := benchTriangle(benchK)
+	atoms := []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+	order := []string{"a", "b", "c"}
+
+	res, err := GenericJoinParallelOpts(atoms, order, ParallelOpts{
+		Workers:  4,
+		Deadline: time.Now().Add(-time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DeadlineStops == 0 {
+		t.Fatal("expired deadline: want DeadlineStops > 0, got 0")
+	}
+	if len(res.Tuples) != 0 {
+		t.Fatalf("expired deadline admitted work: got %d tuples", len(res.Tuples))
+	}
+}
+
+// TestNoDeadlineNoStops: without a deadline the gate must not exist —
+// zero DeadlineStops and the complete answer.
+func TestNoDeadlineNoStops(t *testing.T) {
+	ts := benchTriangle(benchK)
+	atoms := []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+	order := []string{"a", "b", "c"}
+
+	serial, err := GenericJoin(atoms, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenericJoinParallelOpts(atoms, order, ParallelOpts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DeadlineStops != 0 {
+		t.Fatalf("no deadline: want DeadlineStops == 0, got %d", res.Stats.DeadlineStops)
+	}
+	if len(res.Tuples) != len(serial.Tuples) {
+		t.Fatalf("no deadline truncated the run: got %d tuples, want %d", len(res.Tuples), len(serial.Tuples))
+	}
+}
+
+// TestGenerousDeadlineCompletes: a far-off deadline behaves like no
+// deadline — the EWMA gate observes tasks but never refuses one.
+func TestGenerousDeadlineCompletes(t *testing.T) {
+	ts := benchTriangle(benchK)
+	atoms := []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+	order := []string{"a", "b", "c"}
+
+	serial, err := GenericJoin(atoms, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenericJoinParallelOpts(atoms, order, ParallelOpts{
+		Workers:  4,
+		Deadline: time.Now().Add(time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DeadlineStops != 0 {
+		t.Fatalf("generous deadline: want DeadlineStops == 0, got %d", res.Stats.DeadlineStops)
+	}
+	if len(res.Tuples) != len(serial.Tuples) {
+		t.Fatalf("generous deadline truncated the run: got %d tuples, want %d", len(res.Tuples), len(serial.Tuples))
+	}
+}
+
+// TestDeadlineGateEWMARefusal exercises the estimate path directly: once
+// the EWMA says one task costs more than the remaining budget, refuse
+// fires even though the deadline itself has not passed.
+func TestDeadlineGateEWMARefusal(t *testing.T) {
+	g := newDeadlineGate(time.Now().Add(20 * time.Millisecond))
+	if g.refuse() {
+		t.Fatal("no estimate yet and deadline not passed: want admit")
+	}
+	// A completed task that took ~1s seeds the estimate far above the
+	// remaining ~20ms budget.
+	g.observeSince(time.Now().Add(-time.Second))
+	if !g.refuse() {
+		t.Fatal("estimate exceeds remaining budget: want refuse")
+	}
+	if got := g.stopCount(); got == 0 {
+		t.Fatalf("want refusals counted, got %d", got)
+	}
+
+	far := newDeadlineGate(time.Now().Add(time.Hour))
+	far.observeSince(time.Now().Add(-time.Second))
+	if far.refuse() {
+		t.Fatal("estimate fits hour-long budget: want admit")
+	}
+}
+
+// TestDeadlineStopsMergeAndStream: the counter must survive the stats
+// merge (pinned by TestStatsMergeCoversAllFields) and surface through the
+// streaming morsel entry points too.
+func TestDeadlineStopsMergeAndStream(t *testing.T) {
+	ts := benchTriangle(benchK)
+	atoms := []Atom{NewTableAtom(ts[0]), NewTableAtom(ts[1]), NewTableAtom(ts[2])}
+	order := []string{"a", "b", "c"}
+
+	stats, err := GenericJoinParallelStreamOpts(atoms, order, ParallelOpts{
+		Workers:  4,
+		Deadline: time.Now().Add(-time.Second),
+	}, func(relational.Tuple) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadlineStops == 0 {
+		t.Fatal("streaming entry point lost DeadlineStops")
+	}
+}

@@ -49,6 +49,12 @@ type GenericJoinStats struct {
 	// deque. Always 0 for serial and single-worker runs;
 	// scheduling-dependent otherwise.
 	Steals int
+	// DeadlineStops counts tasks the parallel executor refused to start
+	// because the remaining deadline budget could not cover one more
+	// morsel (see ParallelOpts.Deadline). Always 0 for serial runs and
+	// for runs without a deadline; nonzero exactly when the deadline
+	// gate pre-empted the run.
+	DeadlineStops int
 }
 
 // Merge folds the counters of other — a partition of the same join's work,
@@ -79,6 +85,7 @@ func (s *GenericJoinStats) Merge(other *GenericJoinStats) {
 	s.Batches += other.Batches
 	s.Splits += other.Splits
 	s.Steals += other.Steals
+	s.DeadlineStops += other.DeadlineStops
 	s.recomputePeak()
 }
 

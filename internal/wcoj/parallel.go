@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cachehook"
 	"repro/internal/faultpoint"
@@ -63,6 +64,16 @@ type ParallelOpts struct {
 	// tuples and raises the shared stop flag on true. Requires Cancel;
 	// must be safe for concurrent calls (a context-error probe is).
 	Check func() bool
+	// Deadline, when nonzero, enables deadline-aware morsel scheduling:
+	// before starting a claimed task each worker compares the remaining
+	// budget against a shared EWMA of per-task wall time and, once one
+	// more task no longer fits, raises the shared stop flag instead of
+	// dequeuing — the run ends at a morsel boundary with its partial
+	// answer rather than burning the final milliseconds mid-task.
+	// Refusals are counted in GenericJoinStats.DeadlineStops. The gate
+	// decides only at task boundaries; pair it with Cancel/Check (the
+	// context watcher) for mid-task enforcement of the same deadline.
+	Deadline time.Time
 	// DisableRecursiveSplit turns off within-key re-splitting (recursive
 	// morsels), leaving only first-attribute morsels plus stealing — the
 	// pre-skew-proof behaviour, kept for comparison benchmarks and as an
@@ -366,6 +377,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 		stop = new(atomic.Bool)
 	}
 	sched := newStealScheduler(workers)
+	gate := newDeadlineGate(opts.Deadline)
 	var (
 		emitted atomic.Int64
 		errMu   sync.Mutex
@@ -574,6 +586,21 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 				if stop.Load() {
 					return // drain: discard without running
 				}
+				if gate != nil {
+					if gate.refuse() {
+						// Deadline-aware stop: the remaining budget cannot
+						// cover one more morsel, so end the whole run here —
+						// siblings drain, the partial answer returns now.
+						// Broadcast like fail() does, so a throttled driver
+						// or parked workers see the stop promptly.
+						stop.Store(true)
+						sched.mu.Lock()
+						sched.cond.Broadcast()
+						sched.mu.Unlock()
+						return
+					}
+					defer gate.observeSince(time.Now())
+				}
 				if err := faultpoint.Inject("wcoj.morsel.dequeue"); err != nil {
 					fail(err)
 					return
@@ -631,6 +658,7 @@ func GenericJoinParallelMorsels(atoms []Atom, order []string, opts ParallelOpts,
 	driverStats.finalizeLevels()
 	driverStats.Splits = int(sched.splits.Load())
 	driverStats.Steals = int(sched.steals.Load())
+	driverStats.DeadlineStops = gate.stopCount()
 	return driverStats, nil
 }
 

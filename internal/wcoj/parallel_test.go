@@ -337,6 +337,7 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 		"LevelBatches":       true, // elementwise sum
 		"Splits":             true,
 		"Steals":             true,
+		"DeadlineStops":      true,
 	}
 	rt := reflect.TypeOf(GenericJoinStats{})
 	for i := 0; i < rt.NumField(); i++ {
@@ -344,14 +345,14 @@ func TestStatsMergeCoversAllFields(t *testing.T) {
 			t.Errorf("GenericJoinStats gained field %q: add a rule to Merge and to this test", rt.Field(i).Name)
 		}
 	}
-	a := GenericJoinStats{StageSizes: []int{5, 2}, Output: 3, Intersections: 4, Seeks: 9, Batches: 2, Splits: 1, Steals: 3,
+	a := GenericJoinStats{StageSizes: []int{5, 2}, Output: 3, Intersections: 4, Seeks: 9, Batches: 2, Splits: 1, Steals: 3, DeadlineStops: 1,
 		LevelIntersections: []int{3, 1}, LevelSeeks: []int{4, 5}, LevelBatches: []int{0, 2}}
-	b := GenericJoinStats{Order: []string{"x", "y"}, StageSizes: []int{1, 7}, Output: 2, Intersections: 1, Seeks: 6, Batches: 5, Splits: 2, Steals: 4,
+	b := GenericJoinStats{Order: []string{"x", "y"}, StageSizes: []int{1, 7}, Output: 2, Intersections: 1, Seeks: 6, Batches: 5, Splits: 2, Steals: 4, DeadlineStops: 2,
 		LevelIntersections: []int{1}, LevelSeeks: []int{2, 4}, LevelBatches: []int{0, 5}}
 	a.Merge(&b)
 	if !reflect.DeepEqual(a.StageSizes, []int{6, 9}) || a.Output != 5 ||
 		a.Intersections != 5 || a.Seeks != 15 || a.PeakIntermediate != 9 ||
-		a.Batches != 7 || a.Splits != 3 || a.Steals != 7 ||
+		a.Batches != 7 || a.Splits != 3 || a.Steals != 7 || a.DeadlineStops != 3 ||
 		!reflect.DeepEqual(a.LevelIntersections, []int{4, 1}) ||
 		!reflect.DeepEqual(a.LevelSeeks, []int{6, 9}) ||
 		!reflect.DeepEqual(a.LevelBatches, []int{0, 7}) ||

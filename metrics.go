@@ -69,6 +69,7 @@ var statsExports = []statExport{
 	{"LeafBatches", "xmjoin_leaf_batches_total", "Key vectors delivered by the batched leaf-level loop across all runs.", false},
 	{"MorselSplits", "xmjoin_morsel_splits_total", "Sub-morsels re-queued by splitting running tasks across all runs.", false},
 	{"MorselSteals", "xmjoin_morsel_steals_total", "Tasks claimed from another worker's deque across all runs.", false},
+	{"DeadlineStops", "xmjoin_deadline_stops_total", "Morsels refused by the deadline-aware scheduler across all runs.", false},
 	{"BinarySubplans", "xmjoin_last_binary_subplans", "Materialized binary hash-join subplans of the most recent hybrid run.", true},
 	{"BinaryIntermediate", "xmjoin_binary_intermediate_tuples_total", "Intermediate tuples materialized by binary hash-join subplans across all runs.", false},
 	{"TableIndexes", "xmjoin_table_indexes", "Sorted-column index shapes held by the last run's table atoms.", true},

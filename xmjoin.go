@@ -145,6 +145,30 @@
 //
 // Queries, data errors and invalid plans return ordinary errors eagerly;
 // the classes above are the runtime ones a serving loop should branch on.
+//
+// # Serving
+//
+// cmd/xmserve packages these pieces into a multi-tenant network query
+// service (internal/server is the embeddable implementation). Each
+// tenant is one Database: its own shared index catalog under its own
+// byte budget, its own metrics registry (UseMetricsRegistry) mounted at
+// /tenants/{name}/metrics, its own slow-query log and prepared-statement
+// cache (mmql text → frozen plan, LRU), and its own concurrency
+// admission control — a semaphore sized off how many morsel-parallel
+// queries the machine sustains at once, returning 429 when the wait
+// queue overflows.
+//
+// Request deadlines (an X-Deadline-Ms header, or the server default)
+// flow through the context into the engine, where the morsel scheduler
+// is deadline-aware: workers keep an EWMA estimate of per-morsel cost
+// and stop dequeuing or stealing morsels once the remaining budget
+// cannot cover one, so a deadlined request returns its partial answer
+// promptly instead of coasting through work the client will never see.
+// Stats.DeadlineStops counts the refused morsels (always zero without a
+// deadline); the HTTP layer surfaces it per response next to
+// "cancelled": true. cmd/xmload is the matching load-generator harness
+// (latency percentiles per workload class, admission rejections, the
+// cancelled-vs-full latency gap).
 package xmjoin
 
 import (
